@@ -1,0 +1,289 @@
+package shapesol
+
+// One benchmark per experiment of EXPERIMENTS.md (E1-E13). Each reports
+// scheduler steps per run via b.ReportMetric so that the experiment tables
+// can be regenerated from `go test -bench . -benchmem`; absolute ns/op is
+// secondary (the paper's unit is interactions, not wall-clock).
+
+import (
+	"fmt"
+	"testing"
+
+	"shapesol/internal/core"
+	"shapesol/internal/counting"
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+	"shapesol/internal/shapes"
+	"shapesol/internal/sim"
+	"shapesol/internal/tm"
+)
+
+func reportSteps(b *testing.B, total int64) {
+	b.Helper()
+	b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+}
+
+// E1/E2 — Theorem 1 and Remarks 1-2: terminating counting with a leader.
+func BenchmarkE1CountingUpperBound(b *testing.B) {
+	for _, n := range []int{100, 300, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps, r0 int64
+			for i := 0; i < b.N; i++ {
+				out := counting.RunUpperBound(n, 5, int64(i))
+				steps += out.Steps
+				r0 += out.R0
+			}
+			reportSteps(b, steps)
+			b.ReportMetric(float64(r0)/float64(b.N)/float64(n), "r0/n")
+		})
+	}
+}
+
+func BenchmarkE2CountingTimeScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				steps += counting.RunUpperBound(n, 4, int64(i)).Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// E3 — Theorem 2: simple UID counting, expected time Theta(n^b).
+func BenchmarkE3SimpleUIDCounting(b *testing.B) {
+	for _, cfg := range []struct{ n, b int }{{6, 2}, {6, 3}, {8, 2}} {
+		b.Run(fmt.Sprintf("n=%d/b=%d", cfg.n, cfg.b), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				steps += counting.RunSimpleUID(cfg.n, cfg.b, int64(i), 100_000_000).Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// E4 — Theorem 3: improved UID counting.
+func BenchmarkE4UIDCounting(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				steps += counting.RunUID(n, 4, int64(i)).Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// runTableUntilSpanning drives a stabilizing table protocol until the
+// structure spans the population or the step budget runs out, reporting
+// whether it spanned. A budget is essential: the literal Protocol 2 table
+// has rare seed-dependent trajectories that stall before spanning (its
+// phase-1 rules race; see EXPERIMENTS.md E5/E6).
+func runTableUntilSpanning(b *testing.B, table *rules.Table, n int, seed int64) (int64, bool) {
+	b.Helper()
+	const budget = 20_000_000
+	w := sim.New(n, sim.NewTableProtocol(table), sim.Options{Seed: seed})
+	for w.Steps() < budget {
+		if _, err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+		if _, size := w.LargestComponent(); size == n {
+			return w.Steps(), true
+		}
+	}
+	return w.Steps(), false
+}
+
+// benchSpanning shares the span-rate reporting across E5/E6.
+func benchSpanning(b *testing.B, mk func() *rules.Table, n int) {
+	var steps int64
+	spanned := 0
+	for i := 0; i < b.N; i++ {
+		st, ok := runTableUntilSpanning(b, mk(), n, int64(i))
+		steps += st
+		if ok {
+			spanned++
+		}
+	}
+	reportSteps(b, steps)
+	b.ReportMetric(float64(spanned)/float64(b.N), "span-rate")
+}
+
+// E5 — Section 4.1: spanning line stabilization.
+func BenchmarkE5Line(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSpanning(b, core.LineTable, n) })
+	}
+}
+
+// E6 — Protocols 1 and 2: spanning squares (Figure 2's phases).
+func BenchmarkE6Square(b *testing.B) {
+	for _, n := range []int{16, 36, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSpanning(b, core.SquareTable, n) })
+	}
+}
+
+func BenchmarkE6Square2(b *testing.B) {
+	for _, n := range []int{14, 21, 41} { // k^2+5 for k = 3, 4, 6
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchSpanning(b, core.Square2Table, n) })
+	}
+}
+
+// E7 — Lemma 1: Counting-on-a-Line.
+func BenchmarkE7CountingOnALine(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				out := core.RunCountLine(n, 3, int64(i), 200_000_000)
+				if !out.Halted {
+					b.Fatal("counting on a line did not halt")
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// E8 — Lemma 2: Square-Knowing-n.
+func BenchmarkE8SquareKnowingN(b *testing.B) {
+	for _, d := range []int{3, 4} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var steps int64
+			halted := 0
+			for i := 0; i < b.N; i++ {
+				out := core.RunSquareKnowingN(d*d, d, int64(i), 30_000_000)
+				if out.Halted {
+					halted++
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+			b.ReportMetric(float64(halted)/float64(b.N), "halt-rate")
+		})
+	}
+}
+
+// E9 — Theorem 4: the universal constructor (oracle decisions) plus the
+// fully faithful MicroStep TM variant.
+func BenchmarkE9Universal(b *testing.B) {
+	for _, name := range []string{"star", "cross", "bottom-row"} {
+		for _, d := range []int{6, 10} {
+			b.Run(fmt.Sprintf("%s/d=%d", name, d), func(b *testing.B) {
+				lang, err := shapes.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var steps int64
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunUniversalOnSquare(lang, d, int64(i), 500_000_000)
+					if err != nil || !out.Match {
+						b.Fatalf("universal failed: %v %v", out, err)
+					}
+					steps += out.Steps
+				}
+				reportSteps(b, steps)
+			})
+		}
+	}
+}
+
+func BenchmarkE9UniversalMicroStepTM(b *testing.B) {
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunUniversalMicroStep(tm.BottomRowMachine(), 4, int64(i), 800_000_000)
+		if err != nil || !out.Match {
+			b.Fatalf("microstep failed: %v %v", out, err)
+		}
+		steps += out.Steps
+	}
+	reportSteps(b, steps)
+}
+
+// E10 — Theorem 5: parallel simulations on 3D memory columns.
+func BenchmarkE10Parallel3D(b *testing.B) {
+	for _, cfg := range []struct{ d, k int }{{3, 3}, {4, 3}} {
+		b.Run(fmt.Sprintf("d=%d/k=%d", cfg.d, cfg.k), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunParallel3D(shapes.Star(), cfg.d, cfg.k, int64(i), 300_000_000)
+				if err != nil || !out.Decided {
+					b.Fatalf("parallel failed: %v %v", out, err)
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// E12 — Section 7: shape self-replication.
+func BenchmarkE12Replication(b *testing.B) {
+	shapesToCopy := map[string]*grid.Shape{
+		"line3":  grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}),
+		"lshape": grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1}),
+	}
+	for name, g := range shapesToCopy {
+		b.Run(name, func(b *testing.B) {
+			free := 2*g.EnclosingRect().Size() - g.Size()
+			var steps int64
+			copies := 0
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunReplication(g, free, int64(i), 200_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Copies == 2 {
+					copies++
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+			b.ReportMetric(float64(copies)/float64(b.N), "copy-rate")
+		})
+	}
+}
+
+// E13 — Conjecture 1 evidence: leaderless early termination.
+func BenchmarkE13LeaderlessEvidence(b *testing.B) {
+	proto := counting.TwoZerosProtocol()
+	for _, n := range []int{50, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			early := 0
+			for i := 0; i < b.N; i++ {
+				if counting.RunLeaderless(proto, n, int64(i), int64(50*n)).EarlyTermination {
+					early++
+				}
+			}
+			b.ReportMetric(float64(early)/float64(b.N), "early-rate")
+		})
+	}
+}
+
+// Engine micro-benchmarks: raw scheduler throughput.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("free-n=%d", n), func(b *testing.B) {
+			w := sim.New(n, inert{}, sim.Options{Seed: 1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// inert is a do-nothing protocol for engine throughput measurement.
+type inert struct{}
+
+func (inert) InitialState(id, n int) any { return 0 }
+func (inert) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+	return a, b, bonded, false
+}
+func (inert) Halted(any) bool { return false }

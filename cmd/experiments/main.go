@@ -1,0 +1,263 @@
+// Command experiments regenerates the measurement tables of
+// EXPERIMENTS.md: every theorem's quantitative claim and the figures'
+// configurations, printed as plain-text tables.
+//
+// Usage:
+//
+//	experiments               # run every experiment at default scale
+//	experiments -exp E1       # run one experiment
+//	experiments -trials 50    # more statistical trials
+//	experiments -figures      # ASCII renders of the paper's figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shapesol/internal/core"
+	"shapesol/internal/counting"
+	"shapesol/internal/grid"
+	"shapesol/internal/shapes"
+	"shapesol/internal/stats"
+	"shapesol/internal/viz"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (E1..E13); empty runs all")
+		trials  = flag.Int("trials", 20, "trials per configuration")
+		figures = flag.Bool("figures", false, "render figure configurations instead")
+	)
+	flag.Parse()
+
+	if *figures {
+		renderFigures()
+		return
+	}
+	all := map[string]func(int){
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E7": e7,
+		"E8": e8, "E9": e9, "E10": e10, "E12": e12, "E13": e13,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E7", "E8", "E9", "E10", "E12", "E13"}
+	if *exp != "" {
+		f, ok := all[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		f(*trials)
+		return
+	}
+	for _, id := range order {
+		all[id](*trials)
+		fmt.Println()
+	}
+}
+
+func e1(trials int) {
+	fmt.Println("E1 — Theorem 1 / Remark 2: Counting-Upper-Bound (b=5)")
+	fmt.Println("  n     success-rate             mean r0/n")
+	for _, n := range []int{100, 300, 1000} {
+		succ := 0
+		var ratios []float64
+		for i := 0; i < trials; i++ {
+			out := counting.RunUpperBound(n, 5, int64(i))
+			if out.Success {
+				succ++
+			}
+			ratios = append(ratios, out.Estimate)
+		}
+		fmt.Printf("  %-5d %-24s %.3f\n", n, stats.NewRate(succ, trials), stats.Summarize(ratios).Mean)
+	}
+	fmt.Println("  paper: halts always; r0 >= n/2 w.h.p.; estimate ~0.9n for n <= 1000")
+}
+
+func e2(trials int) {
+	fmt.Println("E2 — Remark 1: counting time = O(n^2 log n)")
+	var xs, ys []float64
+	for _, n := range []int{50, 100, 200, 400} {
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			steps = append(steps, float64(counting.RunUpperBound(n, 4, int64(i)).Steps))
+		}
+		mean := stats.Summarize(steps).Mean
+		xs = append(xs, float64(n))
+		ys = append(ys, mean)
+		fmt.Printf("  n=%-5d mean interactions = %.0f\n", n, mean)
+	}
+	slope, err := stats.LogLogSlope(xs, ys)
+	if err == nil {
+		fmt.Printf("  log-log slope = %.2f (paper: 2 plus log factor)\n", slope)
+	}
+}
+
+func e3(trials int) {
+	fmt.Println("E3 — Theorem 2: simple UID counting, E[time] = Theta(n^b)")
+	for _, cfg := range []struct{ n, b int }{{6, 2}, {6, 3}, {8, 2}} {
+		exact := 0
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			out := counting.RunSimpleUID(cfg.n, cfg.b, int64(i), 500_000_000)
+			if out.Exact {
+				exact++
+			}
+			steps = append(steps, float64(out.Steps))
+		}
+		fmt.Printf("  n=%d b=%d: exact %s, mean steps %.0f (b(n-1)^b = %d)\n",
+			cfg.n, cfg.b, stats.NewRate(exact, trials), stats.Summarize(steps).Mean,
+			cfg.b*pow(cfg.n-1, cfg.b))
+	}
+}
+
+func e4(trials int) {
+	fmt.Println("E4 — Theorem 3: UID counting (Protocol 3, b=4)")
+	for _, n := range []int{50, 200} {
+		wins, succ := 0, 0
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			out := counting.RunUID(n, 4, int64(i))
+			if out.WinnerIsMax {
+				wins++
+			}
+			if out.Success {
+				succ++
+			}
+			steps = append(steps, float64(out.Steps))
+		}
+		fmt.Printf("  n=%-4d winner-is-max %s  2*count1>=n %s  mean steps %.0f\n",
+			n, stats.NewRate(wins, trials), stats.NewRate(succ, trials), stats.Summarize(steps).Mean)
+	}
+}
+
+func e7(trials int) {
+	fmt.Println("E7 — Lemma 1: Counting-on-a-Line (b=3)")
+	for _, n := range []int{16, 32} {
+		succ, lenOK, debtOK := 0, 0, 0
+		for i := 0; i < trials; i++ {
+			out := core.RunCountLine(n, 3, int64(i), 200_000_000)
+			if out.Success {
+				succ++
+			}
+			if out.LineLength == core.ExpectedLineLength(out.R0) {
+				lenOK++
+			}
+			if out.DebtRepaid {
+				debtOK++
+			}
+		}
+		fmt.Printf("  n=%-4d r0>=n/2 %s  length=floor(lg r0)+1 %d/%d  debt repaid %d/%d\n",
+			n, stats.NewRate(succ, trials), lenOK, trials, debtOK, trials)
+	}
+}
+
+func e8(trials int) {
+	fmt.Println("E8 — Lemma 2: Square-Knowing-n (n = d^2 exactly)")
+	for _, d := range []int{3, 4} {
+		ok := 0
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			out := core.RunSquareKnowingN(d*d, d, int64(i), 500_000_000)
+			if out.Halted && out.Square {
+				ok++
+			}
+			steps = append(steps, float64(out.Steps))
+		}
+		fmt.Printf("  d=%d: exact square %d/%d, mean steps %.0f\n", d, ok, trials, stats.Summarize(steps).Mean)
+	}
+}
+
+func e9(trials int) {
+	fmt.Println("E9 — Theorem 4: universal constructor, waste <= (d-1)d")
+	for _, name := range []string{"star", "cross", "bottom-row"} {
+		lang, _ := shapes.ByName(name)
+		for _, d := range []int{6, 10} {
+			ok := 0
+			waste := 0
+			for i := 0; i < trials; i++ {
+				out, err := core.RunUniversalOnSquare(lang, d, int64(i), 500_000_000)
+				if err == nil && out.Match {
+					ok++
+					waste = out.Waste
+				}
+			}
+			fmt.Printf("  %-11s d=%-3d correct %d/%d  waste %d (bound %d)\n",
+				name, d, ok, trials, waste, (d-1)*d)
+		}
+	}
+}
+
+func e10(trials int) {
+	fmt.Println("E10 — Theorem 5: parallel simulations on 3D columns (k=3)")
+	for _, d := range []int{3, 4} {
+		ok := 0
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			out, err := core.RunParallel3D(shapes.Star(), d, 3, int64(i), 300_000_000)
+			if err == nil && out.Decided && out.Correct {
+				ok++
+			}
+			steps = append(steps, float64(out.Steps))
+		}
+		fmt.Printf("  d=%d: all pixels decided %d/%d, mean steps %.0f\n", d, ok, trials, stats.Summarize(steps).Mean)
+	}
+}
+
+func e12(trials int) {
+	fmt.Println("E12 — Section 7: shape self-replication (free = 2|R_G|-|G|)")
+	gs := map[string]*grid.Shape{
+		"line3":  grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}),
+		"lshape": grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1}),
+	}
+	for name, g := range gs {
+		free := 2*g.EnclosingRect().Size() - g.Size()
+		ok := 0
+		for i := 0; i < trials; i++ {
+			out, err := core.RunReplication(g, free, int64(i), 500_000_000)
+			if err == nil && out.Copies == 2 {
+				ok++
+			}
+		}
+		fmt.Printf("  %-7s (|G|=%d, |R_G|=%d, free=%d): two exact copies %d/%d\n",
+			name, g.Size(), g.EnclosingRect().Size(), free, ok, trials)
+	}
+}
+
+func e13(trials int) {
+	fmt.Println("E13 — Conjecture 1 evidence: leaderless early termination")
+	proto := counting.TwoZerosProtocol()
+	for _, n := range []int{20, 100, 500} {
+		early := 0
+		for i := 0; i < trials; i++ {
+			if counting.RunLeaderless(proto, n, int64(i), int64(50*n)).EarlyTermination {
+				early++
+			}
+		}
+		fmt.Printf("  n=%-4d P[some node terminates in <= 2 interactions] = %s\n",
+			n, stats.NewRate(early, trials))
+	}
+	fmt.Println("  paper: stays constant as n grows => leaderless counting impossible")
+}
+
+func renderFigures() {
+	fmt.Println("F7 — Figure 7: the star shape computed on the square (d=7):")
+	fmt.Println(shapes.Render(shapes.Star(), 7))
+	fmt.Println("F7(d) — after release only the on-pixels remain bonded:")
+	fmt.Println(viz.RenderShape(shapes.Render(shapes.Star(), 7).Shape()))
+	fmt.Println("Pattern (Remark 4) — rings, 3 colors, d=8:")
+	p := shapes.RenderPattern(shapes.Rings(3), 8)
+	for y := 7; y >= 0; y-- {
+		for x := 0; x < 8; x++ {
+			fmt.Printf("%d", p.At(grid.ZigZagIndex(grid.Pos{X: x, Y: y}, 8)))
+		}
+		fmt.Println()
+	}
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Command shapesim runs a single protocol of the paper at a chosen
+// population size and renders the outcome.
+//
+// Usage:
+//
+//	shapesim -protocol line|square|square2 -n 16 [-seed 1]
+//	shapesim -protocol count|countline -n 100 [-b 5]
+//	shapesim -protocol universal -lang star -d 7
+//	shapesim -protocol squaren -d 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shapesol"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protocol = flag.String("protocol", "line", "line, square, square2, count, countline, squaren, universal")
+		n        = flag.Int("n", 16, "population size")
+		b        = flag.Int("b", 5, "head start for the counting protocols")
+		d        = flag.Int("d", 4, "side length for squaren/universal")
+		lang     = flag.String("lang", "star", "shape language for universal")
+		seed     = flag.Int64("seed", 1, "scheduler seed")
+	)
+	flag.Parse()
+
+	switch *protocol {
+	case "line", "square", "square2":
+		shape, err := shapesol.Stabilize(*protocol, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shapesim:", err)
+			return 1
+		}
+		fmt.Printf("%s stabilized on %d nodes:\n%s", *protocol, *n, shapesol.Render(shape))
+	case "count":
+		out := shapesol.Count(*n, *b, *seed)
+		fmt.Printf("counting halted after %d interactions: r0=%d (r0/n=%.3f, success=%v)\n",
+			out.Steps, out.R0, out.Estimate, out.Success)
+	case "countline":
+		out := shapesol.CountOnLine(*n, *b, *seed)
+		fmt.Printf("counting-on-a-line: halted=%v r0=%d line-length=%d debt-repaid=%v steps=%d\n",
+			out.Halted, out.R0, out.LineLength, out.DebtRepaid, out.Steps)
+	case "squaren":
+		out := shapesol.BuildSquare(*n, *d, *seed)
+		fmt.Printf("square-knowing-n: halted=%v square=%v spans=%d steps=%d\n",
+			out.Halted, out.Square, out.Spanned, out.Steps)
+	case "universal":
+		out, render, err := shapesol.Construct(*lang, *d, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shapesim:", err)
+			return 1
+		}
+		fmt.Printf("universal constructor (%s, d=%d): %v\n%s", *lang, *d, out, render)
+	default:
+		fmt.Fprintf(os.Stderr, "shapesim: unknown protocol %q\n", *protocol)
+		return 2
+	}
+	return 0
+}

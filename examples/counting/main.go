@@ -1,0 +1,25 @@
+// Counting: the terminating probabilistic counting of Theorem 1, in both
+// its population-protocol form and the geometric Counting-on-a-Line form
+// of Lemma 1 where the count assembles in binary on a self-built line.
+package main
+
+import (
+	"fmt"
+
+	"shapesol"
+)
+
+func main() {
+	const n, b = 200, 5
+	fmt.Printf("population of %d agents, head start %d:\n", n, b)
+	for seed := int64(0); seed < 5; seed++ {
+		out := shapesol.Count(n, b, seed)
+		fmt.Printf("  seed %d: halted after %7d interactions, r0 = %3d (%.2f n, success=%v)\n",
+			seed, out.Steps, out.R0, out.Estimate, out.Success)
+	}
+
+	fmt.Println("\ncounting on a line (geometric model, n = 24):")
+	out := shapesol.CountOnLine(24, 3, 7)
+	fmt.Printf("  halted=%v r0=%d stored on a line of %d cells (floor(lg r0)+1 = %d), debt repaid=%v\n",
+		out.Halted, out.R0, out.LineLength, out.LineLength, out.DebtRepaid)
+}

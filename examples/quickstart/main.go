@@ -1,0 +1,26 @@
+// Quickstart: assemble a spanning line and a spanning square with the
+// stabilizing protocols of Section 4, then render them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shapesol"
+)
+
+func main() {
+	line, err := shapesol.Stabilize("line", 12, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spanning line on 12 nodes:")
+	fmt.Print(shapesol.Render(line))
+
+	square, err := shapesol.Stabilize("square", 25, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nspanning square on 25 nodes (Protocol 1):")
+	fmt.Print(shapesol.Render(square))
+}

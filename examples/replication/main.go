@@ -1,0 +1,26 @@
+// Self-replication (Section 7): an L-shaped structure squares itself into
+// R_G, shifts a copy out column by column, splits, and de-squares into two
+// identical copies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shapesol"
+	"shapesol/internal/grid"
+)
+
+func main() {
+	g := grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1})
+	fmt.Println("original shape G:")
+	fmt.Print(shapesol.Render(g))
+
+	free := 2*g.EnclosingRect().Size() - g.Size() // the paper's requirement
+	out, err := shapesol.Replicate(g, free, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicated with %d free nodes after %d interactions: %d exact copies\n",
+		free, out.Steps, out.Copies)
+}

@@ -1,0 +1,30 @@
+// Squares three ways: Protocol 1 (probing turns), Protocol 2 (turning
+// marks, Figure 2) and the terminating Square-Knowing-n of Lemma 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shapesol"
+)
+
+func main() {
+	p1, err := shapesol.Stabilize("square", 16, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Protocol 1 on 16 nodes:")
+	fmt.Print(shapesol.Render(p1))
+
+	p2, err := shapesol.Stabilize("square2", 21, 4) // 4x4 + marks + start node
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nProtocol 2 on 21 nodes (4x4 core plus next phase's turning marks):")
+	fmt.Print(shapesol.Render(p2))
+
+	out := shapesol.BuildSquare(16, 4, 4)
+	fmt.Printf("\nSquare-Knowing-n, d=4 on exactly 16 nodes: halted=%v exact square=%v (steps %d)\n",
+		out.Halted, out.Square, out.Steps)
+}

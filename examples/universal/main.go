@@ -1,0 +1,21 @@
+// Universal construction (Theorem 4, Figure 7): simulate a shape-
+// constructing TM on the square, mark pixels, release the waste, and keep
+// exactly the target shape — here the star of Figure 7(c).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shapesol"
+)
+
+func main() {
+	for _, lang := range []string{"star", "cross", "bottom-row"} {
+		out, render, err := shapesol.Construct(lang, 7, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on a 7x7 square: %v\n%s\n", lang, out, render)
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements every constructor of the paper on top of the
+// internal/sim engine:
+//
+//   - the direct stabilizing constructors of Section 4 (spanning line,
+//     Protocol 1 "Square", Protocol 2 "Square2") and the line-replication
+//     protocols 4 and 5, all as literal finite rule tables;
+//   - the terminating constructions of Sections 5-7 (Counting-on-a-Line,
+//     Square-Knowing-n, the universal TM-simulating constructor with its
+//     release phase, the parallel variants, and shape self-replication) as
+//     programmatic protocols whose nodes still interact strictly pairwise.
+//
+// Leader bookkeeping convention: the paper stores the leader's counters in
+// binary on the line it assembles and lets the leader walk the line as a TM
+// tape. Counting-on-a-Line implements that distributed-bit mechanism
+// faithfully; the larger constructions keep equivalent O(log n)-bit
+// counters inside the leader's state to avoid re-simulating the same walk
+// in every phase (see DESIGN.md, "Faithfulness decisions").
+package core
+
+import (
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+)
+
+// Line states (Section 4.1). The leader state L<i> waits to extend the line
+// through its port i.
+const (
+	lineQ0 = rules.State("q0")
+	lineQ1 = rules.State("q1")
+)
+
+func leaderState(p grid.Dir) rules.State { return rules.State("L" + p.String()) }
+
+// LineTable is the spanning-line protocol of Section 4.1: the rules
+// (L_i, i), (q0, j), 0 -> (q1, L_jbar, 1) for all ports i, j. The leader
+// moves onto each newly attached node and waits on the port opposite to the
+// new node's bond, which forces a straight line.
+func LineTable() *rules.Table {
+	t := rules.NewTable("line", lineQ0)
+	t.SetLeader(leaderState(grid.PX)) // the paper starts the leader in Lr
+	for _, i := range grid.Ports2D {
+		for _, j := range grid.Ports2D {
+			t.MustAdd(leaderState(i), i, lineQ0, j, false, lineQ1, leaderState(j.Opposite()), true)
+		}
+	}
+	t.SetOutput(lineQ1)
+	return t
+}
+
+// SimpleLineTable is the one-rule variant (L, r), (q0, l), 0 -> (q1, L, 1)
+// mentioned in Section 4.1 — slower, since only one port pairing extends
+// the line.
+func SimpleLineTable() *rules.Table {
+	t := rules.NewTable("line-simple", lineQ0)
+	t.SetLeader("L")
+	t.MustAdd("L", grid.PX, lineQ0, grid.NX, false, lineQ1, "L", true)
+	t.SetOutput(lineQ1)
+	return t
+}
+
+// SquareTable is Protocol 1: the leader grows the square perimetrically,
+// clockwise, attaching free nodes one at a time and climbing over the
+// already-built structure by activating bonds when a turn fails.
+func SquareTable() *rules.Table {
+	t := rules.NewTable("square", "q0")
+	t.SetLeader("Lu")
+	add := t.MustAdd
+	// Attachment rules: the leader moves onto the attached free node.
+	add("Lu", grid.PY, "q0", grid.NY, false, "q1", "Lr", true)
+	add("Lr", grid.PX, "q0", grid.NX, false, "q1", "Ld", true)
+	add("Ld", grid.NY, "q0", grid.PY, false, "q1", "Ll", true)
+	add("Ll", grid.NX, "q0", grid.PX, false, "q1", "Lu", true)
+	// Blocked-turn rules: the leader meets an existing q1 of the structure,
+	// activates the bond and rotates its heading.
+	add("Lu", grid.PY, "q1", grid.NY, false, "Ll", "q1", true)
+	add("Lr", grid.PX, "q1", grid.NX, false, "Lu", "q1", true)
+	add("Ld", grid.NY, "q1", grid.PY, false, "Lr", "q1", true)
+	add("Ll", grid.NX, "q1", grid.PX, false, "Ld", "q1", true)
+	t.SetOutput("q1")
+	return t
+}
+
+// Square2Table is Protocol 2: square growth with turning marks. The unique
+// leader begins in state L2d. Each phase grows the perimeter once around,
+// leaving marks (q1 nodes attached out of order) that the next phase uses
+// to turn without probing. The rules are transcribed literally from the
+// paper's Protocol 2 listing.
+func Square2Table() *rules.Table {
+	t := rules.NewTable("square2", "q0")
+	t.SetLeader("L2d")
+	u, r, d, l := grid.PY, grid.PX, grid.NY, grid.NX
+	add := t.MustAdd
+
+	// Bootstrap: the first phase assembles the 2x2 core and its marks.
+	add("L2d", d, "q0", u, false, "L1u", "q1", true)
+	add("L2l", l, "q0", r, false, "L1r", "q1", true)
+	add("L2u", u, "q0", d, false, "L1d", "q1", true)
+	add("L2r", r, "q0", l, false, "Lend", "q1", true)
+	add("L1u", u, "q0", d, false, "q1", "L2l", true)
+	add("L1r", r, "q0", l, false, "q1", "L2u", true)
+	add("L1d", d, "q0", u, false, "q1", "L2r", true)
+	add("L1r", u, "q0", d, false, "q1", "L2l", true)
+
+	// Steady state: walk along a side attaching nodes...
+	add("Lend", d, "q0", u, false, "q1", "Ll", true)
+	add("Ll", l, "q0", r, false, "q1", "Ll", true)
+	add("Lu", u, "q0", d, false, "q1", "Lu", true)
+	add("Lr", r, "q0", l, false, "q1", "Lr", true)
+	add("Ld", d, "q0", u, false, "q1", "Ld", true)
+	// ...until the turning mark left by the previous phase is met.
+	add("Ll", l, "q1", r, false, "q1", "L3l", true)
+	add("Lu", u, "q1", d, false, "q1", "L3u", true)
+	add("Lr", r, "q1", l, false, "q1", "L3r", true)
+	add("Ld", d, "q1", u, false, "q1", "L3d", true)
+	// Introduce the new corner and the mark for the next phase, then turn.
+	add("L3l", l, "q0", r, false, "q1", "L4d", true)
+	add("L3u", u, "q0", d, false, "q1", "L4l", true)
+	add("L3r", r, "q0", l, false, "q1", "L4u", true)
+	add("L3d", d, "q0", u, false, "q1", "L4r", true)
+	add("L4d", d, "q0", u, false, "Lu", "q1", true)
+	add("L4l", l, "q0", r, false, "Lr", "q1", true)
+	add("L4u", u, "q0", d, false, "Ld", "q1", true)
+	add("L4r", r, "q0", l, false, "Lend", "q1", true)
+
+	// Perimeter nodes left unbonded to their internal neighbors eventually
+	// connect: (q1, i), (q1, ibar), 0 -> (q1, q1, 1).
+	for _, i := range grid.Ports2D {
+		add("q1", i, "q1", i.Opposite(), false, "q1", "q1", true)
+	}
+	// The walking leader also bonds to the inner perimeter as it passes.
+	add("Lu", r, "q1", l, false, "Lu", "q1", true)
+	add("Lr", d, "q1", u, false, "Lr", "q1", true)
+	add("Ld", l, "q1", r, false, "Ld", "q1", true)
+	add("Ll", u, "q1", d, false, "Ll", "q1", true)
+
+	t.SetOutput("q1")
+	return t
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+	"shapesol/internal/sim"
+)
+
+// runUntilSpanning steps the world until every node joins one component or
+// the budget runs out, returning the spanning component's shape (nil when
+// it never spanned).
+func runUntilSpanning(t *testing.T, w *sim.World, budget int64) *grid.Shape {
+	t.Helper()
+	for w.Steps() < budget {
+		if _, err := w.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		if _, size := w.LargestComponent(); size == w.N() {
+			slot, _ := w.LargestComponent()
+			return w.ComponentShape(slot)
+		}
+	}
+	return nil
+}
+
+func TestLineTableSpansStraight(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 20} {
+		w := sim.New(n, sim.NewTableProtocol(LineTable()), sim.Options{Seed: int64(n)})
+		shape := runUntilSpanning(t, w, 3_000_000)
+		if shape == nil {
+			t.Fatalf("n=%d: line did not span", n)
+		}
+		h, v, _ := shape.Dims()
+		if !((h == n && v == 1) || (h == 1 && v == n)) {
+			t.Fatalf("n=%d: dims %dx%d, want straight line", n, h, v)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimpleLineTableSpans(t *testing.T) {
+	const n = 8
+	w := sim.New(n, sim.NewTableProtocol(SimpleLineTable()), sim.Options{Seed: 2})
+	shape := runUntilSpanning(t, w, 3_000_000)
+	if shape == nil {
+		t.Fatal("simple line did not span")
+	}
+	if shape.MaxDim() != n || shape.MinDim() != 1 {
+		t.Fatalf("dims %dx%d", shape.MaxDim(), shape.MinDim())
+	}
+}
+
+// isFullRect reports whether the shape's cells exactly fill their bounding
+// rectangle.
+func isFullRect(s *grid.Shape) bool {
+	h, v, _ := s.Dims()
+	return s.Size() == h*v
+}
+
+func TestSquareTableBuildsSquares(t *testing.T) {
+	for _, tc := range []struct{ n, side int }{
+		{4, 2}, {9, 3}, {16, 4}, {25, 5},
+	} {
+		w := sim.New(tc.n, sim.NewTableProtocol(SquareTable()), sim.Options{Seed: int64(tc.n)})
+		shape := runUntilSpanning(t, w, 6_000_000)
+		if shape == nil {
+			t.Fatalf("n=%d: square did not span", tc.n)
+		}
+		h, v, _ := shape.Dims()
+		if h != tc.side || v != tc.side {
+			t.Fatalf("n=%d: dims %dx%d, want %dx%d", tc.n, h, v, tc.side, tc.side)
+		}
+		if !isFullRect(shape) {
+			t.Fatalf("n=%d: square has holes", tc.n)
+		}
+	}
+}
+
+func TestSquareTableNonSquareNStabilizesToRectangle(t *testing.T) {
+	// The spiral passes through k x (k+1) rectangles between squares.
+	const n = 12
+	w := sim.New(n, sim.NewTableProtocol(SquareTable()), sim.Options{Seed: 7})
+	shape := runUntilSpanning(t, w, 6_000_000)
+	if shape == nil {
+		t.Fatal("did not span")
+	}
+	h, v, _ := shape.Dims()
+	if h*v < n || h > 4 || v > 4 {
+		t.Fatalf("dims %dx%d not a compact spiral for n=12", h, v)
+	}
+}
+
+func TestSquare2BuildsMarkedSquare(t *testing.T) {
+	// After each full phase, Protocol 2 has completed a k x k square plus 4
+	// turning marks and the next phase's start node: n = k^2 + 5.
+	for _, tc := range []struct{ n, side int }{
+		{14, 3}, // 3x3 + 5
+		{21, 4}, // 4x4 + 5
+	} {
+		w := sim.New(tc.n, sim.NewTableProtocol(Square2Table()), sim.Options{Seed: int64(3 * tc.n)})
+		shape := runUntilSpanning(t, w, 12_000_000)
+		if shape == nil {
+			t.Fatalf("n=%d: square2 did not span", tc.n)
+		}
+		if !containsFullSquare(shape, tc.side) {
+			t.Fatalf("n=%d: no complete %dx%d sub-square in\n%v",
+				tc.n, tc.side, tc.side, shape.Cells())
+		}
+	}
+}
+
+// containsFullSquare reports whether some side x side window is entirely
+// occupied.
+func containsFullSquare(s *grid.Shape, side int) bool {
+	lo, hi, ok := s.Bounds()
+	if !ok {
+		return false
+	}
+	for x0 := lo.X; x0+side-1 <= hi.X; x0++ {
+	next:
+		for y0 := lo.Y; y0+side-1 <= hi.Y; y0++ {
+			for dx := 0; dx < side; dx++ {
+				for dy := 0; dy < side; dy++ {
+					if !s.Has(grid.Pos{X: x0 + dx, Y: y0 + dy}) {
+						continue next
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func TestTablesValidate(t *testing.T) {
+	for _, tb := range []*rules.Table{
+		LineTable(), SimpleLineTable(), SquareTable(), Square2Table(),
+		LineReplicationTable(), NoLeaderLineReplicationTable(),
+	} {
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s: %v", tb.Name(), err)
+		}
+		if tb.Size() == 0 {
+			t.Errorf("%s: empty table", tb.Name())
+		}
+	}
+}

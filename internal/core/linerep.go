@@ -1,0 +1,121 @@
+package core
+
+import (
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+	"shapesol/internal/sim"
+)
+
+// LineReplicationTable is Protocol 4 (Line-Replication): a line
+// [L, i, ..., i, e] attracts free nodes below itself, bonds them into a
+// copy, detaches the copy right-to-left, and finally restores both lines'
+// states — the original ends as [Lstart, i, ..., e] (ready to start square
+// formation in Section 6.2) and the replica as [Ls, i, ..., e] (the seed).
+//
+// State naming: the paper's primed and superscripted states L', L^t, L^t',
+// L^t” and their seed counterparts are rendered L., Lt, Lt', Lt” and
+// Lst, Lst', Lst”.
+func LineReplicationTable() *rules.Table {
+	t := rules.NewTable("line-replication", "q0")
+	t.SetLeader("L")
+	u, r, d, l := grid.PY, grid.PX, grid.NY, grid.NX
+	add := t.MustAdd
+
+	// Free nodes attach below the line.
+	add("L", d, "q0", u, false, "L.", "L1s", true)
+	add("i", d, "q0", u, false, "i'", "i'", true)
+	add("e", d, "q0", u, false, "e'", "e'", true)
+	// Replica cells bond horizontally.
+	add("i'", r, "i'", l, false, "i'", "i'", true)
+	add("i'", r, "e'", l, false, "i'", "e'", true)
+	// The sweep: L1s fixes the replica's left end and L2s walks right...
+	add("L1s", r, "i'", l, false, "e'", "L2s", true)
+	t.MustAddAnyEdge("L2s", r, "i'", l, "i'", "L2s", true)
+	t.MustAddAnyEdge("L2s", r, "e'", l, "i'", "L3s", true)
+	// ...then the detachment walk peels the replica off right-to-left.
+	add("L3s", u, "e'", d, true, "L4s", "e'", false)
+	add("i'", r, "L4s", l, true, "L5s", "e'", true)
+	add("L5s", u, "i'", d, true, "L6s", "i'", false)
+	add("i'", r, "L6s", l, true, "L5s", "i'", true)
+	add("e'", r, "L6s", l, true, "L7s", "i'", true)
+	add("L7s", u, "L.", d, true, "Lst", "Lt", false)
+	// Restoration walks on both lines (x ranges over {L, Ls}).
+	add("Lt", r, "i'", l, true, "e'", "Lt'", true)
+	add("Lst", r, "i'", l, true, "e'", "Lst'", true)
+	add("Lt'", r, "i'", l, true, "i'", "Lt'", true)
+	add("Lst'", r, "i'", l, true, "i'", "Lst'", true)
+	add("Lt'", r, "e'", l, true, "Lt''", "e", true)
+	add("Lst'", r, "e'", l, true, "Lst''", "e", true)
+	add("i'", r, "Lt''", l, true, "Lt''", "i", true)
+	add("i'", r, "Lst''", l, true, "Lst''", "i", true)
+	add("e'", r, "Lst''", l, true, "Ls", "i", true)
+	add("e'", r, "Lt''", l, true, "Lstart", "i", true)
+
+	t.SetOutput("i", "e", "Ls", "Lstart")
+	return t
+}
+
+// NoLeaderLineReplicationTable is Protocol 5: leaderless, "more parallel"
+// line replication. A line [e, i, ..., i, e] attracts free nodes below
+// itself; replica cells count their degree in their state index and detach
+// from the original only once fully embedded (internal cells at degree 3,
+// end cells with their single horizontal neighbor), which guarantees the
+// replica has the original's exact length before it comes free.
+func NoLeaderLineReplicationTable() *rules.Table {
+	t := rules.NewTable("line-replication-noleader", "q0")
+	u, r, d, l := grid.PY, grid.PX, grid.NY, grid.NX
+	add := t.MustAdd
+
+	add("i", d, "q0", u, false, "i1", "i1", true)
+	add("e", d, "q0", u, false, "e1", "e1", true)
+	// (i_j, r), (i_k, l), 0 -> (i_j+1, i_k+1, 1) for j, k in {1, 2}.
+	for _, j := range []string{"1", "2"} {
+		for _, k := range []string{"1", "2"} {
+			add(rules.State("i"+j), r, rules.State("i"+k), l, false,
+				rules.State("i"+bump(j)), rules.State("i"+bump(k)), true)
+		}
+	}
+	add("i1", r, "e1", l, false, "i2", "e2", true)
+	add("i2", r, "e1", l, false, "i3", "e2", true)
+	add("e1", r, "i1", l, false, "e2", "i2", true)
+	add("e1", r, "i2", l, false, "e2", "i3", true)
+	// Detachment: only fully embedded replica cells release their vertical
+	// bond, restoring both sides to plain line states.
+	add("i3", u, "i1", d, true, "i", "i", false)
+	add("e2", u, "e1", d, true, "e", "e", false)
+
+	t.SetOutput("i", "e")
+	return t
+}
+
+func bump(s string) string {
+	switch s {
+	case "1":
+		return "2"
+	case "2":
+		return "3"
+	}
+	panic("core: bump" + s)
+}
+
+// LineConfig builds the initial configuration for the replication tables: a
+// horizontal line of length length with the given end/internal states, plus
+// free q0 nodes.
+func LineConfig(length, free int, left, internal, right rules.State) sim.Config {
+	cells := make([]sim.NodeSpec, length)
+	for i := range cells {
+		st := internal
+		if i == 0 {
+			st = left
+		}
+		if i == length-1 {
+			st = right
+		}
+		cells[i] = sim.NodeSpec{State: st, Pos: grid.Pos{X: i}}
+	}
+	freeStates := make([]any, free)
+	for i := range freeStates {
+		freeStates[i] = rules.State("q0")
+	}
+	return sim.Config{Components: []sim.ComponentSpec{{Cells: cells}}, Free: freeStates}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"shapesol/internal/grid"
+	"shapesol/internal/shapes"
+	"shapesol/internal/sim"
+)
+
+// Parallel simulations, Approach 1 (Section 6.4.1, Theorem 5): instead of
+// the leader deciding pixels one at a time, the 3D model attaches a memory
+// column of k-1 nodes below (in -z) every pixel of the d x d square; each
+// pixel runs its own TM simulation on its private column and all d^2
+// simulations proceed in parallel. Afterwards the columns are released.
+//
+// This implementation keeps the structural dynamics — parallel column
+// growth below every pixel, per-pixel decision once the pixel's column
+// completes, column release — while pixel decisions evaluate the language
+// oracle (the same substitution as the Universal constructor's Oracle
+// mode). The measurable claim of Theorem 5 survives: the decision phase's
+// wall-clock (scheduler steps) scales far better than the sequential
+// zig-zag walk of Section 6.3.
+
+// p3 node kinds.
+const (
+	p3Free = iota
+	p3Pixel
+	p3Col
+	p3Orphan
+)
+
+// p3State is the per-node state of the parallel constructor.
+type p3State struct {
+	Kind      int
+	I, D      int      // pixel identity (pixels only)
+	Remaining int      // column cells still needed below this one
+	Down      grid.Dir // local port continuing the column (-z direction)
+	ColDone   bool
+	Decided   bool
+	On        bool
+	Bonds     int
+}
+
+// Parallel3D is the protocol. K is the per-pixel tape length (the paper's
+// k); the population must hold d^2 pixels plus (k-1)*d^2 free nodes.
+type Parallel3D struct {
+	D, K int
+	Lang shapes.Language
+}
+
+var _ sim.Protocol = (*Parallel3D)(nil)
+
+// SquareConfig3D builds the starting 3D configuration: the bonded d x d
+// square at z = 0 with per-pixel indices, plus the free column material.
+func (p *Parallel3D) SquareConfig3D() sim.Config {
+	cells := make([]sim.NodeSpec, 0, p.D*p.D)
+	for i := 0; i < p.D*p.D; i++ {
+		cells = append(cells, sim.NodeSpec{
+			State: p3State{Kind: p3Pixel, I: i, D: p.D, Remaining: p.K - 1, Down: grid.NZ},
+			Pos:   grid.ZigZagPos(i, p.D),
+		})
+	}
+	free := make([]any, (p.K-1)*p.D*p.D)
+	for i := range free {
+		free[i] = p3State{Kind: p3Free}
+	}
+	return sim.Config{Components: []sim.ComponentSpec{{Cells: cells}}, Free: free}
+}
+
+// InitialState covers nodes outside the explicit configuration.
+func (p *Parallel3D) InitialState(id, n int) any { return p3State{Kind: p3Free} }
+
+// Halted is unused: the construction is stabilizing (Remark 5-style); the
+// runner stops on the all-pixels-decided predicate.
+func (p *Parallel3D) Halted(any) bool { return false }
+
+// Interact implements column growth, completion waves, decisions and
+// release.
+func (p *Parallel3D) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+	sa, okA := a.(p3State)
+	sb, okB := b.(p3State)
+	if !okA || !okB {
+		return a, b, bonded, false
+	}
+	if na, nb, bond, eff := p.oriented(sa, sb, pa, pb, bonded); eff {
+		return na, nb, bond, true
+	}
+	if nb, na, bond, eff := p.oriented(sb, sa, pb, pa, bonded); eff {
+		return na, nb, bond, true
+	}
+	return a, b, bonded, false
+}
+
+func (p *Parallel3D) oriented(a, b p3State, pa, pb grid.Dir, bonded bool) (p3State, p3State, bool, bool) {
+	// Orphaned column cells dissolve back into free nodes.
+	if a.Kind == p3Orphan {
+		if bonded {
+			a.Bonds--
+			b.Bonds--
+			if b.Kind == p3Col {
+				b.Kind = p3Orphan
+			}
+			return a, b, false, true
+		}
+		if a.Bonds == 0 {
+			return p3State{Kind: p3Free}, b, false, true
+		}
+		return a, b, bonded, false
+	}
+	// Column growth below pixels and column cells.
+	if (a.Kind == p3Pixel || a.Kind == p3Col) && a.Remaining > 0 && !a.ColDone &&
+		b.Kind == p3Free && !bonded && pa == a.Down {
+		a.Bonds++
+		child := p3State{
+			Kind: p3Col, Bonds: 1,
+			Remaining: a.Remaining - 1,
+			Down:      pb.Opposite(),
+			ColDone:   a.Remaining-1 == 0,
+		}
+		return a, child, true, true
+	}
+	// Completion wave up the column.
+	if a.Kind == p3Col && a.ColDone && bonded && b.Kind == p3Col && !b.ColDone && pb == b.Down {
+		b.ColDone = true
+		return a, b, true, true
+	}
+	if a.Kind == p3Col && a.ColDone && bonded && b.Kind == p3Pixel && !b.ColDone && pb == b.Down {
+		b.ColDone = true
+		return a, b, true, true
+	}
+	// Decision: a pixel with its column complete (or no column needed)
+	// evaluates its TM on any interaction.
+	if a.Kind == p3Pixel && !a.Decided && (a.ColDone || p.K <= 1) {
+		a.Decided = true
+		a.On = p.Lang.Pixel(a.I, a.D)
+		return a, b, bonded, true
+	}
+	// Release: a decided pixel sheds its column.
+	if a.Kind == p3Pixel && a.Decided && bonded && b.Kind == p3Col && pa == a.Down {
+		a.Bonds--
+		b.Bonds--
+		b.Kind = p3Orphan
+		return a, b, false, true
+	}
+	return a, b, bonded, false
+}
+
+// Parallel3DOutcome reports one run.
+type Parallel3DOutcome struct {
+	D, K    int
+	Steps   int64 // scheduler steps until every pixel was decided
+	Decided bool
+	Correct bool // every pixel matches the language
+}
+
+// RunParallel3D executes the parallel constructor until every pixel is
+// decided (or the budget runs out).
+func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parallel3DOutcome, error) {
+	proto := &Parallel3D{D: d, K: k, Lang: lang}
+	allDecided := func(w *sim.World) bool {
+		return w.CountNodes(func(s any) bool {
+			st, ok := s.(p3State)
+			return ok && st.Kind == p3Pixel && st.Decided
+		}) == d*d
+	}
+	w, err := sim.NewFromConfig(proto.SquareConfig3D(), proto, sim.Options{
+		Dim: 3, Seed: seed, MaxSteps: maxSteps, HaltWhen: allDecided, CheckEvery: 64,
+	})
+	if err != nil {
+		return Parallel3DOutcome{}, err
+	}
+	res := w.Run()
+	out := Parallel3DOutcome{D: d, K: k, Steps: res.Steps}
+	if res.Reason != sim.ReasonPredicate {
+		return out, nil
+	}
+	out.Decided = true
+	out.Correct = true
+	for id := 0; id < d*d; id++ {
+		st := w.State(id).(p3State)
+		if st.On != lang.Pixel(st.I, d) {
+			out.Correct = false
+		}
+	}
+	return out, nil
+}

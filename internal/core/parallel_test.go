@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"shapesol/internal/shapes"
+	"shapesol/internal/tm"
+)
+
+func TestParallel3DDecidesAllPixels(t *testing.T) {
+	for _, tc := range []struct{ d, k int }{
+		{2, 2}, {3, 3}, {3, 1},
+	} {
+		out, err := RunParallel3D(shapes.Star(), tc.d, tc.k, int64(tc.d*10+tc.k), 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Decided {
+			t.Fatalf("d=%d k=%d: not all pixels decided in %d steps", tc.d, tc.k, out.Steps)
+		}
+		if !out.Correct {
+			t.Fatalf("d=%d k=%d: wrong pixel decisions", tc.d, tc.k)
+		}
+	}
+}
+
+func TestParallel3DVersusSequentialTMSimulation(t *testing.T) {
+	// Theorem 5's point is that the d^2 TM simulations run in parallel,
+	// while Section 6.3 serializes every head move through the leader's
+	// walk. Compare against the faithful MicroStep sequential constructor
+	// at the same dimension (Oracle-mode sequential would be an unfair
+	// baseline: it collapses exactly the cost Theorem 5 parallelizes).
+	const d, k = 5, 3
+	par, err := RunParallel3D(shapes.BottomRow(), d, k, 11, 100_000_000)
+	if err != nil || !par.Decided {
+		t.Fatalf("parallel failed: %+v err=%v", par, err)
+	}
+	seq, err := RunUniversalMicroStep(tm.BottomRowMachine(), d, 11, 600_000_000)
+	if err != nil || !seq.Halted {
+		t.Fatalf("sequential microstep failed: %+v err=%v", seq, err)
+	}
+	t.Logf("parallel steps=%d sequential-microstep steps=%d", par.Steps, seq.Steps)
+	// Finding (recorded in EXPERIMENTS.md): at laptop-scale d the
+	// well-mixed assembly dynamics dominate, so the parallel variant's
+	// wall-clock win over the serialized TM walk is structural (d^2
+	// concurrent simulations) rather than visible in raw scheduler steps.
+	// We bound the overhead instead of asserting a crossover.
+	if par.Steps > 20*seq.Steps {
+		t.Fatalf("parallel (%d) pathologically slower than sequential (%d)", par.Steps, seq.Steps)
+	}
+}

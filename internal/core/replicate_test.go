@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"shapesol/internal/grid"
+)
+
+func lShape() *grid.Shape {
+	// (0,0),(1,0),(2,0),(0,1): R_G is 3x2, so replication needs
+	// 2*6-4 = 8 free nodes.
+	return grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1})
+}
+
+func TestReplicationLShape(t *testing.T) {
+	g := lShape()
+	out, err := RunReplication(g, 8, 3, 150_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done {
+		t.Fatalf("leaders did not finish: %+v", out)
+	}
+	if out.Copies != 2 {
+		t.Fatalf("copies = %d, want 2 (%+v)", out.Copies, out)
+	}
+}
+
+func TestReplicationLine(t *testing.T) {
+	// A 1x3 line: R_G == G, so squaring is a no-op and waste is minimal.
+	g := grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2})
+	out, err := RunReplication(g, 3, 8, 150_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done || out.Copies != 2 {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestReplicationWithSlack(t *testing.T) {
+	// Extra free nodes must not corrupt the copies.
+	g := lShape()
+	out, err := RunReplication(g, 12, 21, 150_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done || out.Copies != 2 {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestReplicationSingleCell(t *testing.T) {
+	g := grid.ShapeOf(grid.Pos{})
+	out, err := RunReplication(g, 2, 5, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done || out.Copies != 2 {
+		t.Fatalf("%+v", out)
+	}
+}

@@ -1,0 +1,19 @@
+package core
+
+import "testing"
+
+// TestSquareKnowingNManySeeds is the regression guard for the two
+// deadlocks fixed during development (cross-parent replica bonds stranding
+// the seed, and premature fertility of partially released rows): every
+// seed must terminate with the exact square at the tight n = d^2 budget.
+func TestSquareKnowingNManySeeds(t *testing.T) {
+	for d := 3; d <= 4; d++ {
+		for seed := int64(0); seed < 10; seed++ {
+			out := RunSquareKnowingN(d*d, d, seed, 30_000_000)
+			if !out.Halted || !out.Square {
+				t.Fatalf("d=%d seed=%d: halted=%v square=%v steps=%d",
+					d, seed, out.Halted, out.Square, out.Steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"shapesol/internal/shapes"
+	"shapesol/internal/tm"
+)
+
+func TestUniversalOracleAllLanguages(t *testing.T) {
+	for _, lang := range shapes.All() {
+		for _, d := range []int{1, 2, 4, 5} {
+			out, err := RunUniversalOnSquare(lang, d, int64(d)*31, 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Halted {
+				t.Fatalf("%s d=%d: token did not halt (%v)", lang.Name(), d, out)
+			}
+			if !out.Match {
+				t.Fatalf("%s d=%d: shape mismatch (%v)", lang.Name(), d, out)
+			}
+			want := shapes.Render(lang, d).Waste()
+			if out.Waste != want {
+				t.Fatalf("%s d=%d: waste %d, want %d", lang.Name(), d, out.Waste, want)
+			}
+		}
+	}
+}
+
+func TestUniversalWorstCaseWaste(t *testing.T) {
+	// Theorem 4: a line of length d wastes (d-1)d.
+	const d = 6
+	out, err := RunUniversalOnSquare(shapes.BottomRow(), d, 9, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Match || out.Waste != (d-1)*d {
+		t.Fatalf("outcome %v, want waste %d", out, (d-1)*d)
+	}
+}
+
+func TestUniversalMicroStepTM(t *testing.T) {
+	// The fully faithful mode: a genuine TM decides pixels on the embedded
+	// tape. BottomRowMachine realizes the spanning-line language. d >= 4 is
+	// required for the binary input to fit on the square tape.
+	out, err := RunUniversalMicroStep(tm.BottomRowMachine(), 4, 7, 400_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Halted || !out.Match {
+		t.Fatalf("microstep d=4: %v", out)
+	}
+	if _, err := RunUniversalMicroStep(tm.BottomRowMachine(), 2, 1, 1000); err == nil {
+		t.Fatal("d=2 should be rejected: input exceeds the tape")
+	}
+}
+
+func TestUniversalPattern(t *testing.T) {
+	// Remark 4: patterns color the square and skip the release phase.
+	d := 4
+	proto := &Universal{D: d, Pattern: shapes.Checker()}
+	w, err := newUniversalWorld(proto, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if w.HaltedCount() == 0 {
+		t.Fatalf("pattern run did not halt: %+v", res)
+	}
+	// The square must remain whole: d*d nodes in one component.
+	if _, size := w.LargestComponent(); size != d*d {
+		t.Fatalf("pattern square broke apart: largest=%d", size)
+	}
+	// Every pixel colored per the pattern.
+	want := shapes.RenderPattern(shapes.Checker(), d)
+	for id := 0; id < d*d; id++ {
+		c := w.State(id).(uniCell)
+		if !c.Decided || c.Color != want.At(id) {
+			t.Fatalf("pixel %d: decided=%v color=%d want %d", id, c.Decided, c.Color, want.At(id))
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package counting
+
+import (
+	"slices"
+
+	"shapesol/internal/pop"
+)
+
+// Section 5.2 argues (Conjecture 1) that no uniform leaderless protocol can
+// count w.h.p.: any always-terminating protocol A defines a property
+// L_A of observed state sequences, a minimal terminating sequence s0 has
+// constant length, and with at least constant probability some node
+// observes s0 in its first |s0| interactions — terminating after O(1)
+// interactions, independent of n.
+//
+// ObservationProtocol is the framework the paper describes: a finite
+// communicating state space Q with a deterministic transition function,
+// plus an internal (non-communicated) memory gamma that records the
+// sequence of encountered states. An agent terminates the moment its
+// observation sequence starts with Target.
+
+// ObservationProtocol is a uniform leaderless protocol whose termination is
+// driven by the observed state sequence.
+type ObservationProtocol struct {
+	// Initial is q0, shared by all agents (no leader).
+	Initial string
+	// Delta maps the unordered pair of communicating states to their
+	// updates. Missing pairs are ineffective. Keys are "a|b" with a, b in
+	// either order; see DeltaKey.
+	Delta map[string][2]string
+	// Target is s0: an agent terminates when its first len(Target)
+	// observations equal Target.
+	Target []string
+}
+
+var _ pop.Protocol = (*ObservationProtocol)(nil)
+
+// DeltaKey builds a Delta key for the ordered pair (a, b).
+func DeltaKey(a, b string) string { return a + "|" + b }
+
+// ObsState is an agent's full state: communicating state plus internal
+// observation memory.
+type ObsState struct {
+	Comm string
+	Seen []string // first len(Target) observations only
+	Done bool
+}
+
+// InitialState starts every agent identically: uniform protocol, no ids.
+func (p *ObservationProtocol) InitialState(id, n int) any {
+	return ObsState{Comm: p.Initial}
+}
+
+// Apply looks up delta for the pair and records mutual observations.
+func (p *ObservationProtocol) Apply(a, b any) (any, any, bool) {
+	sa, sb := a.(ObsState), b.(ObsState)
+	if sa.Done && sb.Done {
+		return a, b, false
+	}
+	ca, cb := sa.Comm, sb.Comm
+	if out, ok := p.Delta[DeltaKey(ca, cb)]; ok {
+		sa.Comm, sb.Comm = out[0], out[1]
+	} else if out, ok := p.Delta[DeltaKey(cb, ca)]; ok {
+		sb.Comm, sa.Comm = out[0], out[1]
+	}
+	sa = p.observe(sa, cb)
+	sb = p.observe(sb, ca)
+	return sa, sb, true
+}
+
+func (p *ObservationProtocol) observe(s ObsState, encountered string) ObsState {
+	if s.Done || len(s.Seen) >= len(p.Target) {
+		return s
+	}
+	s.Seen = append(slices.Clone(s.Seen), encountered)
+	if len(s.Seen) == len(p.Target) && slices.Equal(s.Seen, p.Target) {
+		s.Done = true
+	}
+	return s
+}
+
+// Halted reports observation-driven termination.
+func (p *ObservationProtocol) Halted(s any) bool { return s.(ObsState).Done }
+
+// LeaderlessOutcome reports one run of the Conjecture 1 experiment.
+type LeaderlessOutcome struct {
+	N int
+	// EarlyTermination is true when some agent terminated having
+	// participated in at most len(Target) interactions — the event whose
+	// probability Conjecture 1 claims stays constant as n grows.
+	EarlyTermination bool
+	// Steps is the scheduler step at which the first agent terminated (or
+	// the budget if none did).
+	Steps int64
+}
+
+// TwoZerosProtocol is the concrete instance used in the experiments: all
+// agents start in q0, interacting flips states q0 <-> q1 pairwise, and an
+// agent terminates after observing (q0, q0) as its first two encounters.
+// |s0| = 2 is constant, so Conjecture 1 predicts early termination with
+// probability bounded away from zero for every n.
+func TwoZerosProtocol() *ObservationProtocol {
+	return &ObservationProtocol{
+		Initial: "q0",
+		Delta: map[string][2]string{
+			DeltaKey("q0", "q0"): {"q1", "q1"},
+			DeltaKey("q1", "q1"): {"q0", "q0"},
+		},
+		Target: []string{"q0", "q0"},
+	}
+}
+
+// RunLeaderless executes one Conjecture 1 trial.
+func RunLeaderless(proto *ObservationProtocol, n int, seed int64, maxSteps int64) LeaderlessOutcome {
+	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps})
+	res := w.Run()
+	out := LeaderlessOutcome{N: n, Steps: res.Steps}
+	if res.FirstHalted >= 0 {
+		out.EarlyTermination = true
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package counting
+
+import (
+	"slices"
+
+	"shapesol/internal/pop"
+)
+
+// SimpleUIDState is the per-agent memory of the simple counting protocol of
+// Section 5.3.1 (Theorem 2). Every agent records its first B interactions
+// in First, tracks the set of distinct ids met, and terminates the first
+// time a window of B consecutive interactions repeats First exactly.
+type SimpleUIDState struct {
+	ID     int
+	B      int
+	First  []int
+	Window []int
+	Met    map[int]bool
+	Done   bool
+	Output int
+}
+
+func (s *SimpleUIDState) clone() *SimpleUIDState {
+	c := *s
+	c.First = slices.Clone(s.First)
+	c.Window = slices.Clone(s.Window)
+	c.Met = make(map[int]bool, len(s.Met))
+	for k := range s.Met {
+		c.Met[k] = true
+	}
+	return &c
+}
+
+// observe records an interaction with the agent carrying id other.
+func (s *SimpleUIDState) observe(other int) {
+	if s.Done {
+		return
+	}
+	s.Met[other] = true
+	if len(s.First) < s.B {
+		s.First = append(s.First, other)
+		return
+	}
+	s.Window = append(s.Window, other)
+	if len(s.Window) < s.B {
+		return
+	}
+	if slices.Equal(s.Window, s.First) {
+		s.Done = true
+		s.Output = len(s.Met) + 1 // +1 for the agent itself
+		return
+	}
+	s.Window = s.Window[:0]
+}
+
+// SimpleUID is the Theorem 2 protocol: correct counting w.h.p. at the cost
+// of Theta(n^B) expected termination time.
+type SimpleUID struct {
+	B int
+	// IDs optionally overrides the identifier of each agent; by default
+	// agent i has id i+1.
+	IDs []int
+}
+
+var _ pop.Protocol = (*SimpleUID)(nil)
+
+func (p *SimpleUID) idOf(agent int) int {
+	if p.IDs != nil {
+		return p.IDs[agent]
+	}
+	return agent + 1
+}
+
+// InitialState gives each agent its unique id and empty observation memory.
+func (p *SimpleUID) InitialState(id, n int) any {
+	return &SimpleUIDState{ID: p.idOf(id), B: p.B, Met: make(map[int]bool)}
+}
+
+// Apply records the mutual observation on both sides.
+func (p *SimpleUID) Apply(a, b any) (any, any, bool) {
+	sa, sb := a.(*SimpleUIDState), b.(*SimpleUIDState)
+	if sa.Done && sb.Done {
+		return a, b, false
+	}
+	na, nb := sa.clone(), sb.clone()
+	na.observe(sb.ID)
+	nb.observe(sa.ID)
+	return na, nb, true
+}
+
+// Halted reports termination of the agent.
+func (p *SimpleUID) Halted(s any) bool { return s.(*SimpleUIDState).Done }
+
+// SimpleUIDOutcome reports one execution of the simple UID protocol.
+type SimpleUIDOutcome struct {
+	N      int
+	B      int
+	Steps  int64
+	Output int  // count output by the first terminating agent
+	Exact  bool // Output == N
+}
+
+// RunSimpleUID executes the protocol until the first agent terminates.
+func RunSimpleUID(n, b int, seed int64, maxSteps int64) SimpleUIDOutcome {
+	proto := &SimpleUID{B: b}
+	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps})
+	res := w.Run()
+	out := SimpleUIDOutcome{N: n, B: b, Steps: res.Steps}
+	if res.FirstHalted >= 0 {
+		st := w.State(res.FirstHalted).(*SimpleUIDState)
+		out.Output = st.Output
+		out.Exact = st.Output == n
+	}
+	return out
+}
+
+// NoBelongs marks an agent not yet claimed by any counter (the paper's
+// "bottom" value for the belongs variable).
+const NoBelongs = 0
+
+// UIDState is the per-agent state of Protocol 3 (Section 5.3.2): counting
+// with unique ids and no leader. Ids are positive.
+type UIDState struct {
+	ID      int
+	Belongs int // max id that marked this agent; NoBelongs if none
+	Marked  int // 0, 1 or 2
+	Count1  int64
+	Count2  int64
+	Active  bool
+	Done    bool
+	Output  int64
+}
+
+// UID is Protocol 3. Every agent initially behaves as if it were the
+// maximum id, marking the agents it meets once and then twice and counting
+// both kinds of meetings; meeting a greater id (directly or through a mark)
+// deactivates it. With high probability the surviving maximum-id agent
+// simulates the Theorem 1 leader and outputs 2*count1 >= n.
+//
+// NOTE on the pseudocode: the paper's lines 5-18 are read as mutually
+// exclusive branches (first meeting marks once, a later meeting marks
+// twice). Under a literal sequential reading a fresh agent would be marked
+// once and twice within the same interaction as soon as count1 >= b, so the
+// count1-count2 gap could never close and no execution would terminate.
+type UID struct {
+	B   int
+	IDs []int // optional id override, default agent i -> i+1
+}
+
+var _ pop.Protocol = (*UID)(nil)
+
+func (p *UID) idOf(agent int) int {
+	if p.IDs != nil {
+		return p.IDs[agent]
+	}
+	return agent + 1
+}
+
+// InitialState: every agent active, unmarked, unclaimed.
+func (p *UID) InitialState(id, n int) any {
+	return &UIDState{ID: p.idOf(id), Active: true}
+}
+
+// Apply implements Protocol 3 for the interaction of u, v with idu > idv.
+func (p *UID) Apply(a, b any) (any, any, bool) {
+	sa, sb := a.(*UIDState), b.(*UIDState)
+	if sa.Done || sb.Done {
+		return a, b, false
+	}
+	u, v := *sa, *sb // copy: states are treated as values
+	if u.ID < v.ID {
+		u, v = v, u
+	}
+	// Line 1-3: the smaller id deactivates.
+	changed := false
+	if v.Active {
+		v.Active = false
+		changed = true
+	}
+	if u.Active {
+		switch {
+		case v.Belongs == NoBelongs || v.Belongs < u.ID:
+			// First meeting: claim and mark once.
+			v.Belongs = u.ID
+			v.Marked = 1
+			u.Count1++
+			changed = true
+		case v.Belongs > u.ID:
+			// v was claimed by a bigger id: u loses.
+			u.Active = false
+			changed = true
+		case v.Belongs == u.ID && v.Marked == 1 && u.Count1 >= int64(p.B):
+			// Second meeting: mark twice.
+			v.Marked = 2
+			u.Count2++
+			changed = true
+			if u.Count1 == u.Count2 {
+				u.Done = true
+				u.Output = 2 * u.Count1
+			}
+		}
+	}
+	if !changed {
+		return a, b, false
+	}
+	if sa.ID == u.ID {
+		return &u, &v, true
+	}
+	return &v, &u, true
+}
+
+// Halted reports termination.
+func (p *UID) Halted(s any) bool { return s.(*UIDState).Done }
+
+// UIDOutcome reports one execution of Protocol 3.
+type UIDOutcome struct {
+	N           int
+	B           int
+	Steps       int64
+	WinnerIsMax bool  // the halting agent carries the maximum id
+	Output      int64 // 2 * count1 of the halting agent
+	Success     bool  // Output >= n (Theorem 3's guarantee)
+}
+
+// RunUID executes Protocol 3 until the first agent halts.
+func RunUID(n, b int, seed int64) UIDOutcome {
+	proto := &UID{B: b}
+	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true})
+	res := w.Run()
+	out := UIDOutcome{N: n, B: b, Steps: res.Steps}
+	if res.FirstHalted < 0 {
+		return out
+	}
+	st := w.State(res.FirstHalted).(*UIDState)
+	out.WinnerIsMax = st.ID == n // default ids are 1..n
+	out.Output = st.Output
+	out.Success = st.Output >= int64(n)
+	return out
+}

@@ -1,0 +1,148 @@
+// Package counting implements the probabilistic counting protocols of
+// Section 5: the terminating Counting-Upper-Bound protocol with a unique
+// leader (Theorem 1), the two counting protocols with unique ids but no
+// leader (Theorems 2 and 3), and the observation-sequence framework used as
+// experimental evidence for Conjecture 1 (impossibility of leaderless
+// counting).
+package counting
+
+import (
+	"fmt"
+
+	"shapesol/internal/pop"
+)
+
+// Agent phases of Counting-Upper-Bound. Non-leader agents move
+// q0 -> q1 -> q2 as the leader counts them.
+const (
+	Q0 = "q0"
+	Q1 = "q1"
+	Q2 = "q2"
+)
+
+// Leader is the unique leader's state in Counting-Upper-Bound: two
+// unbounded counters, as assumed in Section 5.1 ("a distinguished leader
+// node has unbounded local memory"). R0 counts first meetings (q0 -> q1
+// conversions), R1 counts second meetings (q1 -> q2 conversions).
+type Leader struct {
+	R0, R1 int64
+	Done   bool
+}
+
+// String implements fmt.Stringer.
+func (l Leader) String() string {
+	return fmt.Sprintf("L(r0=%d,r1=%d,done=%v)", l.R0, l.R1, l.Done)
+}
+
+// UpperBound is the Counting-Upper-Bound protocol of Theorem 1. The leader
+// starts with an R0 head start of B, realized exactly as the paper suggests
+// ("having the leader convert b q0s to q1s as a preprocessing step"): B
+// agents begin in q1 and the leader in L(b, 0).
+//
+// Rules:
+//
+//	(l(r0,r1), .)  -> (halt, .)            if r0 = r1
+//	(l(r0,r1), q0) -> (l(r0+1,r1), q1)
+//	(l(r0,r1), q1) -> (l(r0,r1+1), q2)
+//
+// The protocol halts in every execution; with high probability (at least
+// 1 - 1/n^(B-2)) R0 >= n/2 at that point.
+type UpperBound struct {
+	// B is the head start; the failure probability bound is 1/n^(B-2).
+	B int
+}
+
+var _ pop.Protocol = (*UpperBound)(nil)
+
+// InitialState places the leader at agent 0 and the B head-start agents
+// right after it.
+func (p *UpperBound) InitialState(id, n int) any {
+	b := p.headStart(n)
+	switch {
+	case id == 0:
+		return Leader{R0: int64(b)}
+	case id <= b:
+		return Q1
+	default:
+		return Q0
+	}
+}
+
+// headStart clamps B to the population size: the preprocessing cannot
+// convert more agents than exist.
+func (p *UpperBound) headStart(n int) int {
+	b := p.B
+	if b > n-1 {
+		b = n - 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Apply implements the three rules above on an unordered pair.
+func (p *UpperBound) Apply(a, b any) (any, any, bool) {
+	l, ok := a.(Leader)
+	if !ok {
+		if l2, ok2 := b.(Leader); ok2 {
+			nb, na, eff := p.Apply(l2, a)
+			return na, nb, eff
+		}
+		return a, b, false // two non-leaders never react
+	}
+	if l.Done {
+		return a, b, false
+	}
+	// Halt rule has priority: (l(r0,r1), .) -> (halt, .) if r0 = r1.
+	if l.R0 == l.R1 {
+		l.Done = true
+		return l, b, true
+	}
+	switch b {
+	case Q0:
+		l.R0++
+		return l, Q1, true
+	case Q1:
+		l.R1++
+		return l, Q2, true
+	default:
+		return l, b, false
+	}
+}
+
+// Halted reports whether the agent has terminated.
+func (p *UpperBound) Halted(s any) bool {
+	l, ok := s.(Leader)
+	return ok && l.Done
+}
+
+// UpperBoundOutcome is the measured outcome of one Counting-Upper-Bound
+// execution.
+type UpperBoundOutcome struct {
+	N        int
+	B        int
+	Steps    int64 // total interactions until the leader halted
+	R0       int64 // the leader's count at halting
+	Success  bool  // R0 >= n/2 (Theorem 1's guarantee)
+	Estimate float64
+}
+
+// RunUpperBound executes the protocol once and reports the outcome. The
+// protocol halts in every execution (Theorem 1), so a MaxSteps exhaustion
+// indicates a much-too-small budget and is reported via Success=false with
+// Steps = budget.
+func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
+	proto := &UpperBound{B: b}
+	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true})
+	res := w.Run()
+	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
+	if res.Reason != pop.ReasonHalted {
+		return out
+	}
+	l := w.State(0).(Leader)
+	out.R0 = l.R0
+	out.Estimate = float64(l.R0) / float64(n)
+	out.Success = 2*l.R0 >= int64(n)
+	return out
+}

@@ -1,0 +1,156 @@
+// Package grid implements the geometric substrate of the model of Michail
+// (2015): the 2D and 3D unit grids, node ports, the rotation groups that a
+// free component may tumble through in the well-mixed solution, and shapes
+// (connected sub-networks of the grid with unit-distance, axis-aligned
+// bonds).
+//
+// Everything in the simulation engine (internal/sim) reduces to the
+// primitives defined here: positions, directions/ports, rotations,
+// isometries and shape validity.
+package grid
+
+import "fmt"
+
+// Dir is an axis direction of the unit grid. Directions double as port
+// labels: in the paper's notation the 2D ports p_y, p_x, p_-y, p_-x are
+// written u, r, d, l; the 3D model adds p_z and p_-z. A port "points" in its
+// direction: the port r of a node at position q faces the cell q+(1,0,0).
+type Dir uint8
+
+// The six axis directions. Opposite(d) == (d+3)%6 by construction.
+const (
+	PX Dir = iota // +x, the paper's p_x / r (right)
+	PY            // +y, the paper's p_y / u (up)
+	PZ            // +z, the paper's p_z
+	NX            // -x, the paper's p_-x / l (left)
+	NY            // -y, the paper's p_-y / d (down)
+	NZ            // -z, the paper's p_-z
+
+	// NumDirs is the number of axis directions (and 3D ports).
+	NumDirs = 6
+)
+
+// Ports2D lists the four 2D ports in the paper's conventional order
+// u, r, d, l.
+var Ports2D = [4]Dir{PY, PX, NY, NX}
+
+// Ports3D lists all six 3D ports.
+var Ports3D = [6]Dir{PY, PZ, PX, NY, NZ, NX}
+
+// Opposite returns the direction opposite to d (the paper's "j bar").
+func (d Dir) Opposite() Dir { return (d + 3) % NumDirs }
+
+// In2D reports whether d lies in the z=0 plane (is a 2D port).
+func (d Dir) In2D() bool { return d != PZ && d != NZ }
+
+// Vec returns the unit step of d.
+func (d Dir) Vec() Pos {
+	switch d {
+	case PX:
+		return Pos{X: 1}
+	case PY:
+		return Pos{Y: 1}
+	case PZ:
+		return Pos{Z: 1}
+	case NX:
+		return Pos{X: -1}
+	case NY:
+		return Pos{Y: -1}
+	case NZ:
+		return Pos{Z: -1}
+	}
+	panic(fmt.Sprintf("grid: invalid direction %d", uint8(d)))
+}
+
+// DirOf returns the direction of the unit vector v. It reports false if v is
+// not a unit axis step.
+func DirOf(v Pos) (Dir, bool) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.Vec() == v {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// String implements fmt.Stringer using the paper's 2D names and explicit
+// axis names for the third dimension.
+func (d Dir) String() string {
+	switch d {
+	case PX:
+		return "r"
+	case PY:
+		return "u"
+	case PZ:
+		return "+z"
+	case NX:
+		return "l"
+	case NY:
+		return "d"
+	case NZ:
+		return "-z"
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(d))
+}
+
+// ParseDir parses the String form of a direction.
+func ParseDir(s string) (Dir, error) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("grid: unknown direction %q", s)
+}
+
+// Pos is an integer lattice point. It is also used for displacement vectors.
+// 2D configurations keep Z == 0.
+type Pos struct {
+	X, Y, Z int
+}
+
+// Add returns p + q.
+func (p Pos) Add(q Pos) Pos { return Pos{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Sub returns p - q.
+func (p Pos) Sub(q Pos) Pos { return Pos{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Neg returns -p.
+func (p Pos) Neg() Pos { return Pos{-p.X, -p.Y, -p.Z} }
+
+// Step returns the neighbor of p in direction d.
+func (p Pos) Step(d Dir) Pos { return p.Add(d.Vec()) }
+
+// Adjacent reports whether p and q are at unit (Manhattan and Euclidean)
+// distance on the grid.
+func (p Pos) Adjacent(q Pos) bool {
+	d := p.Sub(q)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(d.X)+abs(d.Y)+abs(d.Z) == 1
+}
+
+// Less orders positions lexicographically (X, then Y, then Z). It is used to
+// canonicalize unordered cell pairs and to produce deterministic iteration
+// orders.
+func (p Pos) Less(q Pos) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.Z < q.Z
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string {
+	if p.Z == 0 {
+		return fmt.Sprintf("(%d,%d)", p.X, p.Y)
+	}
+	return fmt.Sprintf("(%d,%d,%d)", p.X, p.Y, p.Z)
+}

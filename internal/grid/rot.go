@@ -1,0 +1,214 @@
+package grid
+
+import "fmt"
+
+// Rot is a proper rotation of the grid: an element of the rotation group of
+// the cube (24 elements in 3D; the 4 rotations about the z axis form the 2D
+// subgroup). Rotations model the arbitrary orientation a free component may
+// assume while tumbling in the well-mixed solution; reflections are excluded
+// because a rigid body cannot mirror itself.
+//
+// Rot values are indices into precomputed tables; Identity is 0. The zero
+// value is therefore the identity rotation and is ready to use.
+type Rot uint8
+
+// Identity is the identity rotation.
+const Identity Rot = 0
+
+// NumRots is the order of the 3D rotation group of the grid.
+const NumRots = 24
+
+type mat3 [3][3]int
+
+func (m mat3) mul(o mat3) mat3 {
+	var r mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0
+			for k := 0; k < 3; k++ {
+				s += m[i][k] * o[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+func (m mat3) apply(p Pos) Pos {
+	return Pos{
+		X: m[0][0]*p.X + m[0][1]*p.Y + m[0][2]*p.Z,
+		Y: m[1][0]*p.X + m[1][1]*p.Y + m[1][2]*p.Z,
+		Z: m[2][0]*p.X + m[2][1]*p.Y + m[2][2]*p.Z,
+	}
+}
+
+// rotTables bundles every precomputed table so that package initialization
+// happens in a single pure function call (no init functions).
+type rotTables struct {
+	mats    [NumRots]mat3
+	compose [NumRots][NumRots]Rot
+	inverse [NumRots]Rot
+	dir     [NumRots][NumDirs]Dir
+	planar  []Rot // rotations fixing the z axis, ordered by angle 0,90,180,270
+	aboutZ  [4]Rot
+}
+
+var _tables = buildRotTables()
+
+func buildRotTables() *rotTables {
+	t := &rotTables{}
+
+	ident := mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	// 90-degree generators about x, y, z.
+	rx := mat3{{1, 0, 0}, {0, 0, -1}, {0, 1, 0}}
+	ry := mat3{{0, 0, 1}, {0, 1, 0}, {-1, 0, 0}}
+	rz := mat3{{0, -1, 0}, {1, 0, 0}, {0, 0, 1}}
+	gens := []mat3{rz, rx, ry} // rz first so the planar subgroup enumerates early
+
+	// Deterministic BFS from the identity generates all 24 elements.
+	mats := []mat3{ident}
+	seen := map[mat3]bool{ident: true}
+	for i := 0; i < len(mats); i++ {
+		for _, g := range gens {
+			m := g.mul(mats[i])
+			if !seen[m] {
+				seen[m] = true
+				mats = append(mats, m)
+			}
+		}
+	}
+	if len(mats) != NumRots {
+		panic(fmt.Sprintf("grid: rotation group has %d elements, want %d", len(mats), NumRots))
+	}
+	index := make(map[mat3]Rot, NumRots)
+	for i, m := range mats {
+		t.mats[i] = m
+		index[m] = Rot(i)
+	}
+
+	for a := 0; a < NumRots; a++ {
+		for b := 0; b < NumRots; b++ {
+			t.compose[a][b] = index[t.mats[a].mul(t.mats[b])]
+		}
+		for b := 0; b < NumRots; b++ {
+			if t.compose[a][b] == Identity {
+				t.inverse[a] = Rot(b)
+			}
+		}
+		for d := Dir(0); d < NumDirs; d++ {
+			img, ok := DirOf(t.mats[a].apply(d.Vec()))
+			if !ok {
+				panic("grid: rotation image of axis is not an axis")
+			}
+			t.dir[a][d] = img
+		}
+	}
+
+	// Planar subgroup: rotations mapping +z to +z, ordered by the image of +x
+	// so that aboutZ[k] rotates by k*90 degrees counterclockwise.
+	angleOf := map[Dir]int{PX: 0, PY: 1, NX: 2, NY: 3}
+	for r := Rot(0); r < NumRots; r++ {
+		if t.dir[r][PZ] == PZ {
+			t.planar = append(t.planar, r)
+			t.aboutZ[angleOf[t.dir[r][PX]]] = r
+		}
+	}
+	if len(t.planar) != 4 {
+		panic("grid: planar subgroup must have 4 elements")
+	}
+	// Keep planar sorted by angle for deterministic enumeration.
+	t.planar = []Rot{t.aboutZ[0], t.aboutZ[1], t.aboutZ[2], t.aboutZ[3]}
+	return t
+}
+
+// AboutZ returns the rotation by quarterTurns*90 degrees counterclockwise
+// about the z axis (the 2D rotation group).
+func AboutZ(quarterTurns int) Rot {
+	return _tables.aboutZ[((quarterTurns%4)+4)%4]
+}
+
+// PlanarRots returns the four rotations of the 2D model (those fixing +z),
+// ordered by angle.
+func PlanarRots() []Rot {
+	out := make([]Rot, len(_tables.planar))
+	copy(out, _tables.planar)
+	return out
+}
+
+// AllRots returns all 24 rotations of the 3D model.
+func AllRots() []Rot {
+	out := make([]Rot, NumRots)
+	for i := range out {
+		out[i] = Rot(i)
+	}
+	return out
+}
+
+// Compose returns the rotation "r after s": Compose(r,s).Apply(p) ==
+// r.Apply(s.Apply(p)).
+func (r Rot) Compose(s Rot) Rot { return _tables.compose[r][s] }
+
+// Inverse returns the inverse rotation.
+func (r Rot) Inverse() Rot { return _tables.inverse[r] }
+
+// Apply rotates the point (or displacement) p about the origin.
+func (r Rot) Apply(p Pos) Pos { return _tables.mats[r].apply(p) }
+
+// Dir returns the image of direction d under r.
+func (r Rot) Dir(d Dir) Dir { return _tables.dir[r][d] }
+
+// Planar reports whether r fixes the z axis (is a 2D rotation).
+func (r Rot) Planar() bool { return _tables.dir[r][PZ] == PZ }
+
+// String implements fmt.Stringer.
+func (r Rot) String() string {
+	return fmt.Sprintf("Rot%d(x->%s,y->%s,z->%s)", uint8(r), r.Dir(PX), r.Dir(PY), r.Dir(PZ))
+}
+
+// CW returns d rotated 90 degrees clockwise about the z axis. Because free
+// bodies can rotate but never mirror, "90 degrees clockwise from my right
+// port" names the same relative direction in every node's local frame —
+// protocols use this to propagate a consistent notion of "down" along a
+// structure without global coordinates.
+func CW(d Dir) Dir { return AboutZ(-1).Dir(d) }
+
+// CCW returns d rotated 90 degrees counterclockwise about the z axis.
+func CCW(d Dir) Dir { return AboutZ(1).Dir(d) }
+
+// RotsMapping returns every rotation g with g.Dir(from) == to, restricted to
+// the given candidate set (use PlanarRots() for 2D, AllRots() for 3D). In 2D
+// the result has exactly one element for planar from/to; in 3D it has four:
+// the alignment of two ports leaves the rotation about the bond axis free.
+func RotsMapping(from, to Dir, candidates []Rot) []Rot {
+	var out []Rot
+	for _, g := range candidates {
+		if g.Dir(from) == to {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Isometry is a rigid motion of the grid: rotate by R about the origin, then
+// translate by T. The zero value is the identity isometry.
+type Isometry struct {
+	R Rot
+	T Pos
+}
+
+// Apply maps the point p.
+func (m Isometry) Apply(p Pos) Pos { return m.R.Apply(p).Add(m.T) }
+
+// Dir maps the direction d.
+func (m Isometry) Dir(d Dir) Dir { return m.R.Dir(d) }
+
+// Compose returns "m after s".
+func (m Isometry) Compose(s Isometry) Isometry {
+	return Isometry{R: m.R.Compose(s.R), T: m.R.Apply(s.T).Add(m.T)}
+}
+
+// Inverse returns the inverse isometry.
+func (m Isometry) Inverse() Isometry {
+	ri := m.R.Inverse()
+	return Isometry{R: ri, T: ri.Apply(m.T).Neg()}
+}

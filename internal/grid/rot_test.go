@@ -1,0 +1,149 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotationGroupOrder(t *testing.T) {
+	if got := len(AllRots()); got != 24 {
+		t.Fatalf("|rotation group| = %d, want 24", got)
+	}
+	if got := len(PlanarRots()); got != 4 {
+		t.Fatalf("|planar subgroup| = %d, want 4", got)
+	}
+}
+
+func TestIdentityIsZero(t *testing.T) {
+	p := Pos{X: 3, Y: -2, Z: 7}
+	if got := Identity.Apply(p); got != p {
+		t.Fatalf("Identity.Apply(%v) = %v", p, got)
+	}
+	var zero Rot
+	if zero != Identity {
+		t.Fatal("zero Rot is not Identity")
+	}
+}
+
+func TestAboutZ(t *testing.T) {
+	tests := []struct {
+		turns int
+		in    Pos
+		want  Pos
+	}{
+		{0, Pos{X: 1}, Pos{X: 1}},
+		{1, Pos{X: 1}, Pos{Y: 1}},
+		{2, Pos{X: 1}, Pos{X: -1}},
+		{3, Pos{X: 1}, Pos{Y: -1}},
+		{1, Pos{Y: 1}, Pos{X: -1}},
+		{-1, Pos{X: 1}, Pos{Y: -1}},
+		{5, Pos{X: 1}, Pos{Y: 1}},
+	}
+	for _, tc := range tests {
+		if got := AboutZ(tc.turns).Apply(tc.in); got != tc.want {
+			t.Errorf("AboutZ(%d).Apply(%v) = %v, want %v", tc.turns, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPlanarRotsFixZ(t *testing.T) {
+	for _, r := range PlanarRots() {
+		if !r.Planar() {
+			t.Errorf("%v reported non-planar", r)
+		}
+		if got := r.Dir(PZ); got != PZ {
+			t.Errorf("%v maps +z to %v", r, got)
+		}
+	}
+}
+
+func TestComposeMatchesApplication(t *testing.T) {
+	f := func(a, b uint8, x, y, z int8) bool {
+		ra, rb := Rot(a%NumRots), Rot(b%NumRots)
+		p := Pos{X: int(x), Y: int(y), Z: int(z)}
+		return ra.Compose(rb).Apply(p) == ra.Apply(rb.Apply(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for _, r := range AllRots() {
+		if got := r.Compose(r.Inverse()); got != Identity {
+			t.Errorf("%v * inverse = %v, want identity", r, got)
+		}
+		if got := r.Inverse().Compose(r); got != Identity {
+			t.Errorf("inverse * %v = %v, want identity", r, got)
+		}
+	}
+}
+
+func TestDirImageConsistent(t *testing.T) {
+	for _, r := range AllRots() {
+		for d := Dir(0); d < NumDirs; d++ {
+			if got, want := r.Dir(d).Vec(), r.Apply(d.Vec()); got != want {
+				t.Errorf("%v.Dir(%v).Vec() = %v, want %v", r, d, got, want)
+			}
+		}
+	}
+}
+
+func TestRotsMapping(t *testing.T) {
+	// 2D: exactly one planar rotation maps any planar direction to another.
+	for _, from := range Ports2D {
+		for _, to := range Ports2D {
+			got := RotsMapping(from, to, PlanarRots())
+			if len(got) != 1 {
+				t.Errorf("RotsMapping(%v,%v, planar) has %d elements, want 1", from, to, len(got))
+			}
+		}
+	}
+	// 3D: exactly four rotations map any direction to any direction.
+	for from := Dir(0); from < NumDirs; from++ {
+		for to := Dir(0); to < NumDirs; to++ {
+			got := RotsMapping(from, to, AllRots())
+			if len(got) != 4 {
+				t.Errorf("RotsMapping(%v,%v, all) has %d elements, want 4", from, to, len(got))
+			}
+		}
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution at %v", d)
+		}
+		if got := d.Vec().Add(d.Opposite().Vec()); got != (Pos{}) {
+			t.Errorf("%v + opposite != 0", d)
+		}
+	}
+}
+
+func TestIsometryComposeInverse(t *testing.T) {
+	f := func(a, b uint8, tx, ty, tz, x, y, z int8) bool {
+		m := Isometry{R: Rot(a % NumRots), T: Pos{int(tx), int(ty), int(tz)}}
+		s := Isometry{R: Rot(b % NumRots), T: Pos{int(tz), int(tx), int(ty)}}
+		p := Pos{int(x), int(y), int(z)}
+		if m.Compose(s).Apply(p) != m.Apply(s.Apply(p)) {
+			return false
+		}
+		return m.Inverse().Apply(m.Apply(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDir(t *testing.T) {
+	for d := Dir(0); d < NumDirs; d++ {
+		got, err := ParseDir(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDir(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDir("q"); err == nil {
+		t.Error("ParseDir(q) succeeded, want error")
+	}
+}

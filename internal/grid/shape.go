@@ -1,0 +1,354 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an unordered pair of adjacent grid cells carrying an active bond.
+// The canonical form stores the lexicographically smaller endpoint in A.
+type Edge struct {
+	A, B Pos
+}
+
+// NewEdge canonicalizes the unordered pair {a, b}. It panics if a and b are
+// not adjacent: a bond only ever joins cells at unit distance.
+func NewEdge(a, b Pos) Edge {
+	if !a.Adjacent(b) {
+		panic(fmt.Sprintf("grid: edge endpoints %v, %v not adjacent", a, b))
+	}
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Other returns the endpoint of e that is not p.
+func (e Edge) Other(p Pos) Pos {
+	if e.A == p {
+		return e.B
+	}
+	return e.A
+}
+
+// Shape is a set of occupied grid cells together with the set of active
+// bonds between adjacent cells. Per the paper (Section 3) a "shape" is a
+// connected sub-network of the unit grid; Shape itself does not force
+// connectivity so that it can also describe intermediate configurations —
+// use ConnectedByBonds to check the paper's condition.
+//
+// The zero value is not usable; call NewShape.
+type Shape struct {
+	cells map[Pos]struct{}
+	edges map[Edge]struct{}
+}
+
+// NewShape returns an empty shape.
+func NewShape() *Shape {
+	return &Shape{
+		cells: make(map[Pos]struct{}),
+		edges: make(map[Edge]struct{}),
+	}
+}
+
+// ShapeOf builds a shape from cells, activating every bond between adjacent
+// cells ("fully bonded", like the paper's R_G rectangles).
+func ShapeOf(cells ...Pos) *Shape {
+	s := NewShape()
+	for _, c := range cells {
+		s.Add(c)
+	}
+	s.BondAll()
+	return s
+}
+
+// Add marks the cell p occupied.
+func (s *Shape) Add(p Pos) { s.cells[p] = struct{}{} }
+
+// Remove deletes the cell p and every bond incident to it.
+func (s *Shape) Remove(p Pos) {
+	delete(s.cells, p)
+	for d := Dir(0); d < NumDirs; d++ {
+		q := p.Step(d)
+		delete(s.edges, Edge{A: minPos(p, q), B: maxPos(p, q)})
+	}
+}
+
+// Has reports whether the cell p is occupied.
+func (s *Shape) Has(p Pos) bool {
+	_, ok := s.cells[p]
+	return ok
+}
+
+// Bond activates the bond between adjacent occupied cells a and b.
+func (s *Shape) Bond(a, b Pos) error {
+	if !a.Adjacent(b) {
+		return fmt.Errorf("grid: cannot bond non-adjacent cells %v, %v", a, b)
+	}
+	if !s.Has(a) || !s.Has(b) {
+		return fmt.Errorf("grid: cannot bond unoccupied cells %v, %v", a, b)
+	}
+	s.edges[NewEdge(a, b)] = struct{}{}
+	return nil
+}
+
+// Unbond deactivates the bond between a and b if present.
+func (s *Shape) Unbond(a, b Pos) {
+	if a.Adjacent(b) {
+		delete(s.edges, NewEdge(a, b))
+	}
+}
+
+// Bonded reports whether the bond between a and b is active.
+func (s *Shape) Bonded(a, b Pos) bool {
+	if !a.Adjacent(b) {
+		return false
+	}
+	_, ok := s.edges[NewEdge(a, b)]
+	return ok
+}
+
+// BondAll activates every bond between pairs of adjacent occupied cells.
+func (s *Shape) BondAll() {
+	for p := range s.cells {
+		for _, d := range []Dir{PX, PY, PZ} {
+			q := p.Step(d)
+			if s.Has(q) {
+				s.edges[NewEdge(p, q)] = struct{}{}
+			}
+		}
+	}
+}
+
+// Size returns the number of occupied cells.
+func (s *Shape) Size() int { return len(s.cells) }
+
+// NumBonds returns the number of active bonds.
+func (s *Shape) NumBonds() int { return len(s.edges) }
+
+// Cells returns the occupied cells in deterministic (lexicographic) order.
+func (s *Shape) Cells() []Pos {
+	out := make([]Pos, 0, len(s.cells))
+	for p := range s.cells {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Edges returns the active bonds in deterministic order.
+func (s *Shape) Edges() []Edge {
+	out := make([]Edge, 0, len(s.edges))
+	for e := range s.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A.Less(out[j].A)
+		}
+		return out[i].B.Less(out[j].B)
+	})
+	return out
+}
+
+// Clone returns a deep copy of the shape.
+func (s *Shape) Clone() *Shape {
+	c := &Shape{
+		cells: make(map[Pos]struct{}, len(s.cells)),
+		edges: make(map[Edge]struct{}, len(s.edges)),
+	}
+	for p := range s.cells {
+		c.cells[p] = struct{}{}
+	}
+	for e := range s.edges {
+		c.edges[e] = struct{}{}
+	}
+	return c
+}
+
+// ConnectedByBonds reports whether every occupied cell is reachable from
+// every other through active bonds. The empty shape is connected.
+func (s *Shape) ConnectedByBonds() bool {
+	return s.connected(func(p, q Pos) bool { return s.Bonded(p, q) })
+}
+
+// ConnectedByAdjacency reports whether the occupied cells form a connected
+// polyomino/polycube regardless of bond states.
+func (s *Shape) ConnectedByAdjacency() bool {
+	return s.connected(func(p, q Pos) bool { return true })
+}
+
+func (s *Shape) connected(linked func(p, q Pos) bool) bool {
+	if len(s.cells) == 0 {
+		return true
+	}
+	var start Pos
+	for p := range s.cells {
+		start = p
+		break
+	}
+	seen := map[Pos]bool{start: true}
+	queue := []Pos{start}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for d := Dir(0); d < NumDirs; d++ {
+			q := p.Step(d)
+			if s.Has(q) && !seen[q] && linked(p, q) {
+				seen[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	return len(seen) == len(s.cells)
+}
+
+// Valid reports whether the shape satisfies the model's feasibility
+// condition: every bond joins adjacent occupied cells (guaranteed by
+// construction) and the bond graph is connected.
+func (s *Shape) Valid() bool { return s.ConnectedByBonds() }
+
+// Bounds returns the inclusive lower and upper corners of the bounding box.
+// It reports false when the shape is empty.
+func (s *Shape) Bounds() (lo, hi Pos, ok bool) {
+	first := true
+	for p := range s.cells {
+		if first {
+			lo, hi = p, p
+			first = false
+			continue
+		}
+		lo = Pos{X: min(lo.X, p.X), Y: min(lo.Y, p.Y), Z: min(lo.Z, p.Z)}
+		hi = Pos{X: max(hi.X, p.X), Y: max(hi.Y, p.Y), Z: max(hi.Z, p.Z)}
+	}
+	return lo, hi, !first
+}
+
+// Dims returns the cell extents of the bounding box: the paper's h_G
+// (x-dimension), v_G (y-dimension) and depth (z-dimension, 1 for 2D shapes).
+func (s *Shape) Dims() (h, v, depth int) {
+	lo, hi, ok := s.Bounds()
+	if !ok {
+		return 0, 0, 0
+	}
+	return hi.X - lo.X + 1, hi.Y - lo.Y + 1, hi.Z - lo.Z + 1
+}
+
+// MaxDim returns max(h_G, v_G) for 2D shapes (the paper's max dim).
+func (s *Shape) MaxDim() int {
+	h, v, _ := s.Dims()
+	return max(h, v)
+}
+
+// MinDim returns min(h_G, v_G) for 2D shapes.
+func (s *Shape) MinDim() int {
+	h, v, _ := s.Dims()
+	if s.Size() == 0 {
+		return 0
+	}
+	return min(h, v)
+}
+
+// EnclosingRect returns the paper's R_G: the fully bonded minimum rectangle
+// (2D) or box (3D) of cells enclosing the shape.
+func (s *Shape) EnclosingRect() *Shape {
+	lo, hi, ok := s.Bounds()
+	r := NewShape()
+	if !ok {
+		return r
+	}
+	for x := lo.X; x <= hi.X; x++ {
+		for y := lo.Y; y <= hi.Y; y++ {
+			for z := lo.Z; z <= hi.Z; z++ {
+				r.Add(Pos{X: x, Y: y, Z: z})
+			}
+		}
+	}
+	r.BondAll()
+	return r
+}
+
+// Normalize returns a copy translated so the bounding-box corner sits at the
+// origin.
+func (s *Shape) Normalize() *Shape {
+	lo, _, ok := s.Bounds()
+	if !ok {
+		return NewShape()
+	}
+	return s.Transform(Isometry{T: lo.Neg()})
+}
+
+// Transform returns a copy of the shape mapped through the isometry m.
+func (s *Shape) Transform(m Isometry) *Shape {
+	c := NewShape()
+	for p := range s.cells {
+		c.Add(m.Apply(p))
+	}
+	for e := range s.edges {
+		c.edges[NewEdge(m.Apply(e.A), m.Apply(e.B))] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports cell-and-bond equality without any transformation.
+func (s *Shape) Equal(o *Shape) bool {
+	if len(s.cells) != len(o.cells) || len(s.edges) != len(o.edges) {
+		return false
+	}
+	for p := range s.cells {
+		if !o.Has(p) {
+			return false
+		}
+	}
+	for e := range s.edges {
+		if _, ok := o.edges[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUpToTranslation reports whether o is a translate of s.
+func (s *Shape) EqualUpToTranslation(o *Shape) bool {
+	return s.Normalize().Equal(o.Normalize())
+}
+
+// CongruentTo reports whether o can be obtained from s by a rotation from
+// the candidate set followed by a translation. Pass PlanarRots() for the 2D
+// model and AllRots() for 3D. Reflections are never considered.
+func (s *Shape) CongruentTo(o *Shape, candidates []Rot) bool {
+	if s.Size() != o.Size() || s.NumBonds() != o.NumBonds() {
+		return false
+	}
+	on := o.Normalize()
+	for _, r := range candidates {
+		if s.Transform(Isometry{R: r}).Normalize().Equal(on) {
+			return true
+		}
+	}
+	return false
+}
+
+// CellsOnly returns a copy of the occupancy with no bonds (used to compare
+// polyomino shapes regardless of bonding).
+func (s *Shape) CellsOnly() *Shape {
+	c := NewShape()
+	for p := range s.cells {
+		c.Add(p)
+	}
+	return c
+}
+
+func minPos(a, b Pos) Pos {
+	if a.Less(b) {
+		return a
+	}
+	return b
+}
+
+func maxPos(a, b Pos) Pos {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}

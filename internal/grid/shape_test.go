@@ -1,0 +1,199 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func line2D(n int) *Shape {
+	s := NewShape()
+	for i := 0; i < n; i++ {
+		s.Add(Pos{X: i})
+	}
+	s.BondAll()
+	return s
+}
+
+func TestShapeBasics(t *testing.T) {
+	s := line2D(3)
+	if s.Size() != 3 || s.NumBonds() != 2 {
+		t.Fatalf("line(3): size=%d bonds=%d, want 3, 2", s.Size(), s.NumBonds())
+	}
+	if !s.Valid() {
+		t.Fatal("line(3) should be a valid (bond-connected) shape")
+	}
+	s.Unbond(Pos{X: 0}, Pos{X: 1})
+	if s.Valid() {
+		t.Fatal("line with cut bond should not be bond-connected")
+	}
+	if !s.ConnectedByAdjacency() {
+		t.Fatal("cells still adjacent-connected")
+	}
+}
+
+func TestBondErrors(t *testing.T) {
+	s := line2D(2)
+	if err := s.Bond(Pos{X: 0}, Pos{X: 5}); err == nil {
+		t.Error("bonding non-adjacent cells should fail")
+	}
+	if err := s.Bond(Pos{X: 0}, Pos{Y: 1}); err == nil {
+		t.Error("bonding an unoccupied cell should fail")
+	}
+}
+
+func TestDimsAndRect(t *testing.T) {
+	// L-shape: (0,0),(1,0),(2,0),(0,1)
+	s := ShapeOf(Pos{}, Pos{X: 1}, Pos{X: 2}, Pos{Y: 1})
+	h, v, depth := s.Dims()
+	if h != 3 || v != 2 || depth != 1 {
+		t.Fatalf("dims = %d,%d,%d, want 3,2,1", h, v, depth)
+	}
+	if s.MaxDim() != 3 || s.MinDim() != 2 {
+		t.Fatalf("maxdim=%d mindim=%d", s.MaxDim(), s.MinDim())
+	}
+	r := s.EnclosingRect()
+	if r.Size() != 6 {
+		t.Fatalf("R_G size = %d, want 6", r.Size())
+	}
+	if !r.Valid() {
+		t.Fatal("R_G must be fully bonded and connected")
+	}
+}
+
+func TestCongruence(t *testing.T) {
+	l := ShapeOf(Pos{}, Pos{X: 1}, Pos{X: 2}, Pos{Y: 1}) // L-tromino-ish
+	rotated := l.Transform(Isometry{R: AboutZ(1), T: Pos{X: 10, Y: -4}})
+	if !l.CongruentTo(rotated, PlanarRots()) {
+		t.Fatal("rotated translate should be congruent")
+	}
+	mirrored := NewShape()
+	for _, p := range l.Cells() {
+		mirrored.Add(Pos{X: -p.X, Y: p.Y})
+	}
+	mirrored.BondAll()
+	if l.CongruentTo(mirrored, PlanarRots()) {
+		t.Fatal("mirror image must NOT be congruent (no reflections in the model)")
+	}
+	if !l.CongruentTo(l, PlanarRots()) {
+		t.Fatal("shape should be congruent to itself")
+	}
+}
+
+func TestEqualUpToTranslation(t *testing.T) {
+	a := line2D(4)
+	b := a.Transform(Isometry{T: Pos{X: 7, Y: 3}})
+	if !a.EqualUpToTranslation(b) {
+		t.Fatal("translate should compare equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("untranslated comparison should differ")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := line2D(3)
+	b := a.Clone()
+	b.Add(Pos{Y: 5})
+	if a.Has(Pos{Y: 5}) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestRemoveDropsBonds(t *testing.T) {
+	s := line2D(3)
+	s.Remove(Pos{X: 1})
+	if s.NumBonds() != 0 {
+		t.Fatalf("bonds after removing middle cell = %d, want 0", s.NumBonds())
+	}
+}
+
+func TestZigZagBijection(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 8} {
+		seen := make(map[Pos]bool, d*d)
+		for i := 0; i < d*d; i++ {
+			p := ZigZagPos(i, d)
+			if seen[p] {
+				t.Fatalf("d=%d: duplicate cell %v", d, p)
+			}
+			seen[p] = true
+			if got := ZigZagIndex(p, d); got != i {
+				t.Fatalf("d=%d: roundtrip %d -> %v -> %d", d, i, p, got)
+			}
+		}
+	}
+}
+
+func TestZigZagAdjacency(t *testing.T) {
+	// Consecutive zig-zag pixels are always grid-adjacent: the tape is walkable.
+	for _, d := range []int{2, 3, 4, 7} {
+		for i := 0; i+1 < d*d; i++ {
+			a, b := ZigZagPos(i, d), ZigZagPos(i+1, d)
+			if !a.Adjacent(b) {
+				t.Fatalf("d=%d: pixels %d,%d at %v,%v not adjacent", d, i, i+1, a, b)
+			}
+		}
+	}
+}
+
+func TestZigZagNextPrev(t *testing.T) {
+	d := 4
+	p := ZigZagPos(0, d)
+	for i := 0; i < d*d-1; i++ {
+		nxt, ok := ZigZagNext(p, d)
+		if !ok {
+			t.Fatalf("next failed at %d", i)
+		}
+		back, ok := ZigZagPrev(nxt, d)
+		if !ok || back != p {
+			t.Fatalf("prev(next(%v)) = %v", p, back)
+		}
+		p = nxt
+	}
+	if _, ok := ZigZagNext(p, d); ok {
+		t.Fatal("next at tape end should report false")
+	}
+	if _, ok := ZigZagPrev(ZigZagPos(0, d), d); ok {
+		t.Fatal("prev at tape start should report false")
+	}
+}
+
+func TestZigZagKnownLayout(t *testing.T) {
+	// d=3: row 0 left-to-right, row 1 right-to-left, row 2 left-to-right.
+	want := []Pos{
+		{X: 0}, {X: 1}, {X: 2},
+		{X: 2, Y: 1}, {X: 1, Y: 1}, {X: 0, Y: 1},
+		{X: 0, Y: 2}, {X: 1, Y: 2}, {X: 2, Y: 2},
+	}
+	for i, w := range want {
+		if got := ZigZagPos(i, 3); got != w {
+			t.Errorf("ZigZagPos(%d,3) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestAdjacentProperty(t *testing.T) {
+	f := func(x, y, z int8, d uint8) bool {
+		p := Pos{int(x), int(y), int(z)}
+		return p.Adjacent(p.Step(Dir(d % NumDirs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if (Pos{}).Adjacent(Pos{X: 1, Y: 1}) {
+		t.Fatal("diagonal cells are not adjacent")
+	}
+	if (Pos{}).Adjacent(Pos{}) {
+		t.Fatal("a cell is not adjacent to itself")
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	a, b := Pos{X: 1}, Pos{}
+	e := NewEdge(a, b)
+	if e != NewEdge(b, a) {
+		t.Fatal("edge canonicalization is order-dependent")
+	}
+	if e.Other(a) != b || e.Other(b) != a {
+		t.Fatal("Other endpoint wrong")
+	}
+}

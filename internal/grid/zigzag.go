@@ -1,0 +1,57 @@
+package grid
+
+import "fmt"
+
+// Zig-zag pixel indexing of a d x d square (Section 3 of the paper): pixel 0
+// is the bottom-left corner; indices increase rightwards along the bottom
+// row, then one step up, then leftwards, then up again, and so on, ending at
+// pixel d^2-1 in the top row (left or right corner depending on the parity
+// of d). The universal constructors treat the square as a TM tape in this
+// order (Figure 7(b)).
+
+// ZigZagPos returns the cell of pixel i on a d x d square anchored at the
+// origin. It panics if i is out of [0, d^2).
+func ZigZagPos(i, d int) Pos {
+	if d <= 0 || i < 0 || i >= d*d {
+		panic(fmt.Sprintf("grid: zig-zag pixel %d out of range for d=%d", i, d))
+	}
+	y := i / d
+	x := i % d
+	if y%2 == 1 {
+		x = d - 1 - x
+	}
+	return Pos{X: x, Y: y}
+}
+
+// ZigZagIndex returns the pixel index of cell p on a d x d square anchored
+// at the origin. It panics if p is outside the square.
+func ZigZagIndex(p Pos, d int) int {
+	if p.X < 0 || p.X >= d || p.Y < 0 || p.Y >= d || p.Z != 0 {
+		panic(fmt.Sprintf("grid: cell %v outside %dx%d square", p, d, d))
+	}
+	x := p.X
+	if p.Y%2 == 1 {
+		x = d - 1 - x
+	}
+	return p.Y*d + x
+}
+
+// ZigZagNext returns the cell of pixel i+1 given the cell of pixel i, and
+// reports false at the end of the tape.
+func ZigZagNext(p Pos, d int) (Pos, bool) {
+	i := ZigZagIndex(p, d)
+	if i+1 >= d*d {
+		return Pos{}, false
+	}
+	return ZigZagPos(i+1, d), true
+}
+
+// ZigZagPrev returns the cell of pixel i-1 given the cell of pixel i, and
+// reports false at the start of the tape.
+func ZigZagPrev(p Pos, d int) (Pos, bool) {
+	i := ZigZagIndex(p, d)
+	if i == 0 {
+		return Pos{}, false
+	}
+	return ZigZagPos(i-1, d), true
+}

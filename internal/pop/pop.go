@@ -1,0 +1,207 @@
+// Package pop implements the classical population-protocol setting used by
+// Section 5 of the paper: n agents on a complete interaction graph, no
+// geometry, no bonds. In every step a uniform random scheduler selects one
+// of the n(n-1)/2 unordered agent pairs; the pair interacts and updates its
+// states.
+//
+// The counting protocols of Section 5 are built on this engine
+// (internal/counting); the geometric engine of internal/sim is used once
+// counting moves onto a self-assembled line (Section 6.1).
+package pop
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Protocol is the agent behavior. Apply receives the two states in random
+// order (pairs are unordered) and returns the updated states plus an
+// effectiveness flag.
+type Protocol interface {
+	InitialState(id, n int) any
+	Apply(a, b any) (na, nb any, effective bool)
+	Halted(s any) bool
+}
+
+// Options configures a run.
+type Options struct {
+	Seed int64
+	// MaxSteps bounds Run; default 100 million.
+	MaxSteps int64
+	// StopWhenAnyHalted stops Run at the first halting agent.
+	StopWhenAnyHalted bool
+	// StopWhenAllHalted stops Run when every agent halted.
+	StopWhenAllHalted bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100_000_000
+	}
+	return o
+}
+
+// StopReason explains why Run returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	ReasonMaxSteps StopReason = iota + 1
+	ReasonHalted
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonMaxSteps:
+		return "max-steps"
+	case ReasonHalted:
+		return "halted"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// Result summarizes a run.
+type Result struct {
+	Steps       int64
+	Effective   int64
+	Reason      StopReason
+	FirstHalted int // id of the first agent to halt, or -1
+}
+
+// World is one population instance. Not safe for concurrent use.
+type World struct {
+	n      int
+	opts   Options
+	proto  Protocol
+	rng    *rand.Rand
+	states []any
+	halted []bool
+
+	steps, effective int64
+	haltedCount      int
+	firstHalted      int
+}
+
+// New builds a population of n agents in their initial states. n must be at
+// least 2.
+func New(n int, proto Protocol, opts Options) *World {
+	if n < 2 {
+		panic(fmt.Sprintf("pop: population size %d < 2", n))
+	}
+	w := &World{
+		n:           n,
+		opts:        opts.withDefaults(),
+		proto:       proto,
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		states:      make([]any, n),
+		halted:      make([]bool, n),
+		firstHalted: -1,
+	}
+	for i := 0; i < n; i++ {
+		w.states[i] = proto.InitialState(i, n)
+		if proto.Halted(w.states[i]) {
+			w.halted[i] = true
+			w.haltedCount++
+			if w.firstHalted < 0 {
+				w.firstHalted = i
+			}
+		}
+	}
+	return w
+}
+
+// N returns the population size.
+func (w *World) N() int { return w.n }
+
+// Steps returns the number of scheduler selections so far.
+func (w *World) Steps() int64 { return w.steps }
+
+// Effective returns the number of effective interactions so far.
+func (w *World) Effective() int64 { return w.effective }
+
+// State returns agent id's current state.
+func (w *World) State(id int) any { return w.states[id] }
+
+// HaltedCount returns the number of halted agents.
+func (w *World) HaltedCount() int { return w.haltedCount }
+
+// FirstHalted returns the id of the first agent that halted, or -1.
+func (w *World) FirstHalted() int { return w.firstHalted }
+
+// FindNode returns the smallest agent id whose state satisfies pred, or -1.
+func (w *World) FindNode(pred func(any) bool) int {
+	for i, s := range w.states {
+		if pred(s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CountNodes returns how many agent states satisfy pred.
+func (w *World) CountNodes(pred func(any) bool) int {
+	n := 0
+	for _, s := range w.states {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// Step performs one uniform random pairwise interaction and reports whether
+// it was effective.
+func (w *World) Step() bool {
+	w.steps++
+	i := w.rng.Intn(w.n)
+	j := w.rng.Intn(w.n - 1)
+	if j >= i {
+		j++
+	}
+	na, nb, effective := w.proto.Apply(w.states[i], w.states[j])
+	if !effective {
+		return false
+	}
+	w.effective++
+	w.apply(i, na)
+	w.apply(j, nb)
+	return true
+}
+
+func (w *World) apply(id int, s any) {
+	w.states[id] = s
+	h := w.proto.Halted(s)
+	if h && !w.halted[id] {
+		w.halted[id] = true
+		w.haltedCount++
+		if w.firstHalted < 0 {
+			w.firstHalted = id
+		}
+	} else if !h && w.halted[id] {
+		w.halted[id] = false
+		w.haltedCount--
+	}
+}
+
+// Run executes steps until a stop condition fires.
+func (w *World) Run() Result {
+	reason := ReasonMaxSteps
+	for w.steps < w.opts.MaxSteps {
+		w.Step()
+		if w.opts.StopWhenAnyHalted && w.haltedCount > 0 {
+			reason = ReasonHalted
+			break
+		}
+		if w.opts.StopWhenAllHalted && w.haltedCount == w.n {
+			reason = ReasonHalted
+			break
+		}
+	}
+	return Result{
+		Steps:       w.steps,
+		Effective:   w.effective,
+		Reason:      reason,
+		FirstHalted: w.firstHalted,
+	}
+}

@@ -1,0 +1,102 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"shapesol/internal/grid"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	tb := NewTable("t", "q0")
+	tb.SetLeader("L")
+	tb.MustAdd("L", grid.PX, "q0", grid.NX, false, "q1", "L", true)
+
+	out, swapped, ok := tb.Lookup("L", grid.PX, "q0", grid.NX, false)
+	if !ok || swapped || out.A != "q1" || out.B != "L" || !out.Edge {
+		t.Fatalf("direct lookup: %+v %v %v", out, swapped, ok)
+	}
+	// Mirrored orientation must resolve with swapped set.
+	out, swapped, ok = tb.Lookup("q0", grid.NX, "L", grid.PX, false)
+	if !ok || !swapped || out.A != "q1" || out.B != "L" {
+		t.Fatalf("mirrored lookup: %+v %v %v", out, swapped, ok)
+	}
+	if _, _, ok := tb.Lookup("L", grid.PY, "q0", grid.NX, false); ok {
+		t.Fatal("wrong port matched")
+	}
+	if _, _, ok := tb.Lookup("L", grid.PX, "q0", grid.NX, true); ok {
+		t.Fatal("wrong edge state matched")
+	}
+}
+
+func TestConflictsRejected(t *testing.T) {
+	tb := NewTable("t", "q0")
+	tb.MustAdd("a", grid.PX, "b", grid.NX, false, "x", "y", true)
+	if err := tb.Add("a", grid.PX, "b", grid.NX, false, "x", "z", true); err == nil {
+		t.Fatal("conflicting duplicate accepted")
+	}
+	// Conflicting mirror: (b,NX),(a,PX) must produce the swapped outcome.
+	if err := tb.Add("b", grid.NX, "a", grid.PX, false, "p", "q", true); err == nil {
+		t.Fatal("conflicting mirror accepted")
+	}
+	// Consistent mirror is fine.
+	if err := tb.Add("b", grid.NX, "a", grid.PX, false, "y", "x", true); err != nil {
+		t.Fatalf("consistent mirror rejected: %v", err)
+	}
+}
+
+func TestIneffectiveRejected(t *testing.T) {
+	tb := NewTable("t", "q0")
+	if err := tb.Add("a", grid.PX, "b", grid.NX, true, "a", "b", true); err == nil {
+		t.Fatal("ineffective rule accepted")
+	}
+}
+
+func TestHaltingStatesAreInert(t *testing.T) {
+	tb := NewTable("t", "q0")
+	tb.SetHalting("H")
+	if err := tb.Add("H", grid.PX, "q0", grid.NX, false, "x", "y", true); err == nil {
+		t.Fatal("rule from halting state accepted")
+	}
+	if !tb.Halting("H") || tb.Halting("q0") {
+		t.Fatal("halting membership wrong")
+	}
+}
+
+func TestAnyEdgeWildcard(t *testing.T) {
+	tb := NewTable("t", "q0")
+	tb.MustAddAnyEdge("a", grid.PX, "b", grid.NX, "c", "d", true)
+	if _, _, ok := tb.Lookup("a", grid.PX, "b", grid.NX, false); !ok {
+		t.Fatal("edge=0 variant missing")
+	}
+	if _, _, ok := tb.Lookup("a", grid.PX, "b", grid.NX, true); !ok {
+		t.Fatal("edge=1 variant missing")
+	}
+}
+
+func TestStatesAndSize(t *testing.T) {
+	tb := NewTable("t", "q0")
+	tb.SetLeader("L")
+	tb.MustAdd("L", grid.PX, "q0", grid.NX, false, "q1", "L", true)
+	states := tb.States()
+	if tb.Size() != 3 || len(states) != 3 {
+		t.Fatalf("size=%d states=%v", tb.Size(), states)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		A: Half{"L", grid.PX}, B: Half{"q0", grid.NX},
+		Edge: false, Out: Outcome{"q1", "L", true},
+	}
+	s := r.String()
+	if !strings.Contains(s, "(L,r),(q0,l),0 -> (q1,L,1)") {
+		t.Fatalf("rule string %q", s)
+	}
+	if !r.Effective() {
+		t.Fatal("rule should be effective")
+	}
+}

@@ -1,0 +1,67 @@
+package shapes
+
+// Remark 4: the universal constructors extend from shapes to patterns by
+// simulating TMs that output a color from a finite palette C for every
+// pixel; the labeled square itself is the computed pattern and no release
+// phase is needed.
+
+// Color is a palette index. 0 conventionally renders as background.
+type Color uint8
+
+// PatternLanguage assigns every pixel of every d x d square a color.
+type PatternLanguage interface {
+	Name() string
+	Palette() int // number of colors |C|
+	Color(i, d int) Color
+}
+
+// Pattern is a materialized colored square.
+type Pattern struct {
+	D      int
+	Colors []Color // zig-zag indexed
+}
+
+// RenderPattern evaluates a pattern language at dimension d.
+func RenderPattern(l PatternLanguage, d int) *Pattern {
+	p := &Pattern{D: d, Colors: make([]Color, d*d)}
+	for i := range p.Colors {
+		p.Colors[i] = l.Color(i, d)
+	}
+	return p
+}
+
+// At returns pixel i's color.
+func (p *Pattern) At(i int) Color { return p.Colors[i] }
+
+type funcPattern struct {
+	name    string
+	palette int
+	f       func(i, d int) Color
+}
+
+func (l funcPattern) Name() string         { return l.name }
+func (l funcPattern) Palette() int         { return l.palette }
+func (l funcPattern) Color(i, d int) Color { return l.f(i, d) }
+
+// NewPattern builds a pattern language from a color function.
+func NewPattern(name string, palette int, f func(i, d int) Color) PatternLanguage {
+	return funcPattern{name: name, palette: palette, f: f}
+}
+
+// Rings colors every pixel by its Chebyshev distance from the border,
+// modulo the palette size: concentric square rings.
+func Rings(palette int) PatternLanguage {
+	return NewPattern("rings", palette, func(i, d int) Color {
+		x, y := xy(i, d)
+		ring := min(min(x, y), min(d-1-x, d-1-y))
+		return Color(ring % palette)
+	})
+}
+
+// Checker is the two-coloring of the square by coordinate parity.
+func Checker() PatternLanguage {
+	return NewPattern("checker", 2, func(i, d int) Color {
+		x, y := xy(i, d)
+		return Color((x + y) % 2)
+	})
+}

@@ -1,0 +1,208 @@
+// Package shapes implements shape languages in the sense of Definition 3:
+// a 2D shape language L provides, for every maximum dimension d >= 1, a
+// single d x d square S_d with {0,1}-labeled pixels whose on-pixels form a
+// connected shape G_d with max dim G_d = d. Pixels are indexed in the
+// paper's zig-zag order (Section 3, Figure 7(b)).
+//
+// The package also carries the pattern extension of Remark 4: languages
+// whose pixels carry colors from a finite palette.
+package shapes
+
+import (
+	"fmt"
+	"strings"
+
+	"shapesol/internal/grid"
+)
+
+// Language defines one shape per square dimension.
+type Language interface {
+	// Name identifies the language in experiments and CLIs.
+	Name() string
+	// Pixel reports whether zig-zag pixel i of the d x d square is on.
+	// Implementations must be deterministic and total for 0 <= i < d*d.
+	Pixel(i, d int) bool
+}
+
+// Square is a materialized S_d: the {0,1}-labeled d x d square.
+type Square struct {
+	D    int
+	Bits []bool // zig-zag indexed, length D*D
+}
+
+// Render evaluates the language at dimension d.
+func Render(l Language, d int) *Square {
+	s := &Square{D: d, Bits: make([]bool, d*d)}
+	for i := range s.Bits {
+		s.Bits[i] = l.Pixel(i, d)
+	}
+	return s
+}
+
+// On reports pixel i's label.
+func (s *Square) On(i int) bool { return s.Bits[i] }
+
+// OnCount returns |G_d|, the number of on pixels (the useful space).
+func (s *Square) OnCount() int {
+	n := 0
+	for _, b := range s.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Waste returns d^2 - |G_d|: the nodes thrown away by a universal
+// constructor realizing this square (Theorem 4).
+func (s *Square) Waste() int { return s.D*s.D - s.OnCount() }
+
+// Shape returns G_d: the on-pixel cells with every bond between adjacent
+// on-pixels active.
+func (s *Square) Shape() *grid.Shape {
+	g := grid.NewShape()
+	for i, b := range s.Bits {
+		if b {
+			g.Add(grid.ZigZagPos(i, s.D))
+		}
+	}
+	g.BondAll()
+	return g
+}
+
+// Connected reports whether G_d is a connected shape, the structural
+// requirement Definition 3 places on shape-constructing TMs.
+func (s *Square) Connected() bool {
+	g := s.Shape()
+	return g.Size() > 0 && g.ConnectedByBonds()
+}
+
+// String renders the square row by row, top to bottom, with '#' for on.
+func (s *Square) String() string {
+	var b strings.Builder
+	for y := s.D - 1; y >= 0; y-- {
+		for x := 0; x < s.D; x++ {
+			if s.Bits[grid.ZigZagIndex(grid.Pos{X: x, Y: y}, s.D)] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks Definition 3's structural requirements for dimensions
+// 1..dmax: connectivity and max dim G_d == d.
+func Validate(l Language, dmax int) error {
+	for d := 1; d <= dmax; d++ {
+		s := Render(l, d)
+		if !s.Connected() {
+			return fmt.Errorf("shapes: %s: G_%d not a connected shape", l.Name(), d)
+		}
+		if got := s.Shape().MaxDim(); got != d {
+			return fmt.Errorf("shapes: %s: max dim G_%d = %d, want %d", l.Name(), d, got, d)
+		}
+	}
+	return nil
+}
+
+// funcLanguage wraps a pixel predicate. The predicates play the role of the
+// paper's shape-constructing TMs M(i, d): each is trivially TM-computable
+// in O(d^2) space; internal/tm carries genuine machine implementations for
+// a subset of them (see tm.BottomRowMachine).
+type funcLanguage struct {
+	name string
+	f    func(i, d int) bool
+}
+
+func (l funcLanguage) Name() string        { return l.name }
+func (l funcLanguage) Pixel(i, d int) bool { return l.f(i, d) }
+
+// NewLanguage builds a language from a pixel predicate.
+func NewLanguage(name string, f func(i, d int) bool) Language {
+	return funcLanguage{name: name, f: f}
+}
+
+func xy(i, d int) (int, int) {
+	p := grid.ZigZagPos(i, d)
+	return p.X, p.Y
+}
+
+// FullSquare is the language of completely filled squares.
+func FullSquare() Language {
+	return NewLanguage("full-square", func(i, d int) bool { return true })
+}
+
+// BottomRow is the spanning-line language: only the bottom row is on. It is
+// the worst-waste case of Theorem 4: waste (d-1)d.
+func BottomRow() Language {
+	return NewLanguage("bottom-row", func(i, d int) bool { return i < d })
+}
+
+// LeftColumn is the language from the paper's footnote 1: pixel i is on iff
+// i = 2kd or i = 2kd - 1, which is exactly the leftmost column under
+// zig-zag indexing.
+func LeftColumn() Language {
+	return NewLanguage("left-column", func(i, d int) bool {
+		return i%(2*d) == 0 || i%(2*d) == 2*d-1
+	})
+}
+
+// Cross is the middle row plus middle column.
+func Cross() Language {
+	return NewLanguage("cross", func(i, d int) bool {
+		x, y := xy(i, d)
+		m := (d - 1) / 2
+		return x == m || y == m
+	})
+}
+
+// Frame is the square's border.
+func Frame() Language {
+	return NewLanguage("frame", func(i, d int) bool {
+		x, y := xy(i, d)
+		return x == 0 || y == 0 || x == d-1 || y == d-1
+	})
+}
+
+// Star is an eight-rayed star in the spirit of Figure 7(c): the middle
+// row(s) and column(s) plus both diagonals. Because single-width diagonals
+// are not grid-connected, each diagonal is drawn as a staircase (x == y
+// together with x == y+1, and x+y == d-1 together with x+y == d), which is
+// connected and meets the central band.
+func Star() Language {
+	return NewLanguage("star", func(i, d int) bool {
+		x, y := xy(i, d)
+		lo, hi := (d-1)/2, d/2
+		return (x >= lo && x <= hi) || (y >= lo && y <= hi) ||
+			x == y || x == y+1 || x+y == d-1 || x+y == d
+	})
+}
+
+// Staircase is the diagonal staircase: cells (k,k) plus (k,k-1), a shape
+// with both dimensions equal to d but only 2d-1 cells.
+func Staircase() Language {
+	return NewLanguage("staircase", func(i, d int) bool {
+		x, y := xy(i, d)
+		return x == y || x == y+1
+	})
+}
+
+// All returns the built-in languages.
+func All() []Language {
+	return []Language{
+		FullSquare(), BottomRow(), LeftColumn(), Cross(), Frame(), Star(), Staircase(),
+	}
+}
+
+// ByName finds a built-in language.
+func ByName(name string) (Language, error) {
+	for _, l := range All() {
+		if l.Name() == name {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("shapes: unknown language %q", name)
+}

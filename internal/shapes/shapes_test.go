@@ -1,0 +1,143 @@
+package shapes
+
+import (
+	"strings"
+	"testing"
+
+	"shapesol/internal/tm"
+)
+
+func TestAllLanguagesSatisfyDefinition3(t *testing.T) {
+	for _, l := range All() {
+		if err := Validate(l, 16); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	tests := []struct {
+		lang Language
+		d    int
+		want int
+	}{
+		{FullSquare(), 5, 25},
+		{BottomRow(), 5, 5},
+		{LeftColumn(), 6, 6},
+		{Frame(), 5, 16},
+		{Frame(), 1, 1},
+		{Cross(), 5, 9},
+		{Staircase(), 4, 7},
+	}
+	for _, tc := range tests {
+		got := Render(tc.lang, tc.d).OnCount()
+		if got != tc.want {
+			t.Errorf("%s d=%d on-count = %d, want %d", tc.lang.Name(), tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestWasteComplement(t *testing.T) {
+	for _, l := range All() {
+		for _, d := range []int{1, 3, 6} {
+			s := Render(l, d)
+			if s.OnCount()+s.Waste() != d*d {
+				t.Errorf("%s d=%d: on+waste != d^2", l.Name(), d)
+			}
+		}
+	}
+}
+
+func TestBottomRowWorstWaste(t *testing.T) {
+	// Theorem 4's worst case: a line of length d wastes (d-1)d.
+	for _, d := range []int{2, 5, 9} {
+		if got := Render(BottomRow(), d).Waste(); got != (d-1)*d {
+			t.Errorf("d=%d waste = %d, want %d", d, got, (d-1)*d)
+		}
+	}
+}
+
+func TestStarLooksLikeFigure7(t *testing.T) {
+	s := Render(Star(), 5)
+	want := strings.TrimLeft(`
+###.#
+.####
+#####
+.####
+###.#
+`, "\n")
+	if s.String() != want {
+		t.Errorf("star d=5:\n%s\nwant:\n%s", s.String(), want)
+	}
+}
+
+func TestLeftColumnMatchesFootnote(t *testing.T) {
+	// Footnote 1: accept iff i = 2kd or i = 2kd - 1 gives the left column.
+	d := 5
+	s := Render(LeftColumn(), d)
+	for y := 0; y < d; y++ {
+		for x := 0; x < d; x++ {
+			i := idx(x, y, d)
+			if s.On(i) != (x == 0) {
+				t.Fatalf("pixel (%d,%d) on=%v", x, y, s.On(i))
+			}
+		}
+	}
+}
+
+func idx(x, y, d int) int {
+	if y%2 == 1 {
+		x = d - 1 - x
+	}
+	return y*d + x
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("star"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+}
+
+func TestTMBackedLanguageAgreesWithPredicate(t *testing.T) {
+	// The genuine-TM bottom-row machine defines the same language as the
+	// predicate version, and satisfies Definition 3 through the same
+	// validator (structural interface satisfaction).
+	var machineLang Language = tm.BottomRowMachine()
+	if err := Validate(machineLang, 8); err != nil {
+		t.Fatal(err)
+	}
+	pred := BottomRow()
+	for d := 1; d <= 8; d++ {
+		for i := 0; i < d*d; i++ {
+			if machineLang.Pixel(i, d) != pred.Pixel(i, d) {
+				t.Fatalf("disagreement at i=%d d=%d", i, d)
+			}
+		}
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	p := RenderPattern(Checker(), 4)
+	if p.At(0) != 0 {
+		t.Fatalf("checker origin color = %d", p.At(0))
+	}
+	// Adjacent zig-zag pixels alternate colors on the checkerboard.
+	for i := 0; i+1 < 16; i++ {
+		if p.At(i) == p.At(i+1) {
+			t.Fatalf("checker pixels %d,%d share color", i, i+1)
+		}
+	}
+	r := RenderPattern(Rings(3), 6)
+	if r.At(0) != 0 {
+		t.Fatalf("rings corner should be ring 0")
+	}
+	if got := r.At(idx(2, 2, 6)); got != 2 {
+		t.Fatalf("rings center cell color = %d, want 2", got)
+	}
+	if Rings(3).Palette() != 3 || Checker().Palette() != 2 {
+		t.Fatal("palette sizes wrong")
+	}
+}

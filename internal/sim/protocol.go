@@ -1,0 +1,104 @@
+// Package sim implements the simulation engine for the geometric network
+// constructors model of Michail (2015), Section 3: a population of n
+// finite-state automata with 4 (2D) or 6 (3D) ports each, driven by a
+// uniform random scheduler that at every step selects one permissible
+// node-port pair. Components are rigid bodies on the unit grid; bonds form
+// at unit distance between aligned ports and every connected component must
+// remain a valid shape (no two nodes on the same cell).
+//
+// The scheduler is exactly uniform over the permissible interaction set,
+// which is maintained incrementally as three categories:
+//
+//   - active bonds (always selectable),
+//   - latent pairs: facing, unbonded port pairs of adjacent nodes inside one
+//     component (selectable because the union is the component itself),
+//   - inter-component pairs of open ports, where an open port is one whose
+//     facing cell is free within its own component. Such a pair is
+//     selectable iff some rigid placement aligning the two ports yields a
+//     collision-free union; the engine samples the open-pair superset with
+//     exact weights and rejects the (rare) colliding residue, which
+//     preserves uniformity over the permissible set.
+package sim
+
+import (
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+)
+
+// Protocol is the behavior executed at every interaction. Implementations
+// must be deterministic: all randomness in the model comes from the
+// scheduler. States are opaque to the engine; rule-table protocols use
+// rules.State, the programmatic constructors use small structs.
+//
+// Interact receives the two participating states in arbitrary order
+// (interactions are unordered pairs) and must therefore handle both
+// orientations.
+type Protocol interface {
+	// InitialState returns the initial state of node id in a population of
+	// n nodes. By convention node 0 carries the pre-elected leader state
+	// when the protocol assumes one.
+	InitialState(id, n int) any
+
+	// Interact computes delta((a,pa),(b,pb),bonded). It returns the new
+	// states, the new bond state, and whether the transition was effective.
+	Interact(a, b any, pa, pb grid.Dir, bonded bool) (na, nb any, bond bool, effective bool)
+
+	// Halted reports whether s is a halting state (all rules from it are
+	// ineffective and the engine may stop counting the node).
+	Halted(s any) bool
+}
+
+// ComponentAware is an optional extension of Protocol: when implemented,
+// the engine reports whether the interacting pair belongs to one rigid
+// component (an active bond or a latent facing pair) or to two distinct
+// bodies colliding in the solution. The base model does not expose this
+// distinction, but it is physically observable — a port pair held rigidly
+// adjacent behaves differently from a chance encounter — and the
+// replication constructor of Section 7 needs it to keep its squaring rule
+// from gluing independent components (see DESIGN.md).
+type ComponentAware interface {
+	Protocol
+	InteractSame(a, b any, pa, pb grid.Dir, bonded, sameComponent bool) (na, nb any, bond bool, effective bool)
+}
+
+// TableProtocol adapts a rules.Table to the Protocol interface.
+type TableProtocol struct {
+	table *rules.Table
+}
+
+var _ Protocol = (*TableProtocol)(nil)
+
+// NewTableProtocol wraps a finite rule table.
+func NewTableProtocol(t *rules.Table) *TableProtocol {
+	return &TableProtocol{table: t}
+}
+
+// Table returns the underlying rule table.
+func (p *TableProtocol) Table() *rules.Table { return p.table }
+
+// InitialState gives node 0 the leader state when the table declares one.
+func (p *TableProtocol) InitialState(id, n int) any {
+	if id == 0 && p.table.Leader() != "" {
+		return p.table.Leader()
+	}
+	return p.table.Initial()
+}
+
+// Interact looks the interaction up in the table, in both orientations.
+func (p *TableProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+	sa, sb := a.(rules.State), b.(rules.State)
+	out, swapped, ok := p.table.Lookup(sa, pa, sb, pb, bonded)
+	if !ok {
+		return a, b, bonded, false
+	}
+	if swapped {
+		return out.B, out.A, out.Edge, true
+	}
+	return out.A, out.B, out.Edge, true
+}
+
+// Halted reports membership in Q_halt.
+func (p *TableProtocol) Halted(s any) bool {
+	st, ok := s.(rules.State)
+	return ok && p.table.Halting(st)
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"fmt"
+
+	"shapesol/internal/grid"
+)
+
+// maxSampleAttempts bounds the rejection loop before falling back to
+// exhaustive enumeration. Rejections only happen when a sampled open-port
+// pair of two multi-node components collides geometrically, so in practice
+// a handful of attempts suffice.
+const maxSampleAttempts = 10_000
+
+// InteractionKind classifies how the scheduler selected a pair.
+type InteractionKind int
+
+// Interaction kinds: an already active bond, a latent facing pair inside a
+// component, or a pair of open ports of two distinct components.
+const (
+	KindBond InteractionKind = iota + 1
+	KindLatent
+	KindInter
+)
+
+// StepInfo describes one scheduler step.
+type StepInfo struct {
+	Kind      InteractionKind
+	A, B      PortRef
+	Effective bool
+	Merged    bool
+	Split     bool
+}
+
+// Step performs one scheduler selection and interaction. ErrNoInteraction
+// is returned when the permissible set is empty.
+func (w *World) Step() (StepInfo, error) {
+	for attempt := 0; attempt < maxSampleAttempts; attempt++ {
+		w1 := int64(w.bonded.Len())
+		w2 := int64(w.latent.Len())
+		w3 := (w.openT*w.openT - w.openS2) / 2
+		total := w1 + w2 + w3
+		if total == 0 {
+			return StepInfo{}, ErrNoInteraction
+		}
+		r := w.rng.Int63n(total)
+		switch {
+		case r < w1:
+			pp, _ := w.bonded.Sample(w.rng)
+			return w.fireIntra(pp, true), nil
+		case r < w1+w2:
+			pp, _ := w.latent.Sample(w.rng)
+			return w.fireIntra(pp, false), nil
+		default:
+			pi, pj, ok := w.sampleOpenPair()
+			if !ok {
+				continue
+			}
+			placements := w.feasiblePlacements(pi, pj)
+			if len(placements) == 0 {
+				continue // reject; restart the whole draw to stay uniform
+			}
+			m := placements[w.rng.Intn(len(placements))]
+			return w.fireInter(pi, pj, m), nil
+		}
+	}
+	return w.stepExhaustive()
+}
+
+// sampleOpenPair draws an unordered pair of open ports of two distinct
+// components, each such pair with equal probability. Drawing the two
+// components independently with probability proportional to their open-port
+// counts and rejecting i == j realizes exactly that distribution; the
+// rejection loop stays INSIDE the inter category so that the category
+// weights remain exact.
+func (w *World) sampleOpenPair() (PortRef, PortRef, bool) {
+	for attempt := 0; attempt < maxSampleAttempts; attempt++ {
+		si, ok := w.weights.Sample(w.rng)
+		if !ok {
+			return PortRef{}, PortRef{}, false
+		}
+		sj, ok := w.weights.Sample(w.rng)
+		if !ok {
+			return PortRef{}, PortRef{}, false
+		}
+		if si == sj {
+			continue
+		}
+		pi, _ := w.comps[si].open.Sample(w.rng)
+		pj, _ := w.comps[sj].open.Sample(w.rng)
+		return pi, pj, true
+	}
+	return PortRef{}, PortRef{}, false
+}
+
+// feasiblePlacements returns the isometries mapping pj's component frame
+// into pi's component frame that align the two ports at unit distance
+// without any cell collision. In 2D there is at most one; in 3D up to four.
+func (w *World) feasiblePlacements(pi, pj PortRef) []grid.Isometry {
+	ca := w.comps[w.nodes[pi.Node].comp]
+	cb := w.comps[w.nodes[pj.Node].comp]
+	dA := w.worldDir(pi.Node, pi.Port)
+	target := w.nodes[pi.Node].pos.Step(dA)
+	dB := w.worldDir(pj.Node, pj.Port)
+
+	var out []grid.Isometry
+	for _, g := range grid.RotsMapping(dB, dA.Opposite(), w.rots) {
+		iso := grid.Isometry{R: g, T: target.Sub(g.Apply(w.nodes[pj.Node].pos))}
+		if w.placementFree(ca, cb, iso) {
+			out = append(out, iso)
+		}
+	}
+	return out
+}
+
+// placementFree reports whether mapping component b through iso collides
+// with component a. It iterates the smaller side.
+func (w *World) placementFree(a, b *component, iso grid.Isometry) bool {
+	if len(b.cells) <= len(a.cells) {
+		for p := range b.cells {
+			if _, hit := a.cells[iso.Apply(p)]; hit {
+				return false
+			}
+		}
+		return true
+	}
+	inv := iso.Inverse()
+	for p := range a.cells {
+		if _, hit := b.cells[inv.Apply(p)]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+// fireIntra executes an interaction on an intra-component pair (an active
+// bond or a latent facing pair).
+func (w *World) fireIntra(pp PortPair, bondedNow bool) StepInfo {
+	w.steps++
+	kind := KindLatent
+	if bondedNow {
+		kind = KindBond
+	}
+	info := StepInfo{Kind: kind, A: pp.A, B: pp.B}
+	a, b := pp.A, pp.B
+	if w.rng.Intn(2) == 1 { // unordered pair: randomize presentation order
+		a, b = b, a
+	}
+	na, nb, bond, effective := w.interact(
+		w.nodes[a.Node].state, w.nodes[b.Node].state, a.Port, b.Port, bondedNow, true)
+	if !effective {
+		return info
+	}
+	info.Effective = true
+	w.effective++
+	w.applyState(a.Node, na)
+	w.applyState(b.Node, nb)
+	switch {
+	case bondedNow && !bond:
+		info.Split = w.deactivate(pp)
+	case !bondedNow && bond:
+		w.activate(pp)
+	}
+	return info
+}
+
+// fireInter executes an interaction between two components whose ports were
+// aligned through iso (mapping b's frame into a's frame).
+func (w *World) fireInter(pi, pj PortRef, iso grid.Isometry) StepInfo {
+	w.steps++
+	info := StepInfo{Kind: KindInter, A: pi, B: pj}
+	a, b := pi, pj
+	if w.rng.Intn(2) == 1 {
+		a, b = b, a
+	}
+	na, nb, bond, effective := w.interact(
+		w.nodes[a.Node].state, w.nodes[b.Node].state, a.Port, b.Port, false, false)
+	if !effective {
+		return info
+	}
+	info.Effective = true
+	w.effective++
+	w.applyState(a.Node, na)
+	w.applyState(b.Node, nb)
+	if bond {
+		w.merge(pi, pj, iso)
+		info.Merged = true
+	}
+	return info
+}
+
+// interact dispatches to the protocol, passing component information to
+// ComponentAware implementations.
+func (w *World) interact(a, b any, pa, pb grid.Dir, bonded, sameComp bool) (any, any, bool, bool) {
+	if ca, ok := w.proto.(ComponentAware); ok {
+		return ca.InteractSame(a, b, pa, pb, bonded, sameComp)
+	}
+	return w.proto.Interact(a, b, pa, pb, bonded)
+}
+
+func (w *World) applyState(id int, s any) {
+	nd := &w.nodes[id]
+	if nd.halted {
+		w.haltedCount--
+	}
+	nd.state = s
+	nd.halted = w.proto.Halted(s)
+	if nd.halted {
+		w.haltedCount++
+	}
+}
+
+// activate turns a latent facing pair into an active bond.
+func (w *World) activate(pp PortPair) {
+	w.latent.Remove(pp)
+	w.bonded.Add(pp)
+	w.nodes[pp.A.Node].bondedTo[pp.A.Port] = int32(pp.B.Node)
+	w.nodes[pp.B.Node].bondedTo[pp.B.Port] = int32(pp.A.Node)
+}
+
+// deactivate removes an active bond; if the component falls apart the two
+// sides become independent components that drift away from each other. It
+// reports whether a split occurred.
+func (w *World) deactivate(pp PortPair) bool {
+	w.bonded.Remove(pp)
+	w.nodes[pp.A.Node].bondedTo[pp.A.Port] = -1
+	w.nodes[pp.B.Node].bondedTo[pp.B.Port] = -1
+
+	c := w.comps[w.nodes[pp.A.Node].comp]
+	side := w.bondSide(pp.A.Node, len(c.nodes))
+	if side[pp.B.Node] {
+		// Still connected: the cells remain adjacent, so the pair becomes
+		// latent.
+		w.latent.Add(pp)
+		return false
+	}
+	w.split(c, side)
+	return true
+}
+
+// bondSide collects the nodes reachable from start through active bonds.
+func (w *World) bondSide(start, sizeHint int) map[int]bool {
+	seen := make(map[int]bool, sizeHint)
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, other := range w.nodes[id].bondedTo {
+			if other >= 0 && !seen[int(other)] {
+				seen[int(other)] = true
+				queue = append(queue, int(other))
+			}
+		}
+	}
+	return seen
+}
+
+// split moves the given side of component c into a fresh component. All
+// latent pairs crossing the cut disappear: the two bodies are no longer
+// held together, so their relative placement is forgotten.
+//
+// Iteration is over node slices, never maps, so that the mutation order of
+// the sampling sets — and therefore the whole run — is reproducible from
+// the seed.
+func (w *World) split(c *component, side map[int]bool) {
+	w.splits++
+	// Move the smaller set for efficiency.
+	moveSide := len(side) <= len(c.nodes)/2
+
+	nc := w.newComponent()
+	remaining := c.nodes[:0]
+	for _, id := range c.nodes {
+		if side[id] == moveSide {
+			nc.nodes = append(nc.nodes, id)
+			w.nodes[id].comp = nc.slot
+			delete(c.cells, w.nodes[id].pos)
+			nc.cells[w.nodes[id].pos] = id
+		} else {
+			remaining = append(remaining, id)
+		}
+	}
+	c.nodes = remaining
+
+	// Drop latent pairs that crossed the cut: the moved nodes' cells were
+	// already removed from c.cells, so any facing cell still in c.cells
+	// belongs to the other side.
+	for _, id := range nc.nodes {
+		for _, p := range w.ports {
+			if w.nodes[id].bondedTo[p] >= 0 {
+				continue
+			}
+			f := w.facingCell(id, p)
+			other, ok := c.cells[f]
+			if !ok {
+				continue
+			}
+			op := w.portOfWorldDir(other, w.worldDir(id, p).Opposite())
+			w.latent.Remove(newPortPair(PortRef{Node: id, Port: p}, PortRef{Node: other, Port: op}))
+		}
+	}
+
+	// Openness changed along the cut; splits are rare, so rebuild both.
+	w.rebuildOpen(c)
+	w.rebuildOpen(nc)
+}
+
+// rebuildOpen recomputes the open-port set of a component from scratch.
+func (w *World) rebuildOpen(c *component) {
+	c.open.Clear()
+	for _, id := range c.nodes {
+		w.recomputeOpen(c, id)
+	}
+	w.syncWeight(c)
+}
+
+// merge joins pj's component into pi's component using the placement iso
+// and activates the bond between the two sampled ports. Every new facing
+// pair created across the seam becomes latent.
+func (w *World) merge(pi, pj PortRef, iso grid.Isometry) {
+	w.merges++
+	dst := w.comps[w.nodes[pi.Node].comp]
+	src := w.comps[w.nodes[pj.Node].comp]
+	if len(src.cells) > len(dst.cells) {
+		// Transform the smaller body: merge dst into src through the
+		// inverse placement, swapping roles.
+		dst, src = src, dst
+		pi, pj = pj, pi
+		iso = iso.Inverse()
+	}
+
+	incoming := make(map[int]bool, len(src.nodes))
+	for _, id := range src.nodes {
+		incoming[id] = true
+	}
+
+	// Re-pose the incoming nodes in dst's frame.
+	for _, id := range src.nodes {
+		nd := &w.nodes[id]
+		nd.pos = iso.Apply(nd.pos)
+		nd.rot = iso.R.Compose(nd.rot)
+		nd.comp = dst.slot
+		if prev, clash := dst.cells[nd.pos]; clash {
+			panic(fmt.Sprintf("sim: merge collision at %v between nodes %d and %d", nd.pos, prev, id))
+		}
+		dst.cells[nd.pos] = id
+		dst.nodes = append(dst.nodes, id)
+	}
+
+	// Seam pass: openness of incoming nodes, plus new facing pairs between
+	// the two sides.
+	bondPair := newPortPair(pi, pj)
+	for _, id := range src.nodes {
+		for _, p := range w.ports {
+			ref := PortRef{Node: id, Port: p}
+			f := w.facingCell(id, p)
+			other, occupied := dst.cells[f]
+			if !occupied {
+				dst.open.Add(ref)
+				continue
+			}
+			dst.open.Remove(ref)
+			if incoming[other] {
+				continue // internal pair of the incoming body: already tracked
+			}
+			// New seam pair with a node of the original dst side.
+			op := w.portOfWorldDir(other, w.worldDir(id, p).Opposite())
+			oref := PortRef{Node: other, Port: op}
+			dst.open.Remove(oref)
+			pp := newPortPair(ref, oref)
+			if pp == bondPair {
+				continue // activated below
+			}
+			w.latent.Add(pp)
+		}
+	}
+
+	w.bonded.Add(bondPair)
+	w.nodes[pi.Node].bondedTo[pi.Port] = int32(pj.Node)
+	w.nodes[pj.Node].bondedTo[pj.Port] = int32(pi.Node)
+
+	w.syncWeight(dst)
+	w.dropComponent(src)
+}
+
+// stepExhaustive enumerates the full permissible set once and samples from
+// it uniformly. It is the fallback when rejection sampling exceeds its
+// attempt budget, and the ground truth used by engine invariant tests.
+func (w *World) stepExhaustive() (StepInfo, error) {
+	type inter struct {
+		pi, pj PortRef
+		isos   []grid.Isometry
+	}
+	var inters []inter
+	slots := w.ComponentSlots()
+	for x := 0; x < len(slots); x++ {
+		for y := x + 1; y < len(slots); y++ {
+			ca, cb := w.comps[slots[x]], w.comps[slots[y]]
+			for _, pi := range ca.open.Items() {
+				for _, pj := range cb.open.Items() {
+					if isos := w.feasiblePlacements(pi, pj); len(isos) > 0 {
+						inters = append(inters, inter{pi, pj, isos})
+					}
+				}
+			}
+		}
+	}
+	total := int64(w.bonded.Len()+w.latent.Len()) + int64(len(inters))
+	if total == 0 {
+		return StepInfo{}, ErrNoInteraction
+	}
+	r := w.rng.Int63n(total)
+	switch {
+	case r < int64(w.bonded.Len()):
+		return w.fireIntra(w.bonded.Items()[r], true), nil
+	case r < int64(w.bonded.Len()+w.latent.Len()):
+		return w.fireIntra(w.latent.Items()[r-int64(w.bonded.Len())], false), nil
+	default:
+		in := inters[r-int64(w.bonded.Len()+w.latent.Len())]
+		return w.fireInter(in.pi, in.pj, in.isos[w.rng.Intn(len(in.isos))]), nil
+	}
+}

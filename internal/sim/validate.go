@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"shapesol/internal/grid"
+)
+
+// Validate cross-checks every incremental data structure against a from-
+// scratch recomputation. It is used by the engine's own tests after long
+// randomized runs; a non-nil error means the incremental scheduler state
+// diverged from the ground truth.
+func (w *World) Validate() error {
+	// Node <-> component consistency.
+	liveNodes := 0
+	for slot, c := range w.comps {
+		if c == nil {
+			continue
+		}
+		if c.slot != slot {
+			return fmt.Errorf("component slot mismatch: %d vs %d", c.slot, slot)
+		}
+		if len(c.cells) != len(c.nodes) {
+			return fmt.Errorf("slot %d: %d cells vs %d nodes", slot, len(c.cells), len(c.nodes))
+		}
+		liveNodes += len(c.nodes)
+		for _, id := range c.nodes {
+			if w.nodes[id].comp != slot {
+				return fmt.Errorf("node %d comp=%d but listed in slot %d", id, w.nodes[id].comp, slot)
+			}
+			if got, ok := c.cells[w.nodes[id].pos]; !ok || got != id {
+				return fmt.Errorf("node %d not at its cell %v", id, w.nodes[id].pos)
+			}
+		}
+	}
+	if liveNodes != w.n {
+		return fmt.Errorf("%d nodes tracked in components, want %d", liveNodes, w.n)
+	}
+
+	// Bond symmetry and geometric consistency.
+	bondCount := 0
+	for id := range w.nodes {
+		nd := &w.nodes[id]
+		for p := grid.Dir(0); p < grid.NumDirs; p++ {
+			other := nd.bondedTo[p]
+			if other < 0 {
+				continue
+			}
+			bondCount++
+			od := &w.nodes[other]
+			if od.comp != nd.comp {
+				return fmt.Errorf("bond %d-%d crosses components", id, other)
+			}
+			if w.facingCell(id, p) != od.pos {
+				return fmt.Errorf("bond %d(%v)-%d not geometrically facing", id, p, other)
+			}
+			op := w.portOfWorldDir(int(other), w.worldDir(id, p).Opposite())
+			if od.bondedTo[op] != int32(id) {
+				return fmt.Errorf("bond %d-%d asymmetric", id, other)
+			}
+			pp := newPortPair(PortRef{Node: id, Port: p}, PortRef{Node: int(other), Port: op})
+			if !w.bonded.Has(pp) {
+				return fmt.Errorf("bond %d-%d missing from bonded set", id, other)
+			}
+		}
+	}
+	if bondCount != 2*w.bonded.Len() {
+		return fmt.Errorf("bondedTo lists %d half-bonds, set has %d pairs", bondCount, w.bonded.Len())
+	}
+
+	// Bond-connectivity of every component.
+	for _, c := range w.comps {
+		if c == nil {
+			continue
+		}
+		if got := len(w.bondSide(c.nodes[0], len(c.nodes))); got != len(c.nodes) {
+			return fmt.Errorf("slot %d not bond-connected: %d of %d", c.slot, got, len(c.nodes))
+		}
+	}
+
+	// Latent pairs: exactly the adjacent facing unbonded intra pairs.
+	wantLatent := make(map[PortPair]bool)
+	for _, c := range w.comps {
+		if c == nil {
+			continue
+		}
+		for _, id := range c.nodes {
+			for _, p := range w.ports {
+				if w.nodes[id].bondedTo[p] >= 0 {
+					continue
+				}
+				other, ok := c.cells[w.facingCell(id, p)]
+				if !ok {
+					continue
+				}
+				op := w.portOfWorldDir(other, w.worldDir(id, p).Opposite())
+				wantLatent[newPortPair(PortRef{Node: id, Port: p}, PortRef{Node: other, Port: op})] = true
+			}
+		}
+	}
+	if len(wantLatent) != w.latent.Len() {
+		return fmt.Errorf("latent set has %d pairs, want %d", w.latent.Len(), len(wantLatent))
+	}
+	for _, pp := range w.latent.Items() {
+		if !wantLatent[pp] {
+			return fmt.Errorf("stale latent pair %+v", pp)
+		}
+	}
+
+	// Open ports and sampler weights.
+	var wantT, wantS2 int64
+	for _, c := range w.comps {
+		if c == nil {
+			continue
+		}
+		want := make(map[PortRef]bool)
+		for _, id := range c.nodes {
+			for _, p := range w.ports {
+				if _, occupied := c.cells[w.facingCell(id, p)]; !occupied {
+					want[PortRef{Node: id, Port: p}] = true
+				}
+			}
+		}
+		if len(want) != c.open.Len() {
+			return fmt.Errorf("slot %d open set has %d ports, want %d", c.slot, c.open.Len(), len(want))
+		}
+		for _, ref := range c.open.Items() {
+			if !want[ref] {
+				return fmt.Errorf("slot %d stale open port %+v", c.slot, ref)
+			}
+		}
+		o := int64(len(want))
+		if w.weights.Weight(c.slot) != o {
+			return fmt.Errorf("slot %d weight %d, want %d", c.slot, w.weights.Weight(c.slot), o)
+		}
+		wantT += o
+		wantS2 += o * o
+	}
+	for _, slot := range w.freeSlots {
+		if w.weights.Weight(slot) != 0 {
+			return fmt.Errorf("free slot %d has non-zero weight", slot)
+		}
+	}
+	if w.openT != wantT || w.openS2 != wantS2 {
+		return fmt.Errorf("aggregates T=%d S2=%d, want %d, %d", w.openT, w.openS2, wantT, wantS2)
+	}
+	return nil
+}

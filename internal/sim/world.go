@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"shapesol/internal/grid"
+	"shapesol/internal/wrand"
+)
+
+// ErrNoInteraction is returned by Step when no permissible interaction
+// exists (only possible in degenerate configurations such as n == 1).
+var ErrNoInteraction = errors.New("sim: no permissible interaction")
+
+// PortRef identifies one side of an interaction: a node and one of its
+// local ports.
+type PortRef struct {
+	Node int
+	Port grid.Dir
+}
+
+// PortPair is an unordered pair of node-ports, canonicalized by node id.
+// The two nodes are always distinct.
+type PortPair struct {
+	A, B PortRef
+}
+
+func newPortPair(a, b PortRef) PortPair {
+	if b.Node < a.Node {
+		a, b = b, a
+	}
+	return PortPair{A: a, B: b}
+}
+
+// nodeData is the engine's per-node record. pos and rot are expressed in
+// the node's component frame; absolute coordinates are meaningless in a
+// well-mixed solution.
+type nodeData struct {
+	state    any
+	comp     int // component slot
+	pos      grid.Pos
+	rot      grid.Rot
+	halted   bool
+	bondedTo [grid.NumDirs]int32 // node bonded via local port p, or -1
+}
+
+// component is a rigid connected body (or a lone free node).
+type component struct {
+	slot  int
+	nodes []int
+	cells map[grid.Pos]int // occupied cell -> node id
+	open  *wrand.Set[PortRef]
+}
+
+// Options configures a World.
+type Options struct {
+	// Dim selects the 2D (4 ports) or 3D (6 ports) model. Default 2.
+	Dim int
+	// Seed seeds the single RNG driving the scheduler.
+	Seed int64
+	// MaxSteps bounds Run. Default 50 million.
+	MaxSteps int64
+	// StopWhenAnyHalted stops Run once any node enters a halting state
+	// (terminating protocols with a halting leader).
+	StopWhenAnyHalted bool
+	// StopWhenAllHalted stops Run once every node has halted.
+	StopWhenAllHalted bool
+	// MaxIneffective, when positive, stops Run after that many consecutive
+	// ineffective interactions (a stabilization heuristic for the paper's
+	// stabilizing-but-not-terminating protocols).
+	MaxIneffective int64
+	// HaltWhen, when non-nil, is evaluated every CheckEvery steps and stops
+	// Run when it returns true.
+	HaltWhen func(*World) bool
+	// CheckEvery defaults to 256.
+	CheckEvery int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dim == 0 {
+		o.Dim = 2
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 50_000_000
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 256
+	}
+	return o
+}
+
+// StopReason explains why Run returned.
+type StopReason int
+
+// Stop reasons. ReasonMaxSteps means the budget ran out before any
+// terminating condition fired.
+const (
+	ReasonMaxSteps StopReason = iota + 1
+	ReasonHalted
+	ReasonNoInteraction
+	ReasonIneffective
+	ReasonPredicate
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonMaxSteps:
+		return "max-steps"
+	case ReasonHalted:
+		return "halted"
+	case ReasonNoInteraction:
+		return "no-interaction"
+	case ReasonIneffective:
+		return "ineffective-window"
+	case ReasonPredicate:
+		return "predicate"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// Result summarizes a Run.
+type Result struct {
+	Steps     int64 // total scheduler selections
+	Effective int64 // effective interactions
+	Merges    int64
+	Splits    int64
+	Reason    StopReason
+}
+
+// World is a complete simulation instance. It is not safe for concurrent
+// use; run independent worlds in parallel instead.
+type World struct {
+	n     int
+	opts  Options
+	ports []grid.Dir
+	rots  []grid.Rot
+	proto Protocol
+	rng   *rand.Rand
+
+	nodes     []nodeData
+	comps     []*component
+	freeSlots []int
+	weights   *wrand.Fenwick // open-port count per component slot
+	openT     int64          // sum of open-port counts
+	openS2    int64          // sum of squared open-port counts
+
+	bonded *wrand.Set[PortPair]
+	latent *wrand.Set[PortPair]
+
+	steps, effective, merges, splits int64
+	ineffectiveRun                   int64
+	haltedCount                      int
+}
+
+// New builds a world of n free nodes, each in its protocol-defined initial
+// state.
+func New(n int, proto Protocol, opts Options) *World {
+	w := newEmpty(n, proto, opts)
+	for id := 0; id < n; id++ {
+		w.addFreeNode(id, proto.InitialState(id, n))
+	}
+	return w
+}
+
+func newEmpty(n int, proto Protocol, opts Options) *World {
+	opts = opts.withDefaults()
+	if opts.Dim != 2 && opts.Dim != 3 {
+		panic(fmt.Sprintf("sim: invalid dimension %d", opts.Dim))
+	}
+	w := &World{
+		n:       n,
+		opts:    opts,
+		proto:   proto,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:   make([]nodeData, n),
+		comps:   make([]*component, 0, n),
+		weights: wrand.NewFenwick(n),
+		bonded:  wrand.NewSet[PortPair](),
+		latent:  wrand.NewSet[PortPair](),
+	}
+	if opts.Dim == 2 {
+		w.ports = grid.Ports2D[:]
+		w.rots = grid.PlanarRots()
+	} else {
+		w.ports = grid.Ports3D[:]
+		w.rots = grid.AllRots()
+	}
+	return w
+}
+
+// addFreeNode installs node id as a singleton component at the origin of its
+// own frame.
+func (w *World) addFreeNode(id int, state any) {
+	nd := &w.nodes[id]
+	nd.state = state
+	nd.pos = grid.Pos{}
+	nd.rot = grid.Identity
+	nd.halted = w.proto.Halted(state)
+	if nd.halted {
+		w.haltedCount++
+	}
+	for i := range nd.bondedTo {
+		nd.bondedTo[i] = -1
+	}
+	c := w.newComponent()
+	c.nodes = append(c.nodes, id)
+	c.cells[grid.Pos{}] = id
+	nd.comp = c.slot
+	for _, p := range w.ports {
+		c.open.Add(PortRef{Node: id, Port: p})
+	}
+	w.syncWeight(c)
+}
+
+func (w *World) newComponent() *component {
+	var slot int
+	if len(w.freeSlots) > 0 {
+		slot = w.freeSlots[len(w.freeSlots)-1]
+		w.freeSlots = w.freeSlots[:len(w.freeSlots)-1]
+	} else {
+		slot = len(w.comps)
+		w.comps = append(w.comps, nil)
+		if slot >= w.weights.Len() {
+			w.weights.Grow(2*slot + 1)
+		}
+	}
+	c := &component{
+		slot:  slot,
+		cells: make(map[grid.Pos]int),
+		open:  wrand.NewSet[PortRef](),
+	}
+	w.comps[slot] = c
+	return c
+}
+
+func (w *World) dropComponent(c *component) {
+	w.setWeight(c.slot, 0)
+	w.comps[c.slot] = nil
+	w.freeSlots = append(w.freeSlots, c.slot)
+}
+
+// setWeight maintains the Fenwick tree and the openT/openS2 aggregates.
+func (w *World) setWeight(slot int, count int64) {
+	old := w.weights.Weight(slot)
+	if old == count {
+		return
+	}
+	w.openT += count - old
+	w.openS2 += count*count - old*old
+	w.weights.Set(slot, count)
+}
+
+func (w *World) syncWeight(c *component) {
+	w.setWeight(c.slot, int64(c.open.Len()))
+}
+
+// worldDir returns the component-frame direction of node id's local port p.
+func (w *World) worldDir(id int, p grid.Dir) grid.Dir {
+	return w.nodes[id].rot.Dir(p)
+}
+
+// portOfWorldDir returns the local port of node id pointing in
+// component-frame direction d.
+func (w *World) portOfWorldDir(id int, d grid.Dir) grid.Dir {
+	return w.nodes[id].rot.Inverse().Dir(d)
+}
+
+// facingCell returns the cell faced by node id's port p (component frame).
+func (w *World) facingCell(id int, p grid.Dir) grid.Pos {
+	return w.nodes[id].pos.Step(w.worldDir(id, p))
+}
+
+// recomputeOpen rebuilds the open/closed status of every port of node id
+// within component c.
+func (w *World) recomputeOpen(c *component, id int) {
+	for _, p := range w.ports {
+		ref := PortRef{Node: id, Port: p}
+		if _, occupied := c.cells[w.facingCell(id, p)]; occupied {
+			c.open.Remove(ref)
+		} else {
+			c.open.Add(ref)
+		}
+	}
+}
+
+// N returns the population size.
+func (w *World) N() int { return w.n }
+
+// Dim returns 2 or 3.
+func (w *World) Dim() int { return w.opts.Dim }
+
+// Steps returns the number of scheduler selections so far.
+func (w *World) Steps() int64 { return w.steps }
+
+// Effective returns the number of effective interactions so far.
+func (w *World) Effective() int64 { return w.effective }
+
+// State returns the current state of node id.
+func (w *World) State(id int) any { return w.nodes[id].state }
+
+// SetNodeState overrides a node's state (used by configuration builders and
+// tests, never by protocols).
+func (w *World) SetNodeState(id int, s any) {
+	nd := &w.nodes[id]
+	if nd.halted {
+		w.haltedCount--
+	}
+	nd.state = s
+	nd.halted = w.proto.Halted(s)
+	if nd.halted {
+		w.haltedCount++
+	}
+}
+
+// HaltedCount returns the number of nodes in halting states.
+func (w *World) HaltedCount() int { return w.haltedCount }
+
+// Pos returns node id's cell in its component frame.
+func (w *World) Pos(id int) grid.Pos { return w.nodes[id].pos }
+
+// Rot returns node id's orientation in its component frame.
+func (w *World) Rot(id int) grid.Rot { return w.nodes[id].rot }
+
+// ComponentOf returns the component slot of node id.
+func (w *World) ComponentOf(id int) int { return w.nodes[id].comp }
+
+// ComponentSlots returns the live component slots in ascending order.
+func (w *World) ComponentSlots() []int {
+	var out []int
+	for i, c := range w.comps {
+		if c != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumComponents returns the number of connected components (free nodes are
+// singleton components).
+func (w *World) NumComponents() int {
+	n := 0
+	for _, c := range w.comps {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ComponentNodes returns the node ids of component slot.
+func (w *World) ComponentNodes(slot int) []int {
+	c := w.comps[slot]
+	if c == nil {
+		return nil
+	}
+	out := make([]int, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// ComponentSize returns the number of nodes in component slot.
+func (w *World) ComponentSize(slot int) int {
+	c := w.comps[slot]
+	if c == nil {
+		return 0
+	}
+	return len(c.nodes)
+}
+
+// ComponentShape returns the shape (cells plus active bonds) of component
+// slot, in the component's own frame.
+func (w *World) ComponentShape(slot int) *grid.Shape {
+	c := w.comps[slot]
+	s := grid.NewShape()
+	if c == nil {
+		return s
+	}
+	for p := range c.cells {
+		s.Add(p)
+	}
+	for _, id := range c.nodes {
+		nd := &w.nodes[id]
+		for p, other := range nd.bondedTo {
+			if other >= 0 {
+				q := w.facingCell(id, grid.Dir(p))
+				if err := s.Bond(nd.pos, q); err != nil {
+					panic(fmt.Sprintf("sim: inconsistent bond: %v", err))
+				}
+			}
+		}
+	}
+	return s
+}
+
+// LargestComponent returns the slot and node count of the largest
+// component.
+func (w *World) LargestComponent() (slot, size int) {
+	slot = -1
+	for i, c := range w.comps {
+		if c != nil && len(c.nodes) > size {
+			slot, size = i, len(c.nodes)
+		}
+	}
+	return slot, size
+}
+
+// BondedNeighbor returns the node bonded to id via local port p, or -1.
+func (w *World) BondedNeighbor(id int, p grid.Dir) int {
+	return int(w.nodes[id].bondedTo[p])
+}
+
+// CountStates tallies node states by their fmt.Stringer/string value via
+// the supplied key function (useful in tests and tools).
+func (w *World) CountStates(key func(any) string) map[string]int {
+	out := make(map[string]int)
+	for i := range w.nodes {
+		out[key(w.nodes[i].state)]++
+	}
+	return out
+}
+
+// Run executes scheduler steps until a stop condition fires. Stop
+// conditions already true at entry (for example a protocol whose initial
+// configuration is terminal) return immediately.
+func (w *World) Run() Result {
+	reason := ReasonMaxSteps
+	switch {
+	case w.opts.StopWhenAnyHalted && w.haltedCount > 0,
+		w.opts.StopWhenAllHalted && w.haltedCount == w.n:
+		reason = ReasonHalted
+		return Result{Steps: w.steps, Effective: w.effective,
+			Merges: w.merges, Splits: w.splits, Reason: reason}
+	}
+	for w.steps < w.opts.MaxSteps {
+		info, err := w.Step()
+		if err != nil {
+			reason = ReasonNoInteraction
+			break
+		}
+		if info.Effective {
+			w.ineffectiveRun = 0
+		} else {
+			w.ineffectiveRun++
+			if w.opts.MaxIneffective > 0 && w.ineffectiveRun >= w.opts.MaxIneffective {
+				reason = ReasonIneffective
+				break
+			}
+		}
+		if w.opts.StopWhenAnyHalted && w.haltedCount > 0 {
+			reason = ReasonHalted
+			break
+		}
+		if w.opts.StopWhenAllHalted && w.haltedCount == w.n {
+			reason = ReasonHalted
+			break
+		}
+		if w.opts.HaltWhen != nil && w.steps%w.opts.CheckEvery == 0 && w.opts.HaltWhen(w) {
+			reason = ReasonPredicate
+			break
+		}
+	}
+	return Result{
+		Steps:     w.steps,
+		Effective: w.effective,
+		Merges:    w.merges,
+		Splits:    w.splits,
+		Reason:    reason,
+	}
+}

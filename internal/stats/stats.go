@@ -1,0 +1,117 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, success-rate intervals and
+// log-log slope fits for time-complexity measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P10, P90  float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, x := range sorted {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.P10 = Quantile(sorted, 0.1)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Rate is a success proportion with a Wilson 95% confidence interval.
+type Rate struct {
+	Successes, Trials int
+	P, Lo, Hi         float64
+}
+
+// NewRate computes the proportion and its Wilson interval.
+func NewRate(successes, trials int) Rate {
+	r := Rate{Successes: successes, Trials: trials}
+	if trials == 0 {
+		return r
+	}
+	const z = 1.96
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	margin := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	r.P = p
+	// The Wilson interval always contains p; clamp away floating-point
+	// residue at the p = 0 and p = 1 edges.
+	r.Lo = math.Min(math.Max(0, center-margin), p)
+	r.Hi = math.Max(math.Min(1, center+margin), p)
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	return fmt.Sprintf("%d/%d = %.3f [%.3f, %.3f]", r.Successes, r.Trials, r.P, r.Lo, r.Hi)
+}
+
+// LogLogSlope fits log(y) = a + b*log(x) by least squares and returns the
+// exponent b — the empirical polynomial degree of y(x).
+func LogLogSlope(xs, ys []float64) (slope float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need matching samples of size >= 2, got %d, %d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("stats: log-log fit needs positive values")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("stats: degenerate x values")
+	}
+	return (n*sxy - sx*sy) / denom, nil
+}

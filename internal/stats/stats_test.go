@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty sample")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Fatalf("median interpolation = %v", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("single sample = %v", got)
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	f := func(s, n uint8) bool {
+		trials := int(n%50) + 1
+		succ := int(s) % (trials + 1)
+		r := NewRate(succ, trials)
+		return r.Lo >= 0 && r.Hi <= 1 && r.Lo <= r.P && r.P <= r.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRate(95, 100)
+	if r.Lo < 0.85 || r.Hi > 0.99 {
+		t.Fatalf("interval too loose: %v", r)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 3x^2 has slope 2.
+	xs := []float64{10, 20, 40, 80}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	slope, err := LogLogSlope(xs, ys)
+	if err != nil || math.Abs(slope-2) > 1e-9 {
+		t.Fatalf("slope = %v, err = %v", slope, err)
+	}
+	if _, err := LogLogSlope([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short sample accepted")
+	}
+	if _, err := LogLogSlope([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Fatal("negative values accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package tm
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Hand-built machines. They serve two purposes: they prove the substrate
+// with classic constructions, and BottomRowMachine demonstrates a genuine
+// shape-constructing TM (Definition 3) that the universal constructor can
+// micro-step on the embedded tape.
+
+// ParityOdd accepts binary strings containing an odd number of 1s.
+func ParityOdd() *TM {
+	b := newBuilder()
+	b.on("even", '0', "even", '0', Right)
+	b.on("even", '1', "odd", '1', Right)
+	b.on("odd", '0', "odd", '0', Right)
+	b.on("odd", '1', "even", '1', Right)
+	b.on("odd", Blank, "acc", Blank, Stay)
+	b.on("even", Blank, "rej", Blank, Stay)
+	return &TM{Name: "parity-odd", Start: "even", Accept: "acc", Reject: "rej", Delta: b.delta}
+}
+
+// IncrementLSB adds one to a binary number written least-significant-bit
+// first, in place, and accepts. The carry ripples rightward.
+func IncrementLSB() *TM {
+	b := newBuilder()
+	b.on("carry", '1', "carry", '0', Right)
+	b.on("carry", '0', "acc", '1', Stay)
+	b.on("carry", Blank, "acc", '1', Stay)
+	return &TM{Name: "increment-lsb", Start: "carry", Accept: "acc", Reject: "rej", Delta: b.delta}
+}
+
+// compareMachine builds the shared zig-zag marking comparator over inputs
+// of the form "^a#b" with a and b equal-width binary strings (MSB first).
+// Behavior at the first differing bit pair and at exhaustion (#) is
+// parameterized:
+//
+//	onLess:  outcome when a's bit is 0 and b's is 1
+//	onGreat: outcome when a's bit is 1 and b's is 0
+//	onEqual: outcome when every pair matched
+func compareMachine(name, onLess, onGreat, onEqual string) *TM {
+	b := newBuilder()
+	// scanA: find a's leftmost unmarked bit.
+	b.on("scanA", 'X', "scanA", 'X', Right)
+	b.on("scanA", '0', "seek0", 'X', Right)
+	b.on("scanA", '1', "seek1", 'X', Right)
+	b.on("scanA", '#', onEqual, '#', Stay)
+	for _, v := range []byte{'0', '1'} {
+		seek := "seek" + string(v)
+		skip := "skip" + string(v)
+		// seek: run right over a's remaining bits to '#'.
+		b.onAll(seek, "01", seek, Right)
+		b.on(seek, '#', skip, '#', Right)
+		// skip: run right over b's marked prefix.
+		b.on(skip, 'X', skip, 'X', Right)
+	}
+	// Compare at b's leftmost unmarked bit.
+	b.on("skip0", '0', "rewind", 'X', Left)
+	b.on("skip0", '1', onLess, '1', Stay)
+	b.on("skip1", '1', "rewind", 'X', Left)
+	b.on("skip1", '0', onGreat, '0', Stay)
+	// rewind: return to the start marker.
+	b.onAll("rewind", "01X#", "rewind", Left)
+	b.on("rewind", '^', "scanA", '^', Right)
+	return &TM{Name: name, Start: "start", Accept: "acc", Reject: "rej", Delta: b.delta}
+}
+
+func withStart(m *TM) *TM {
+	// Consume the '^' marker once at the beginning.
+	m.Delta[Key{State: "start", Read: '^'}] = Action{Next: "scanA", Write: '^', Move: Right}
+	return m
+}
+
+// LessThan accepts "^a#b" iff a < b as binary numbers of equal width.
+func LessThan() *TM {
+	return withStart(compareMachine("less-than", "acc", "rej", "rej"))
+}
+
+// Equals accepts "^a#b" iff a == b (equal width).
+func Equals() *TM {
+	return withStart(compareMachine("equals", "rej", "rej", "acc"))
+}
+
+// EncodeCompare renders "^a#b" with both numbers at the width of the larger
+// of the two (and at least 1).
+func EncodeCompare(a, b int) []byte {
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("tm: cannot encode negative values %d, %d", a, b))
+	}
+	width := 1
+	for v := max(a, b); v >= 1<<width; width++ {
+	}
+	out := make([]byte, 0, 2*width+2)
+	out = append(out, '^')
+	out = appendBinary(out, a, width)
+	out = append(out, '#')
+	out = appendBinary(out, b, width)
+	return out
+}
+
+func appendBinary(dst []byte, v, width int) []byte {
+	s := strconv.FormatInt(int64(v), 2)
+	for len(s) < width {
+		s = "0" + s
+	}
+	return append(dst, s...)
+}
+
+// PixelMachine adapts a comparison machine into a shape language in the
+// sense of Definition 3: Pixel(i, d) runs the machine on input (i, d) in
+// binary. It satisfies the shapes.Language interface structurally.
+type PixelMachine struct {
+	name string
+	m    *TM
+	// encode builds the tape for pixel i of a d x d square.
+	encode func(i, d int) []byte
+	limits Limits
+}
+
+// Name identifies the machine-backed language.
+func (p *PixelMachine) Name() string { return p.name }
+
+// Pixel runs the machine on (i, d).
+func (p *PixelMachine) Pixel(i, d int) bool {
+	return p.m.Accepts(p.encode(i, d), p.limits)
+}
+
+// Machine exposes the underlying TM (the MicroStep constructor needs it).
+func (p *PixelMachine) Machine() *TM { return p.m }
+
+// Encode exposes the input encoding.
+func (p *PixelMachine) Encode(i, d int) []byte { return p.encode(i, d) }
+
+// BottomRowMachine is the genuine-TM implementation of the bottom-row
+// (spanning line) language: pixel i is on iff i < d. Space usage is
+// O(log d) — comfortably within the O(d^2) bound of Theorem 4.
+func BottomRowMachine() *PixelMachine {
+	return &PixelMachine{
+		name:   "bottom-row-tm",
+		m:      LessThan(),
+		encode: EncodeCompare,
+		limits: Limits{MaxSteps: 1_000_000, MaxSpace: 4096},
+	}
+}

@@ -1,0 +1,211 @@
+// Package tm implements the deterministic single-tape Turing machines that
+// the paper's universal constructors simulate (Section 3, Definition 3 and
+// Section 6.3): shape-constructing machines take a pixel index i and the
+// square dimension d, both in binary, and accept iff pixel i belongs to the
+// shape. The package provides the machine substrate with step and space
+// accounting plus hand-built machines used in tests and in the MicroStep
+// mode of the universal constructor.
+package tm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Move is a head movement.
+type Move int8
+
+// Head movements.
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+// Blank is the conventional blank symbol.
+const Blank byte = '_'
+
+// Key is a (state, read symbol) pair.
+type Key struct {
+	State string
+	Read  byte
+}
+
+// Action is the effect of a transition.
+type Action struct {
+	Next  string
+	Write byte
+	Move  Move
+}
+
+// TM is a deterministic single-tape Turing machine. The tape is bounded on
+// the left at cell 0 (a Left move at cell 0 stays put) and grows rightward
+// on demand up to the configured space limit. Missing transitions reject.
+type TM struct {
+	Name   string
+	Start  string
+	Accept string
+	Reject string
+	Delta  map[Key]Action
+}
+
+// Limits bounds a run. Zero values select generous defaults.
+type Limits struct {
+	MaxSteps int64
+	MaxSpace int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSteps == 0 {
+		l.MaxSteps = 10_000_000
+	}
+	if l.MaxSpace == 0 {
+		l.MaxSpace = 1 << 20
+	}
+	return l
+}
+
+// ErrResources is returned when a run exceeds its step or space budget.
+var ErrResources = errors.New("tm: resource limit exceeded")
+
+// Result reports a completed run.
+type Result struct {
+	Accepted bool
+	Steps    int64
+	Space    int // number of tape cells touched
+	Tape     []byte
+}
+
+// Validate performs structural checks on the machine.
+func (m *TM) Validate() error {
+	if m.Start == "" || m.Accept == "" || m.Reject == "" {
+		return fmt.Errorf("tm: %s: start/accept/reject must be set", m.Name)
+	}
+	if m.Accept == m.Reject {
+		return fmt.Errorf("tm: %s: accept and reject coincide", m.Name)
+	}
+	for k, a := range m.Delta {
+		if k.State == m.Accept || k.State == m.Reject {
+			return fmt.Errorf("tm: %s: transition out of halting state %s", m.Name, k.State)
+		}
+		if a.Move < Left || a.Move > Right {
+			return fmt.Errorf("tm: %s: invalid move %d", m.Name, a.Move)
+		}
+	}
+	return nil
+}
+
+// Run executes the machine on the input.
+func (m *TM) Run(input []byte, limits Limits) (Result, error) {
+	limits = limits.withDefaults()
+	cfg := NewConfig(m, input)
+	for !cfg.Halted() {
+		if cfg.Steps >= limits.MaxSteps || cfg.Space() > limits.MaxSpace {
+			return Result{}, fmt.Errorf("%w: %s after %d steps, %d cells",
+				ErrResources, m.Name, cfg.Steps, cfg.Space())
+		}
+		cfg.Step()
+	}
+	return Result{
+		Accepted: cfg.State == m.Accept,
+		Steps:    cfg.Steps,
+		Space:    cfg.Space(),
+		Tape:     cfg.Tape,
+	}, nil
+}
+
+// Accepts is a convenience wrapper that panics on resource exhaustion —
+// callers use it only with machines whose budgets are known.
+func (m *TM) Accepts(input []byte, limits Limits) bool {
+	res, err := m.Run(input, limits)
+	if err != nil {
+		panic(err)
+	}
+	return res.Accepted
+}
+
+// Config is a machine configuration exposed step-by-step, used by the
+// universal constructor's MicroStep mode where every head move costs one
+// scheduler interaction on the embedded tape.
+type Config struct {
+	M     *TM
+	State string
+	Head  int
+	Tape  []byte
+	Steps int64
+}
+
+// NewConfig initializes a run over the input.
+func NewConfig(m *TM, input []byte) *Config {
+	tape := make([]byte, len(input))
+	copy(tape, input)
+	if len(tape) == 0 {
+		tape = []byte{Blank}
+	}
+	return &Config{M: m, State: m.Start, Tape: tape}
+}
+
+// Halted reports whether the machine reached accept or reject.
+func (c *Config) Halted() bool {
+	return c.State == c.M.Accept || c.State == c.M.Reject
+}
+
+// Accepted reports acceptance (only meaningful once halted).
+func (c *Config) Accepted() bool { return c.State == c.M.Accept }
+
+// Space returns the number of tape cells in use.
+func (c *Config) Space() int { return len(c.Tape) }
+
+// Read returns the symbol under the head.
+func (c *Config) Read() byte { return c.Tape[c.Head] }
+
+// Step applies one transition. Missing transitions move to reject.
+func (c *Config) Step() {
+	if c.Halted() {
+		return
+	}
+	c.Steps++
+	act, ok := c.M.Delta[Key{State: c.State, Read: c.Tape[c.Head]}]
+	if !ok {
+		c.State = c.M.Reject
+		return
+	}
+	c.Tape[c.Head] = act.Write
+	c.State = act.Next
+	switch act.Move {
+	case Left:
+		if c.Head > 0 {
+			c.Head--
+		}
+	case Right:
+		c.Head++
+		if c.Head == len(c.Tape) {
+			c.Tape = append(c.Tape, Blank)
+		}
+	}
+}
+
+// builder assembles transition tables tersely.
+type builder struct {
+	delta map[Key]Action
+}
+
+func newBuilder() *builder { return &builder{delta: make(map[Key]Action)} }
+
+func (b *builder) on(state string, read byte, next string, write byte, mv Move) *builder {
+	k := Key{State: state, Read: read}
+	if _, dup := b.delta[k]; dup {
+		panic(fmt.Sprintf("tm: duplicate transition %v", k))
+	}
+	b.delta[k] = Action{Next: next, Write: write, Move: mv}
+	return b
+}
+
+// onAll adds the transition for every symbol in reads, writing back the
+// symbol unchanged.
+func (b *builder) onAll(state string, reads string, next string, mv Move) *builder {
+	for i := 0; i < len(reads); i++ {
+		b.on(state, reads[i], next, reads[i], mv)
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package tm
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParityOdd(t *testing.T) {
+	m := ParityOdd()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"", false}, {"0", false}, {"1", true}, {"11", false},
+		{"101", false}, {"111", true}, {"100100", false}, {"0001000", true},
+	}
+	for _, tc := range tests {
+		if got := m.Accepts([]byte(tc.in), Limits{}); got != tc.want {
+			t.Errorf("parity(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIncrementLSB(t *testing.T) {
+	m := IncrementLSB()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(v uint16) bool {
+		in := lsb(uint64(v))
+		res, err := m.Run([]byte(in), Limits{})
+		if err != nil || !res.Accepted {
+			return false
+		}
+		got := strings.TrimRight(string(res.Tape), string(Blank))
+		return got == lsb(uint64(v)+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lsb renders v least-significant-bit first.
+func lsb(v uint64) string {
+	s := strconv.FormatUint(v, 2)
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+func TestLessThanExhaustive(t *testing.T) {
+	m := LessThan()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			got := m.Accepts(EncodeCompare(a, b), Limits{})
+			if got != (a < b) {
+				t.Fatalf("less(%d,%d) = %v, want %v (input %q)", a, b, got, a < b, EncodeCompare(a, b))
+			}
+		}
+	}
+}
+
+func TestLessThanProperty(t *testing.T) {
+	m := LessThan()
+	f := func(a, b uint16) bool {
+		return m.Accepts(EncodeCompare(int(a), int(b)), Limits{}) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualsExhaustive(t *testing.T) {
+	m := Equals()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 30; a++ {
+		for b := 0; b < 30; b++ {
+			if got := m.Accepts(EncodeCompare(a, b), Limits{}); got != (a == b) {
+				t.Fatalf("equals(%d,%d) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestEncodeCompare(t *testing.T) {
+	tests := []struct {
+		a, b int
+		want string
+	}{
+		{0, 1, "^0#1"},
+		{2, 5, "^010#101"},
+		{7, 7, "^111#111"},
+		{0, 0, "^0#0"},
+	}
+	for _, tc := range tests {
+		if got := string(EncodeCompare(tc.a, tc.b)); got != tc.want {
+			t.Errorf("EncodeCompare(%d,%d) = %q, want %q", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestResourceLimits(t *testing.T) {
+	// A looping machine must trip the step limit.
+	b := newBuilder()
+	b.on("s", Blank, "s", Blank, Stay)
+	loop := &TM{Name: "loop", Start: "s", Accept: "a", Reject: "r", Delta: b.delta}
+	_, err := loop.Run(nil, Limits{MaxSteps: 100})
+	if !errors.Is(err, ErrResources) {
+		t.Fatalf("err = %v, want ErrResources", err)
+	}
+	// A right-running machine must trip the space limit.
+	b2 := newBuilder()
+	b2.on("s", Blank, "s", '0', Right)
+	b2.on("s", '0', "s", '0', Right)
+	runner := &TM{Name: "runner", Start: "s", Accept: "a", Reject: "r", Delta: b2.delta}
+	_, err = runner.Run(nil, Limits{MaxSpace: 64})
+	if !errors.Is(err, ErrResources) {
+		t.Fatalf("err = %v, want ErrResources", err)
+	}
+}
+
+func TestMissingTransitionRejects(t *testing.T) {
+	b := newBuilder()
+	b.on("s", '1', "acc", '1', Stay)
+	m := &TM{Name: "partial", Start: "s", Accept: "acc", Reject: "rej", Delta: b.delta}
+	if m.Accepts([]byte("0"), Limits{}) {
+		t.Fatal("missing transition should reject")
+	}
+	if !m.Accepts([]byte("1"), Limits{}) {
+		t.Fatal("explicit accept path failed")
+	}
+}
+
+func TestConfigMicroStepping(t *testing.T) {
+	// Stepping a Config by hand reaches the same verdict as Run.
+	m := LessThan()
+	in := EncodeCompare(5, 9)
+	cfg := NewConfig(m, in)
+	for !cfg.Halted() {
+		cfg.Step()
+		if cfg.Steps > 100000 {
+			t.Fatal("runaway")
+		}
+	}
+	if !cfg.Accepted() {
+		t.Fatal("5 < 9 should accept")
+	}
+	res, err := m.Run(in, Limits{})
+	if err != nil || res.Steps != cfg.Steps {
+		t.Fatalf("Run steps %d != Config steps %d (err %v)", res.Steps, cfg.Steps, err)
+	}
+}
+
+func TestBottomRowMachineIsALanguage(t *testing.T) {
+	p := BottomRowMachine()
+	for _, d := range []int{1, 2, 3, 5, 8} {
+		for i := 0; i < d*d; i++ {
+			if got := p.Pixel(i, d); got != (i < d) {
+				t.Fatalf("d=%d: pixel %d = %v, want %v", d, i, got, i < d)
+			}
+		}
+	}
+}
+
+func TestLeftBoundaryStays(t *testing.T) {
+	// Moving left at cell 0 must stay, not crash.
+	b := newBuilder()
+	b.on("s", '1', "t", '1', Left)
+	b.on("t", '1', "acc", '1', Stay)
+	m := &TM{Name: "left-edge", Start: "s", Accept: "acc", Reject: "rej", Delta: b.delta}
+	if !m.Accepts([]byte("1"), Limits{}) {
+		t.Fatal("left move at origin should stay on cell 0")
+	}
+}
+
+func TestValidateCatchesBadMachines(t *testing.T) {
+	m := &TM{Name: "bad", Start: "s", Accept: "h", Reject: "h"}
+	if err := m.Validate(); err == nil {
+		t.Error("accept==reject accepted")
+	}
+	b := newBuilder()
+	b.on("acc", '0', "acc", '0', Stay)
+	m2 := &TM{Name: "bad2", Start: "s", Accept: "acc", Reject: "rej", Delta: b.delta}
+	if err := m2.Validate(); err == nil {
+		t.Error("transition out of accept state accepted")
+	}
+}

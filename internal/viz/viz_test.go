@@ -1,0 +1,63 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"shapesol/internal/grid"
+	"shapesol/internal/sim"
+)
+
+func TestRenderShape(t *testing.T) {
+	s := grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{Y: 1})
+	got := RenderShape(s)
+	want := "#.\n##\n"
+	if got != want {
+		t.Fatalf("render = %q, want %q", got, want)
+	}
+	if RenderShape(grid.NewShape()) != "(empty)\n" {
+		t.Fatal("empty shape render")
+	}
+}
+
+func TestRenderLabeled(t *testing.T) {
+	s := grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1})
+	got := RenderLabeled(s, func(p grid.Pos) byte {
+		if p.X == 0 {
+			return 'L'
+		}
+		return 'x'
+	})
+	if got != "Lx\n" {
+		t.Fatalf("render = %q", got)
+	}
+}
+
+type inert struct{}
+
+func (inert) InitialState(id, n int) any { return "q" }
+func (inert) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+	return a, b, bonded, false
+}
+func (inert) Halted(any) bool { return false }
+
+func TestRenderWorld(t *testing.T) {
+	cfg := sim.Config{
+		Components: []sim.ComponentSpec{{Cells: []sim.NodeSpec{
+			{State: "a", Pos: grid.Pos{}},
+			{State: "b", Pos: grid.Pos{X: 1}},
+		}}},
+		Free: []any{"f", "f", "f"},
+	}
+	w, err := sim.NewFromConfig(cfg, inert{}, sim.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderWorld(w, func(s any) byte { return s.(string)[0] })
+	if !strings.Contains(out, "ab") {
+		t.Fatalf("missing component row in %q", out)
+	}
+	if !strings.Contains(out, "(3 free)") {
+		t.Fatalf("missing free summary in %q", out)
+	}
+}

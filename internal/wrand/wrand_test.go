@@ -1,0 +1,192 @@
+package wrand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwickWeightsAndTotal(t *testing.T) {
+	f := NewFenwick(8)
+	f.Add(0, 3)
+	f.Add(5, 10)
+	f.Set(5, 7)
+	f.Add(7, 1)
+	if got := f.Total(); got != 11 {
+		t.Fatalf("total = %d, want 11", got)
+	}
+	if got := f.Weight(5); got != 7 {
+		t.Fatalf("weight(5) = %d, want 7", got)
+	}
+	if got := f.Weight(3); got != 0 {
+		t.Fatalf("weight(3) = %d, want 0", got)
+	}
+}
+
+func TestFenwickPrefixProperty(t *testing.T) {
+	f := func(ws []uint8) bool {
+		if len(ws) == 0 {
+			return true
+		}
+		fw := NewFenwick(len(ws))
+		var want int64
+		for i, w := range ws {
+			fw.Set(i, int64(w))
+			want += int64(w)
+		}
+		if fw.Total() != want {
+			return false
+		}
+		for i, w := range ws {
+			if fw.Weight(i) != int64(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenwickSampleDistribution(t *testing.T) {
+	f := NewFenwick(4)
+	weights := []int64{1, 0, 3, 6}
+	for i, w := range weights {
+		f.Set(i, w)
+	}
+	r := rand.New(rand.NewSource(1))
+	const trials = 200000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		idx, ok := f.Sample(r)
+		if !ok {
+			t.Fatal("sample failed with positive total")
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight slot sampled %d times", counts[1])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := float64(w) / 10 * trials
+		got := float64(counts[i])
+		if math.Abs(got-want) > 5*math.Sqrt(want) {
+			t.Errorf("slot %d sampled %v times, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestFenwickSampleEmpty(t *testing.T) {
+	f := NewFenwick(4)
+	if _, ok := f.Sample(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("sampling an all-zero tree should fail")
+	}
+}
+
+func TestFenwickGrow(t *testing.T) {
+	f := NewFenwick(2)
+	f.Set(0, 5)
+	f.Set(1, 2)
+	f.Grow(10)
+	if f.Len() != 10 || f.Total() != 7 || f.Weight(0) != 5 || f.Weight(1) != 2 {
+		t.Fatalf("grow lost state: len=%d total=%d", f.Len(), f.Total())
+	}
+	f.Set(9, 4)
+	if f.Total() != 11 {
+		t.Fatalf("total after growth = %d, want 11", f.Total())
+	}
+}
+
+func TestFenwickNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	f := NewFenwick(1)
+	f.Add(0, -1)
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet[int]()
+	for _, v := range []int{1, 2, 3, 2} {
+		s.Add(v)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	s.Remove(2)
+	if s.Has(2) || !s.Has(1) || !s.Has(3) {
+		t.Fatal("membership wrong after remove")
+	}
+	s.Remove(42) // no-op
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestSetSampleUniform(t *testing.T) {
+	s := NewSet[string]()
+	s.Add("a")
+	s.Add("b")
+	s.Add("c")
+	s.Remove("b")
+	r := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		v, ok := s.Sample(r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[v]++
+	}
+	if counts["b"] != 0 {
+		t.Fatal("removed element sampled")
+	}
+	for _, k := range []string{"a", "c"} {
+		if math.Abs(float64(counts[k])-trials/2) > 4*math.Sqrt(trials/2) {
+			t.Errorf("element %q sampled %d times, want ~%d", k, counts[k], trials/2)
+		}
+	}
+}
+
+func TestSetSampleEmpty(t *testing.T) {
+	s := NewSet[int]()
+	if _, ok := s.Sample(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("sampling empty set should fail")
+	}
+}
+
+func TestSetChurnProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		s := NewSet[int16]()
+		ref := map[int16]bool{}
+		for _, op := range ops {
+			if op >= 0 {
+				s.Add(op)
+				ref[op] = true
+			} else {
+				s.Remove(-op)
+				delete(ref, -op)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !s.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

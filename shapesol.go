@@ -1,0 +1,123 @@
+// Package shapesol is a Go implementation of the model and algorithms of
+// Othon Michail, "Terminating Distributed Construction of Shapes and
+// Patterns in a Fair Solution of Automata" (2015): finite automata with
+// four (2D) or six (3D) local ports float in a well-mixed solution, a
+// uniform random scheduler selects permissible node-port pairs, and bonds
+// form at unit distance so that every connected component is a shape on the
+// unit grid.
+//
+// The package is a facade over the internal implementation:
+//
+//   - internal/sim — the geometric simulation engine with an exactly
+//     uniform scheduler over the permissible interaction set;
+//   - internal/pop — the classical population-protocol engine of Section 5;
+//   - internal/counting — the terminating counting protocols (Theorems
+//     1-3) and the Conjecture 1 evidence harness;
+//   - internal/core — every constructor: the Section 4 rule tables, the
+//     Section 6 terminating constructions (Counting-on-a-Line,
+//     Square-Knowing-n, the universal TM-simulating constructor, the 3D
+//     parallel variant) and Section 7 shape self-replication;
+//   - internal/tm, internal/shapes — shape-constructing Turing machines and
+//     shape languages (Definition 3).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record behind every theorem and figure.
+package shapesol
+
+import (
+	"fmt"
+
+	"shapesol/internal/core"
+	"shapesol/internal/counting"
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+	"shapesol/internal/shapes"
+	"shapesol/internal/sim"
+	"shapesol/internal/viz"
+)
+
+// CountOutcome reports one execution of the Counting-Upper-Bound protocol
+// (Theorem 1): the leader always halts, and with high probability its
+// count R0 is at least n/2 (empirically about 0.9 n, Remark 2).
+type CountOutcome = counting.UpperBoundOutcome
+
+// Count runs Counting-Upper-Bound on n agents with head start b.
+func Count(n, b int, seed int64) CountOutcome {
+	return counting.RunUpperBound(n, b, seed)
+}
+
+// CountOnLine runs the geometric Counting-on-a-Line protocol (Lemma 1):
+// the count is assembled in binary on a self-built line of length
+// floor(lg R0)+1.
+func CountOnLine(n, b int, seed int64) core.CountLineOutcome {
+	return core.RunCountLine(n, b, seed, 100_000_000)
+}
+
+// BuildSquare runs the terminating Square-Knowing-n construction (Lemma 2)
+// for side length d on n >= d*d nodes.
+func BuildSquare(n, d int, seed int64) core.SquareKnowingNOutcome {
+	return core.RunSquareKnowingN(n, d, seed, 300_000_000)
+}
+
+// Languages lists the built-in shape languages (Definition 3).
+func Languages() []string {
+	names := make([]string, 0, len(shapes.All()))
+	for _, l := range shapes.All() {
+		names = append(names, l.Name())
+	}
+	return names
+}
+
+// Construct runs the universal constructor (Theorem 4) for the named
+// language on a d x d square and returns the outcome plus an ASCII
+// rendering of the surviving shape.
+func Construct(language string, d int, seed int64) (core.UniversalOutcome, string, error) {
+	lang, err := shapes.ByName(language)
+	if err != nil {
+		return core.UniversalOutcome{}, "", err
+	}
+	out, err := core.RunUniversalOnSquare(lang, d, seed, 500_000_000)
+	if err != nil {
+		return out, "", err
+	}
+	render := shapes.Render(lang, d).String()
+	return out, render, nil
+}
+
+// Replicate runs the Section 7 self-replication of the given shape. The
+// population holds the shape's nodes plus free spare nodes; the paper's
+// requirement is free >= 2|R_G| - |G|.
+func Replicate(g *grid.Shape, free int, seed int64) (core.ReplicationOutcome, error) {
+	return core.RunReplication(g, free, seed, 500_000_000)
+}
+
+// Stabilize runs one of the stabilizing Section 4 rule tables ("line",
+// "square", "square2") on n nodes until the structure spans the population
+// or the step budget runs out, returning the resulting shape.
+func Stabilize(protocol string, n int, seed int64) (*grid.Shape, error) {
+	var table *rules.Table
+	switch protocol {
+	case "line":
+		table = core.LineTable()
+	case "square":
+		table = core.SquareTable()
+	case "square2":
+		table = core.Square2Table()
+	default:
+		return nil, fmt.Errorf("shapesol: unknown protocol %q (want line, square or square2)", protocol)
+	}
+	w := sim.New(n, sim.NewTableProtocol(table), sim.Options{Seed: seed, MaxSteps: 100_000_000})
+	for w.Steps() < 100_000_000 {
+		if _, err := w.Step(); err != nil {
+			return nil, err
+		}
+		if _, size := w.LargestComponent(); size == n {
+			break
+		}
+	}
+	slot, _ := w.LargestComponent()
+	return w.ComponentShape(slot), nil
+}
+
+// Render draws a shape as ASCII art.
+func Render(s *grid.Shape) string { return viz.RenderShape(s) }

@@ -1,0 +1,76 @@
+package shapesol
+
+import (
+	"strings"
+	"testing"
+
+	"shapesol/internal/grid"
+)
+
+func TestFacadeCount(t *testing.T) {
+	out := Count(60, 4, 1)
+	if out.R0 == 0 || !out.Success {
+		t.Fatalf("count outcome: %+v", out)
+	}
+}
+
+func TestFacadeCountOnLine(t *testing.T) {
+	out := CountOnLine(16, 3, 2)
+	if !out.Halted || out.R0 <= 0 {
+		t.Fatalf("count-on-line outcome: %+v", out)
+	}
+}
+
+func TestFacadeBuildSquare(t *testing.T) {
+	out := BuildSquare(9, 3, 3)
+	if !out.Halted || !out.Square {
+		t.Fatalf("square outcome: %+v", out)
+	}
+}
+
+func TestFacadeConstruct(t *testing.T) {
+	out, render, err := Construct("star", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Halted || !out.Match {
+		t.Fatalf("construct outcome: %v", out)
+	}
+	if !strings.Contains(render, "#") {
+		t.Fatal("empty render")
+	}
+	if _, _, err := Construct("nope", 5, 4); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+}
+
+func TestFacadeReplicate(t *testing.T) {
+	g := grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1})
+	out, err := Replicate(g, 4, 5)
+	if err != nil || out.Copies != 2 {
+		t.Fatalf("replicate: %+v err=%v", out, err)
+	}
+}
+
+func TestFacadeStabilize(t *testing.T) {
+	s, err := Stabilize("square", 9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, v, _ := s.Dims()
+	if h != 3 || v != 3 {
+		t.Fatalf("dims %dx%d", h, v)
+	}
+	if _, err := Stabilize("bogus", 4, 1); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if got := Render(s); !strings.Contains(got, "###") {
+		t.Fatalf("render:\n%s", got)
+	}
+}
+
+func TestFacadeLanguages(t *testing.T) {
+	if len(Languages()) < 5 {
+		t.Fatalf("languages: %v", Languages())
+	}
+}
