@@ -12,6 +12,7 @@ import (
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
+	"shapesol/internal/pop"
 	"shapesol/internal/rules"
 	"shapesol/internal/shapes"
 	"shapesol/internal/sim"
@@ -264,11 +265,14 @@ func BenchmarkE13LeaderlessEvidence(b *testing.B) {
 	}
 }
 
-// Engine micro-benchmarks: raw scheduler throughput.
+// Engine micro-benchmarks: raw scheduler throughput. Both engines report
+// allocs/op so the allocation-free steady state stays visible in every
+// benchmark run.
 func BenchmarkEngineStep(b *testing.B) {
 	for _, n := range []int{100, 1000} {
 		b.Run(fmt.Sprintf("free-n=%d", n), func(b *testing.B) {
 			w := sim.New(n, inert{}, sim.Options{Seed: 1})
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := w.Step(); err != nil {
@@ -279,11 +283,36 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
-// inert is a do-nothing protocol for engine throughput measurement.
+// BenchmarkPopEngineStep is the pop-engine counterpart: uniform pair
+// selection plus an always-effective value-state protocol. Steady state
+// must report 0 allocs/op.
+func BenchmarkPopEngineStep(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := pop.New(n, popInert{}, pop.Options{Seed: 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Step()
+			}
+		})
+	}
+}
+
+// inert is a do-nothing sim protocol for engine throughput measurement.
 type inert struct{}
 
-func (inert) InitialState(id, n int) any { return 0 }
-func (inert) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (inert) InitialState(id, n int) int { return 0 }
+func (inert) Interact(a, b int, pa, pb grid.Dir, bonded bool) (int, int, bool, bool) {
 	return a, b, bonded, false
 }
-func (inert) Halted(any) bool { return false }
+func (inert) Halted(int) bool { return false }
+
+// popInert is the pop-engine equivalent: int states, effective swaps.
+type popInert struct{}
+
+func (popInert) InitialState(id, n int) int { return id }
+func (popInert) Apply(a, b int) (int, int, bool) {
+	return b, a, true
+}
+func (popInert) Halted(int) bool { return false }

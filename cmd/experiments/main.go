@@ -1,242 +1,338 @@
-// Command experiments regenerates the measurement tables of
-// EXPERIMENTS.md: every theorem's quantitative claim and the figures'
-// configurations, printed as plain-text tables.
+// Command experiments regenerates the paper's measurement tables: every
+// theorem's quantitative claim and the figures' configurations.
+//
+// Trials fan out across a worker pool (internal/runner); one world per seed
+// per worker, results folded in seed order, so the output — including the
+// -json form — is byte-identical for any worker count.
 //
 // Usage:
 //
-//	experiments               # run every experiment at default scale
-//	experiments -exp E1       # run one experiment
-//	experiments -trials 50    # more statistical trials
-//	experiments -figures      # ASCII renders of the paper's figures
+//	experiments                  # run every experiment, serial, text tables
+//	experiments -parallel        # fan trials across all CPU cores
+//	experiments -workers 4       # exact worker count
+//	experiments -exp E1          # run one experiment
+//	experiments -trials 50       # more statistical trials
+//	experiments -seed 100        # shift the seed set
+//	experiments -json            # machine-readable report
+//	experiments -figures         # ASCII renders of the paper's figures
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
+	"shapesol/internal/runner"
 	"shapesol/internal/shapes"
 	"shapesol/internal/stats"
 	"shapesol/internal/viz"
 )
 
+// config carries the trial plan shared by every experiment.
+type config struct {
+	trials  int
+	workers int
+	seed    int64
+}
+
+func (c config) seeds() []int64 { return runner.Seeds(c.seed, c.trials) }
+
+// Row is one experiment configuration's aggregated outcome.
+type Row struct {
+	Label  string           `json:"label"`
+	Params map[string]int   `json:"params,omitempty"`
+	Agg    runner.Aggregate `json:"agg"`
+}
+
+// Report is one experiment's full result set.
+type Report struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Rows    []Row              `json:"rows"`
+	Derived map[string]float64 `json:"derived,omitempty"`
+	Note    string             `json:"note,omitempty"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp     = flag.String("exp", "", "experiment id (E1..E13); empty runs all")
-		trials  = flag.Int("trials", 20, "trials per configuration")
-		figures = flag.Bool("figures", false, "render figure configurations instead")
+		exp      = flag.String("exp", "", "experiment id (E1..E13); empty runs all")
+		trials   = flag.Int("trials", 20, "trials per configuration")
+		parallel = flag.Bool("parallel", false, "fan trials across all CPU cores")
+		workers  = flag.Int("workers", 0, "exact worker count (overrides -parallel)")
+		seed     = flag.Int64("seed", 0, "first seed of each configuration's seed set")
+		asJSON   = flag.Bool("json", false, "emit the reports as JSON")
+		figures  = flag.Bool("figures", false, "render figure configurations instead")
 	)
 	flag.Parse()
 
 	if *figures {
 		renderFigures()
-		return
+		return 0
 	}
-	all := map[string]func(int){
+
+	cfg := config{trials: *trials, seed: *seed, workers: 1}
+	switch {
+	case *workers > 0:
+		cfg.workers = *workers
+	case *parallel:
+		cfg.workers = 0 // runner.Workers: all cores
+	}
+
+	all := map[string]func(config) Report{
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E7": e7,
 		"E8": e8, "E9": e9, "E10": e10, "E12": e12, "E13": e13,
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E7", "E8", "E9", "E10", "E12", "E13"}
+	ids := order
 	if *exp != "" {
-		f, ok := all[*exp]
-		if !ok {
+		if _, ok := all[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
-			os.Exit(2)
+			return 2
 		}
-		f(*trials)
-		return
+		ids = []string{*exp}
 	}
-	for _, id := range order {
-		all[id](*trials)
+
+	reports := make([]Report, 0, len(ids))
+	for _, id := range ids {
+		reports = append(reports, all[id](cfg))
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		printReport(r)
+	}
+	return 0
+}
+
+// printReport renders one report as a plain-text table.
+func printReport(r Report) {
+	fmt.Printf("%s — %s\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		fmt.Printf("  %-18s steps mean=%-12.0f", row.Label, row.Agg.Steps.Mean)
+		for _, k := range sortedKeys(row.Agg.Rates) {
+			fmt.Printf("  %s %s", k, row.Agg.Rates[k])
+		}
+		for _, k := range sortedKeys(row.Agg.Means) {
+			fmt.Printf("  %s=%.3f", k, row.Agg.Means[k])
+		}
 		fmt.Println()
 	}
-}
-
-func e1(trials int) {
-	fmt.Println("E1 — Theorem 1 / Remark 2: Counting-Upper-Bound (b=5)")
-	fmt.Println("  n     success-rate             mean r0/n")
-	for _, n := range []int{100, 300, 1000} {
-		succ := 0
-		var ratios []float64
-		for i := 0; i < trials; i++ {
-			out := counting.RunUpperBound(n, 5, int64(i))
-			if out.Success {
-				succ++
-			}
-			ratios = append(ratios, out.Estimate)
-		}
-		fmt.Printf("  %-5d %-24s %.3f\n", n, stats.NewRate(succ, trials), stats.Summarize(ratios).Mean)
+	for _, k := range sortedKeys(r.Derived) {
+		fmt.Printf("  %s = %.2f\n", k, r.Derived[k])
 	}
-	fmt.Println("  paper: halts always; r0 >= n/2 w.h.p.; estimate ~0.9n for n <= 1000")
+	if r.Note != "" {
+		fmt.Printf("  paper: %s\n", r.Note)
+	}
 }
 
-func e2(trials int) {
-	fmt.Println("E2 — Remark 1: counting time = O(n^2 log n)")
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func e1(cfg config) Report {
+	r := Report{ID: "E1", Title: "Theorem 1 / Remark 2: Counting-Upper-Bound (b=5)",
+		Note: "halts always; r0 >= n/2 w.h.p.; estimate ~0.9n for n <= 1000"}
+	for _, n := range []int{100, 300, 1000} {
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := counting.RunUpperBound(n, 5, seed)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags:  map[string]bool{"success": out.Success},
+				Values: map[string]float64{"r0_over_n": out.Estimate}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	}
+	return r
+}
+
+func e2(cfg config) Report {
+	r := Report{ID: "E2", Title: "Remark 1: counting time = O(n^2 log n)",
+		Note: "log-log slope 2 plus log factor"}
 	var xs, ys []float64
 	for _, n := range []int{50, 100, 200, 400} {
-		var steps []float64
-		for i := 0; i < trials; i++ {
-			steps = append(steps, float64(counting.RunUpperBound(n, 4, int64(i)).Steps))
-		}
-		mean := stats.Summarize(steps).Mean
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			return runner.Trial{Seed: seed, Steps: counting.RunUpperBound(n, 4, seed).Steps}
+		})
 		xs = append(xs, float64(n))
-		ys = append(ys, mean)
-		fmt.Printf("  n=%-5d mean interactions = %.0f\n", n, mean)
+		ys = append(ys, agg.Steps.Mean)
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 4}, Agg: agg})
 	}
-	slope, err := stats.LogLogSlope(xs, ys)
-	if err == nil {
-		fmt.Printf("  log-log slope = %.2f (paper: 2 plus log factor)\n", slope)
+	if slope, err := stats.LogLogSlope(xs, ys); err == nil {
+		r.Derived = map[string]float64{"loglog_slope": slope}
 	}
+	return r
 }
 
-func e3(trials int) {
-	fmt.Println("E3 — Theorem 2: simple UID counting, E[time] = Theta(n^b)")
-	for _, cfg := range []struct{ n, b int }{{6, 2}, {6, 3}, {8, 2}} {
-		exact := 0
-		var steps []float64
-		for i := 0; i < trials; i++ {
-			out := counting.RunSimpleUID(cfg.n, cfg.b, int64(i), 500_000_000)
-			if out.Exact {
-				exact++
-			}
-			steps = append(steps, float64(out.Steps))
-		}
-		fmt.Printf("  n=%d b=%d: exact %s, mean steps %.0f (b(n-1)^b = %d)\n",
-			cfg.n, cfg.b, stats.NewRate(exact, trials), stats.Summarize(steps).Mean,
-			cfg.b*pow(cfg.n-1, cfg.b))
+func e3(cfg config) Report {
+	r := Report{ID: "E3", Title: "Theorem 2: simple UID counting, E[time] = Theta(n^b)",
+		Note: "exact count w.h.p.; expected steps grow like b(n-1)^b"}
+	for _, c := range []struct{ n, b int }{{6, 2}, {6, 3}, {8, 2}} {
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := counting.RunSimpleUID(c.n, c.b, seed, 500_000_000)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"exact": out.Exact}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d b=%d", c.n, c.b),
+			Params: map[string]int{"n": c.n, "b": c.b}, Agg: agg})
 	}
+	return r
 }
 
-func e4(trials int) {
-	fmt.Println("E4 — Theorem 3: UID counting (Protocol 3, b=4)")
+func e4(cfg config) Report {
+	r := Report{ID: "E4", Title: "Theorem 3: UID counting (Protocol 3, b=4)",
+		Note: "max id wins and 2*count1 >= n w.h.p."}
 	for _, n := range []int{50, 200} {
-		wins, succ := 0, 0
-		var steps []float64
-		for i := 0; i < trials; i++ {
-			out := counting.RunUID(n, 4, int64(i))
-			if out.WinnerIsMax {
-				wins++
-			}
-			if out.Success {
-				succ++
-			}
-			steps = append(steps, float64(out.Steps))
-		}
-		fmt.Printf("  n=%-4d winner-is-max %s  2*count1>=n %s  mean steps %.0f\n",
-			n, stats.NewRate(wins, trials), stats.NewRate(succ, trials), stats.Summarize(steps).Mean)
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := counting.RunUID(n, 4, seed)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"winner_is_max": out.WinnerIsMax, "success": out.Success}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 4}, Agg: agg})
 	}
+	return r
 }
 
-func e7(trials int) {
-	fmt.Println("E7 — Lemma 1: Counting-on-a-Line (b=3)")
+func e7(cfg config) Report {
+	r := Report{ID: "E7", Title: "Lemma 1: Counting-on-a-Line (b=3)",
+		Note: "r0 >= n/2; tape length floor(lg r0)+1; debt repaid at halt"}
 	for _, n := range []int{16, 32} {
-		succ, lenOK, debtOK := 0, 0, 0
-		for i := 0; i < trials; i++ {
-			out := core.RunCountLine(n, 3, int64(i), 200_000_000)
-			if out.Success {
-				succ++
-			}
-			if out.LineLength == core.ExpectedLineLength(out.R0) {
-				lenOK++
-			}
-			if out.DebtRepaid {
-				debtOK++
-			}
-		}
-		fmt.Printf("  n=%-4d r0>=n/2 %s  length=floor(lg r0)+1 %d/%d  debt repaid %d/%d\n",
-			n, stats.NewRate(succ, trials), lenOK, trials, debtOK, trials)
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := core.RunCountLine(n, 3, seed, 200_000_000)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{
+					"success":     out.Success,
+					"length_ok":   out.LineLength == core.ExpectedLineLength(out.R0),
+					"debt_repaid": out.DebtRepaid,
+				}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 3}, Agg: agg})
 	}
+	return r
 }
 
-func e8(trials int) {
-	fmt.Println("E8 — Lemma 2: Square-Knowing-n (n = d^2 exactly)")
+func e8(cfg config) Report {
+	r := Report{ID: "E8", Title: "Lemma 2: Square-Knowing-n (n = d^2 exactly)",
+		Note: "terminates with the exact d x d square"}
 	for _, d := range []int{3, 4} {
-		ok := 0
-		var steps []float64
-		for i := 0; i < trials; i++ {
-			out := core.RunSquareKnowingN(d*d, d, int64(i), 500_000_000)
-			if out.Halted && out.Square {
-				ok++
-			}
-			steps = append(steps, float64(out.Steps))
-		}
-		fmt.Printf("  d=%d: exact square %d/%d, mean steps %.0f\n", d, ok, trials, stats.Summarize(steps).Mean)
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := core.RunSquareKnowingN(d*d, d, seed, 500_000_000)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"square": out.Halted && out.Square}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("d=%d", d),
+			Params: map[string]int{"d": d, "n": d * d}, Agg: agg})
 	}
+	return r
 }
 
-func e9(trials int) {
-	fmt.Println("E9 — Theorem 4: universal constructor, waste <= (d-1)d")
+func e9(cfg config) Report {
+	r := Report{ID: "E9", Title: "Theorem 4: universal constructor, waste <= (d-1)d"}
 	for _, name := range []string{"star", "cross", "bottom-row"} {
-		lang, _ := shapes.ByName(name)
+		lang, err := shapes.ByName(name)
+		if err != nil {
+			panic(err)
+		}
 		for _, d := range []int{6, 10} {
-			ok := 0
-			waste := 0
-			for i := 0; i < trials; i++ {
-				out, err := core.RunUniversalOnSquare(lang, d, int64(i), 500_000_000)
-				if err == nil && out.Match {
-					ok++
-					waste = out.Waste
+			agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+				out, err := core.RunUniversalOnSquare(lang, d, seed, 500_000_000)
+				match := err == nil && out.Match
+				t := runner.Trial{Seed: seed, Steps: out.Steps,
+					Flags: map[string]bool{
+						"match":    match,
+						"waste_ok": match && out.Waste <= (d-1)*d,
+					}}
+				if match { // waste is undefined on unconverged trials
+					t.Values = map[string]float64{"waste": float64(out.Waste)}
 				}
-			}
-			fmt.Printf("  %-11s d=%-3d correct %d/%d  waste %d (bound %d)\n",
-				name, d, ok, trials, waste, (d-1)*d)
+				return t
+			})
+			r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("%s d=%d", name, d),
+				Params: map[string]int{"d": d, "bound": (d - 1) * d}, Agg: agg})
 		}
 	}
+	return r
 }
 
-func e10(trials int) {
-	fmt.Println("E10 — Theorem 5: parallel simulations on 3D columns (k=3)")
+func e10(cfg config) Report {
+	r := Report{ID: "E10", Title: "Theorem 5: parallel simulations on 3D columns (k=3)"}
 	for _, d := range []int{3, 4} {
-		ok := 0
-		var steps []float64
-		for i := 0; i < trials; i++ {
-			out, err := core.RunParallel3D(shapes.Star(), d, 3, int64(i), 300_000_000)
-			if err == nil && out.Decided && out.Correct {
-				ok++
-			}
-			steps = append(steps, float64(out.Steps))
-		}
-		fmt.Printf("  d=%d: all pixels decided %d/%d, mean steps %.0f\n", d, ok, trials, stats.Summarize(steps).Mean)
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out, err := core.RunParallel3D(shapes.Star(), d, 3, seed, 300_000_000)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"decided": err == nil && out.Decided,
+					"correct": err == nil && out.Correct}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("d=%d", d),
+			Params: map[string]int{"d": d, "k": 3}, Agg: agg})
 	}
+	return r
 }
 
-func e12(trials int) {
-	fmt.Println("E12 — Section 7: shape self-replication (free = 2|R_G|-|G|)")
-	gs := map[string]*grid.Shape{
-		"line3":  grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}),
-		"lshape": grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1}),
-	}
-	for name, g := range gs {
+func e12(cfg config) Report {
+	r := Report{ID: "E12", Title: "Section 7: shape self-replication (free = 2|R_G|-|G|)"}
+	for _, tc := range []struct {
+		name string
+		g    *grid.Shape
+	}{
+		{"line3", grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2})},
+		{"lshape", grid.ShapeOf(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2}, grid.Pos{Y: 1})},
+	} {
+		g := tc.g
 		free := 2*g.EnclosingRect().Size() - g.Size()
-		ok := 0
-		for i := 0; i < trials; i++ {
-			out, err := core.RunReplication(g, free, int64(i), 500_000_000)
-			if err == nil && out.Copies == 2 {
-				ok++
-			}
-		}
-		fmt.Printf("  %-7s (|G|=%d, |R_G|=%d, free=%d): two exact copies %d/%d\n",
-			name, g.Size(), g.EnclosingRect().Size(), free, ok, trials)
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out, err := core.RunReplication(g, free, seed, 500_000_000)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"two_copies": err == nil && out.Copies == 2}}
+		})
+		r.Rows = append(r.Rows, Row{Label: tc.name,
+			Params: map[string]int{"size": g.Size(), "rect": g.EnclosingRect().Size(), "free": free},
+			Agg:    agg})
 	}
+	return r
 }
 
-func e13(trials int) {
-	fmt.Println("E13 — Conjecture 1 evidence: leaderless early termination")
+func e13(cfg config) Report {
+	r := Report{ID: "E13", Title: "Conjecture 1 evidence: leaderless early termination",
+		Note: "stays constant as n grows => leaderless counting impossible"}
 	proto := counting.TwoZerosProtocol()
 	for _, n := range []int{20, 100, 500} {
-		early := 0
-		for i := 0; i < trials; i++ {
-			if counting.RunLeaderless(proto, n, int64(i), int64(50*n)).EarlyTermination {
-				early++
-			}
-		}
-		fmt.Printf("  n=%-4d P[some node terminates in <= 2 interactions] = %s\n",
-			n, stats.NewRate(early, trials))
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := counting.RunLeaderless(proto, n, seed, int64(50*n))
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags: map[string]bool{"early": out.EarlyTermination}}
+		})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n}, Agg: agg})
 	}
-	fmt.Println("  paper: stays constant as n grows => leaderless counting impossible")
+	return r
 }
 
 func renderFigures() {
@@ -252,12 +348,4 @@ func renderFigures() {
 		}
 		fmt.Println()
 	}
-}
-
-func pow(base, exp int) int {
-	out := 1
-	for i := 0; i < exp; i++ {
-		out *= base
-	}
-	return out
 }

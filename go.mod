@@ -1,0 +1,3 @@
+module shapesol
+
+go 1.24

@@ -11,7 +11,7 @@ import (
 // runUntilSpanning steps the world until every node joins one component or
 // the budget runs out, returning the spanning component's shape (nil when
 // it never spanned).
-func runUntilSpanning(t *testing.T, w *sim.World, budget int64) *grid.Shape {
+func runUntilSpanning(t *testing.T, w *sim.World[rules.State], budget int64) *grid.Shape {
 	t.Helper()
 	for w.Steps() < budget {
 		if _, err := w.Step(); err != nil {

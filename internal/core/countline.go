@@ -36,10 +36,27 @@ const (
 	opDecR2             // repay one unit of debt (q2 converted back to q1)
 )
 
-// clFree is a non-leader node: phase 0, 1, 2 = the paper's q0, q1, q2.
-type clFree struct {
-	Phase int
+// Node kinds of the Counting-on-a-Line state.
+const (
+	clKindFree = iota // a non-leader node: phase 0, 1, 2 = the paper's q0, q1, q2
+	clKindCell
+	clKindLeader
+)
+
+// clState is the single state type of the protocol: a tagged union over
+// the free-node phase, the tape cell, and the leader. Keeping the three
+// roles in one flat value type lets the generic engine store states
+// unboxed.
+type clState struct {
+	Kind  int
+	Phase int // free-node phase (clKindFree)
+	Cell  clCell
+	Lead  clLeader
 }
+
+func freeSt(phase int) clState  { return clState{Kind: clKindFree, Phase: phase} }
+func cellSt(c clCell) clState   { return clState{Kind: clKindCell, Cell: c} }
+func leadSt(l clLeader) clState { return clState{Kind: clKindLeader, Lead: l} }
 
 // clWalker is the arithmetic token traveling along the tape.
 type clWalker struct {
@@ -85,52 +102,51 @@ type CountLine struct {
 	B int
 }
 
-var _ sim.Protocol = (*CountLine)(nil)
+var _ sim.Protocol[clState] = (*CountLine)(nil)
 
 // InitialState puts the leader (alone, empty counters) at node 0.
-func (p *CountLine) InitialState(id, n int) any {
+func (p *CountLine) InitialState(id, n int) clState {
 	if id == 0 {
-		return clLeader{R2Zero: true}
+		return leadSt(clLeader{R2Zero: true})
 	}
-	return clFree{}
+	return freeSt(0)
 }
 
 // Halted reports leader termination.
-func (p *CountLine) Halted(s any) bool {
-	l, ok := s.(clLeader)
-	return ok && l.Done
+func (p *CountLine) Halted(s clState) bool {
+	return s.Kind == clKindLeader && s.Lead.Done
 }
 
 // Interact dispatches on the participants' roles.
-func (p *CountLine) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (p *CountLine) Interact(a, b clState, pa, pb grid.Dir, bonded bool) (clState, clState, bool, bool) {
 	// Normalize: leader first when present.
-	if _, isLeader := b.(clLeader); isLeader {
+	if b.Kind == clKindLeader && a.Kind != clKindLeader {
 		nb, na, bond, eff := p.Interact(b, a, pb, pa, bonded)
 		return na, nb, bond, eff
 	}
-	switch sa := a.(type) {
-	case clLeader:
-		if cell, ok := b.(clCell); ok && bonded {
-			return p.leaderTape(sa, cell, bonded)
+	switch a.Kind {
+	case clKindLeader:
+		if b.Kind == clKindCell && bonded {
+			return p.leaderTape(a.Lead, b.Cell, bonded)
 		}
-		if free, ok := b.(clFree); ok && !bonded {
-			return p.leaderMeetsFree(sa, free, pa, pb)
+		if b.Kind == clKindFree && !bonded {
+			return p.leaderMeetsFree(a.Lead, b.Phase, pa, pb)
 		}
-	case clCell:
-		if cb, ok := b.(clCell); ok && bonded {
-			return p.cellCell(sa, cb, pa, pb)
+	case clKindCell:
+		if b.Kind == clKindCell && bonded {
+			return p.cellCell(a.Cell, b.Cell, pa, pb)
 		}
 	}
 	return a, b, bonded, false
 }
 
 // leaderMeetsFree implements the counting rules on an encounter between the
-// unfrozen leader and a free node.
-func (p *CountLine) leaderMeetsFree(l clLeader, f clFree, pa, pb grid.Dir) (any, any, bool, bool) {
+// unfrozen leader and a free node in phase fp.
+func (p *CountLine) leaderMeetsFree(l clLeader, fp int, pa, pb grid.Dir) (clState, clState, bool, bool) {
 	if l.Frozen || l.Done {
-		return l, f, false, false
+		return leadSt(l), freeSt(fp), false, false
 	}
-	switch f.Phase {
+	switch fp {
 	case 0: // a q0: count it in R0
 		if !l.Full {
 			if !l.HasTape {
@@ -138,15 +154,15 @@ func (p *CountLine) leaderMeetsFree(l clLeader, f clFree, pa, pb grid.Dir) (any,
 				l.R0 = !l.R0 // 0 -> 1; fullness follows
 				l.Full = l.R0
 				l.H = min(l.H+1, p.B)
-				return l, clFree{Phase: 1}, false, true
+				return leadSt(l), freeSt(1), false, true
 			}
 			l.Frozen = true
 			l.Pending = opIncR0
-			return l, clFree{Phase: 1}, false, true
+			return leadSt(l), freeSt(1), false, true
 		}
 		// Tape full: bind the q0 at the extension port and swap roles.
 		if l.HasTape && pa != l.TapePort.Opposite() {
-			return l, f, false, false // geometry: only the free end extends
+			return leadSt(l), freeSt(fp), false, false // geometry: only the free end extends
 		}
 		cell := clCell{
 			R0: l.R0, R1: l.R1, R2: l.R2,
@@ -164,39 +180,39 @@ func (p *CountLine) leaderMeetsFree(l clLeader, f clFree, pa, pb grid.Dir) (any,
 			// Full is recomputed by the walker; the new MSB bit is 0, so
 			// the tape is certainly not full now.
 		}
-		return cell, newLeader, true, true
+		return cellSt(cell), leadSt(newLeader), true, true
 	case 1: // a q1: count it in R1 and test for termination
 		if l.H < p.B {
-			return l, f, false, false // head start not yet established
+			return leadSt(l), freeSt(fp), false, false // head start not yet established
 		}
 		if !l.HasTape {
 			l.R1 = !l.R1
 			if l.R0 == l.R1 {
 				l.Done = true
 			}
-			return l, clFree{Phase: 2}, false, true
+			return leadSt(l), freeSt(2), false, true
 		}
 		l.Frozen = true
 		l.Pending = opIncR1
-		return l, clFree{Phase: 2}, false, true
+		return leadSt(l), freeSt(2), false, true
 	case 2: // a q2: repay debt if any
 		if l.R2Zero {
-			return l, f, false, false
+			return leadSt(l), freeSt(fp), false, false
 		}
 		if !l.HasTape {
 			// Debt can only exist with a tape (it is incurred on binding).
-			return l, f, false, false
+			return leadSt(l), freeSt(fp), false, false
 		}
 		l.Frozen = true
 		l.Pending = opDecR2
-		return l, clFree{Phase: 1}, false, true
+		return leadSt(l), freeSt(1), false, true
 	}
-	return l, f, false, false
+	return leadSt(l), freeSt(fp), false, false
 }
 
 // leaderTape handles the bonded leader-neighbor pair: launching a pending
 // walker and absorbing a returning one.
-func (p *CountLine) leaderTape(l clLeader, c clCell, bonded bool) (any, any, bool, bool) {
+func (p *CountLine) leaderTape(l clLeader, c clCell, bonded bool) (clState, clState, bool, bool) {
 	switch {
 	case l.Frozen && l.Pending != 0 && !c.HasW:
 		w := clWalker{Op: l.Pending, Left: true}
@@ -206,7 +222,7 @@ func (p *CountLine) leaderTape(l clLeader, c clCell, bonded bool) (any, any, boo
 		c.HasW = true
 		c.W = w
 		l.Pending = 0
-		return l, c, true, true
+		return leadSt(l), cellSt(c), true, true
 	case c.HasW && !c.W.Left:
 		// The walker returns to the leader: apply to the MSB bits and act.
 		w := c.W
@@ -223,15 +239,15 @@ func (p *CountLine) leaderTape(l clLeader, c clCell, bonded bool) (any, any, boo
 				l.Done = true
 			}
 		}
-		return l, c, true, true
+		return leadSt(l), cellSt(c), true, true
 	}
-	return l, c, bonded, false
+	return leadSt(l), cellSt(c), bonded, false
 }
 
 // cellCell moves the walker between adjacent tape cells. The ports of the
 // interaction identify direction: a's port toward b must match a's stored
 // left/right port.
-func (p *CountLine) cellCell(a, b clCell, pa, pb grid.Dir) (any, any, bool, bool) {
+func (p *CountLine) cellCell(a, b clCell, pa, pb grid.Dir) (clState, clState, bool, bool) {
 	switch {
 	case a.HasW && a.W.Left && !a.LeftEnd && pa == a.LeftPort:
 		w := a.W
@@ -241,7 +257,7 @@ func (p *CountLine) cellCell(a, b clCell, pa, pb grid.Dir) (any, any, bool, bool
 		}
 		b.HasW = true
 		b.W = w
-		return a, b, true, true
+		return cellSt(a), cellSt(b), true, true
 	case b.HasW && b.W.Left && !b.LeftEnd && pb == b.LeftPort:
 		nb, na, bond, eff := p.cellCell(b, a, pb, pa)
 		return na, nb, bond, eff
@@ -251,12 +267,12 @@ func (p *CountLine) cellCell(a, b clCell, pa, pb grid.Dir) (any, any, bool, bool
 		applyToBits(&w, &b.R0, &b.R1, &b.R2)
 		b.HasW = true
 		b.W = w
-		return a, b, true, true
+		return cellSt(a), cellSt(b), true, true
 	case b.HasW && !b.W.Left && pb == b.RightPort:
 		nb, na, bond, eff := p.cellCell(b, a, pb, pa)
 		return na, nb, bond, eff
 	}
-	return a, b, true, false
+	return cellSt(a), cellSt(b), true, false
 }
 
 // applyAtLeftEnd turns the leftbound walker around, initializing the
@@ -330,21 +346,21 @@ type CountLineOutcome struct {
 
 // FindLeader returns the node currently carrying the leader role (it moves
 // to the newly bound node on every tape extension), or -1.
-func FindLeader(w *sim.World) int {
-	return w.FindNode(func(s any) bool {
-		_, ok := s.(clLeader)
-		return ok
+func FindLeader(w *sim.World[clState]) int {
+	return w.FindNode(func(s clState) bool {
+		return s.Kind == clKindLeader
 	})
 }
 
 // ReadCounters decodes the three counters from the leader's line. The
 // leader is the line's right end; bit significance grows from the far end
 // toward the leader.
-func ReadCounters(w *sim.World, leaderID int) (r0, r1, r2 int64, length int) {
-	l, ok := w.State(leaderID).(clLeader)
-	if !ok {
+func ReadCounters(w *sim.World[clState], leaderID int) (r0, r1, r2 int64, length int) {
+	ls := w.State(leaderID)
+	if ls.Kind != clKindLeader {
 		return 0, 0, 0, 0
 	}
+	l := ls.Lead
 	if !l.HasTape {
 		return b2i(l.R0), b2i(l.R1), b2i(l.R2), 1
 	}
@@ -354,7 +370,7 @@ func ReadCounters(w *sim.World, leaderID int) (r0, r1, r2 int64, length int) {
 	seq = append(seq, bit{l.R0, l.R1, l.R2})
 	id := w.BondedNeighbor(leaderID, l.TapePort)
 	for id >= 0 {
-		c := w.State(id).(clCell)
+		c := w.State(id).Cell
 		seq = append(seq, bit{c.R0, c.R1, c.R2})
 		if c.LeftEnd {
 			break

@@ -86,7 +86,7 @@ func TestCountLineCensusConservation(t *testing.T) {
 			if lid < 0 {
 				t.Fatal("no leader present")
 			}
-			if w.State(lid).(clLeader).Frozen {
+			if w.State(lid).Lead.Frozen {
 				continue // counters are mid-update while frozen
 			}
 			r0, r1, r2, length := ReadCounters(w, lid)

@@ -19,15 +19,15 @@ import (
 // interactions into bond breaks. It models an adversarial environment, not
 // a protocol rule, so it lives only in tests.
 type breakerTable struct {
-	inner sim.Protocol
+	inner sim.Protocol[rules.State]
 	rate  float64
 	rng   *rand.Rand
 }
 
-func (f *breakerTable) InitialState(id, n int) any { return f.inner.InitialState(id, n) }
-func (f *breakerTable) Halted(s any) bool          { return f.inner.Halted(s) }
+func (f *breakerTable) InitialState(id, n int) rules.State { return f.inner.InitialState(id, n) }
+func (f *breakerTable) Halted(s rules.State) bool          { return f.inner.Halted(s) }
 
-func (f *breakerTable) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (f *breakerTable) Interact(a, b rules.State, pa, pb grid.Dir, bonded bool) (rules.State, rules.State, bool, bool) {
 	if bonded && f.rng.Float64() < f.rate {
 		// The environment snaps the bond; states revert to searching roles
 		// so the protocol can rebuild (q1 cells melt back to q0 when they

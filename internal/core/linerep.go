@@ -101,8 +101,8 @@ func bump(s string) string {
 // LineConfig builds the initial configuration for the replication tables: a
 // horizontal line of length length with the given end/internal states, plus
 // free q0 nodes.
-func LineConfig(length, free int, left, internal, right rules.State) sim.Config {
-	cells := make([]sim.NodeSpec, length)
+func LineConfig(length, free int, left, internal, right rules.State) sim.Config[rules.State] {
+	cells := make([]sim.NodeSpec[rules.State], length)
 	for i := range cells {
 		st := internal
 		if i == 0 {
@@ -111,11 +111,11 @@ func LineConfig(length, free int, left, internal, right rules.State) sim.Config 
 		if i == length-1 {
 			st = right
 		}
-		cells[i] = sim.NodeSpec{State: st, Pos: grid.Pos{X: i}}
+		cells[i] = sim.NodeSpec[rules.State]{State: st, Pos: grid.Pos{X: i}}
 	}
-	freeStates := make([]any, free)
+	freeStates := make([]rules.State, free)
 	for i := range freeStates {
 		freeStates[i] = rules.State("q0")
 	}
-	return sim.Config{Components: []sim.ComponentSpec{{Cells: cells}}, Free: freeStates}
+	return sim.Config[rules.State]{Components: []sim.ComponentSpec[rules.State]{{Cells: cells}}, Free: freeStates}
 }

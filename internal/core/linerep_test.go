@@ -9,7 +9,7 @@ import (
 
 // lineComps returns the sizes of all components, and whether every
 // multi-node component is a straight horizontal-or-vertical line.
-func lineComps(w *sim.World) (sizes []int, allLines bool) {
+func lineComps(w *sim.World[rules.State]) (sizes []int, allLines bool) {
 	allLines = true
 	for _, slot := range w.ComponentSlots() {
 		size := w.ComponentSize(slot)
@@ -38,15 +38,15 @@ func TestLineReplicationProducesSeedCopy(t *testing.T) {
 		if _, err := w.Step(); err != nil {
 			t.Fatal(err)
 		}
-		if w.CountNodes(func(s any) bool { return s == rules.State("Lstart") }) == 1 &&
-			w.CountNodes(func(s any) bool { return s == rules.State("Ls") }) == 1 {
+		if w.CountNodes(func(s rules.State) bool { return s == "Lstart" }) == 1 &&
+			w.CountNodes(func(s rules.State) bool { return s == "Ls" }) == 1 {
 			done = true
 			break
 		}
 	}
 	if !done {
 		t.Fatalf("replication did not complete after %d steps; states: %v",
-			w.Steps(), w.CountStates(func(s any) string { return string(s.(rules.State)) }))
+			w.Steps(), w.CountStates(func(s rules.State) string { return string(s) }))
 	}
 	if got := w.NumComponents(); got != 2 {
 		t.Fatalf("components = %d, want 2 (original + replica)", got)
@@ -61,7 +61,7 @@ func TestLineReplicationProducesSeedCopy(t *testing.T) {
 		t.Fatal("components are not straight lines")
 	}
 	// Both lines restored to [leader, i, ..., i, e].
-	counts := w.CountStates(func(s any) string { return string(s.(rules.State)) })
+	counts := w.CountStates(func(s rules.State) string { return string(s) })
 	want := map[string]int{"Lstart": 1, "Ls": 1, "e": 2, "i": 2 * (length - 2)}
 	for k, v := range want {
 		if counts[k] != v {
@@ -85,7 +85,7 @@ func TestLineReplicationMinimumLength(t *testing.T) {
 		if _, err := w.Step(); err != nil {
 			t.Fatal(err)
 		}
-		if w.CountNodes(func(s any) bool { return s == rules.State("Ls") }) == 1 {
+		if w.CountNodes(func(s rules.State) bool { return s == "Ls" }) == 1 {
 			return
 		}
 	}
@@ -96,7 +96,7 @@ func TestLineReplicationMinimumLength(t *testing.T) {
 // length, excluding the component that currently contains node `exclude`
 // (pass -1 to count all). The original line keeps accreting new replica
 // cells, so it rarely presents as a clean line at any given instant.
-func fullLines(w *sim.World, length, exclude int) int {
+func fullLines(w *sim.World[rules.State], length, exclude int) int {
 	n := 0
 	for _, slot := range w.ComponentSlots() {
 		if exclude >= 0 && slot == w.ComponentOf(exclude) {

@@ -47,44 +47,39 @@ type Parallel3D struct {
 	Lang shapes.Language
 }
 
-var _ sim.Protocol = (*Parallel3D)(nil)
+var _ sim.Protocol[p3State] = (*Parallel3D)(nil)
 
 // SquareConfig3D builds the starting 3D configuration: the bonded d x d
 // square at z = 0 with per-pixel indices, plus the free column material.
-func (p *Parallel3D) SquareConfig3D() sim.Config {
-	cells := make([]sim.NodeSpec, 0, p.D*p.D)
+func (p *Parallel3D) SquareConfig3D() sim.Config[p3State] {
+	cells := make([]sim.NodeSpec[p3State], 0, p.D*p.D)
 	for i := 0; i < p.D*p.D; i++ {
-		cells = append(cells, sim.NodeSpec{
+		cells = append(cells, sim.NodeSpec[p3State]{
 			State: p3State{Kind: p3Pixel, I: i, D: p.D, Remaining: p.K - 1, Down: grid.NZ},
 			Pos:   grid.ZigZagPos(i, p.D),
 		})
 	}
-	free := make([]any, (p.K-1)*p.D*p.D)
+	free := make([]p3State, (p.K-1)*p.D*p.D)
 	for i := range free {
 		free[i] = p3State{Kind: p3Free}
 	}
-	return sim.Config{Components: []sim.ComponentSpec{{Cells: cells}}, Free: free}
+	return sim.Config[p3State]{Components: []sim.ComponentSpec[p3State]{{Cells: cells}}, Free: free}
 }
 
 // InitialState covers nodes outside the explicit configuration.
-func (p *Parallel3D) InitialState(id, n int) any { return p3State{Kind: p3Free} }
+func (p *Parallel3D) InitialState(id, n int) p3State { return p3State{Kind: p3Free} }
 
 // Halted is unused: the construction is stabilizing (Remark 5-style); the
 // runner stops on the all-pixels-decided predicate.
-func (p *Parallel3D) Halted(any) bool { return false }
+func (p *Parallel3D) Halted(p3State) bool { return false }
 
 // Interact implements column growth, completion waves, decisions and
 // release.
-func (p *Parallel3D) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
-	sa, okA := a.(p3State)
-	sb, okB := b.(p3State)
-	if !okA || !okB {
-		return a, b, bonded, false
-	}
-	if na, nb, bond, eff := p.oriented(sa, sb, pa, pb, bonded); eff {
+func (p *Parallel3D) Interact(a, b p3State, pa, pb grid.Dir, bonded bool) (p3State, p3State, bool, bool) {
+	if na, nb, bond, eff := p.oriented(a, b, pa, pb, bonded); eff {
 		return na, nb, bond, true
 	}
-	if nb, na, bond, eff := p.oriented(sb, sa, pb, pa, bonded); eff {
+	if nb, na, bond, eff := p.oriented(b, a, pb, pa, bonded); eff {
 		return na, nb, bond, true
 	}
 	return a, b, bonded, false
@@ -156,18 +151,17 @@ type Parallel3DOutcome struct {
 // decided (or the budget runs out).
 func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parallel3DOutcome, error) {
 	proto := &Parallel3D{D: d, K: k, Lang: lang}
-	allDecided := func(w *sim.World) bool {
-		return w.CountNodes(func(s any) bool {
-			st, ok := s.(p3State)
-			return ok && st.Kind == p3Pixel && st.Decided
-		}) == d*d
-	}
 	w, err := sim.NewFromConfig(proto.SquareConfig3D(), proto, sim.Options{
-		Dim: 3, Seed: seed, MaxSteps: maxSteps, HaltWhen: allDecided, CheckEvery: 64,
+		Dim: 3, Seed: seed, MaxSteps: maxSteps, CheckEvery: 64,
 	})
 	if err != nil {
 		return Parallel3DOutcome{}, err
 	}
+	w.SetHaltWhen(func(w *sim.World[p3State]) bool {
+		return w.CountNodes(func(s p3State) bool {
+			return s.Kind == p3Pixel && s.Decided
+		}) == d*d
+	})
 	res := w.Run()
 	out := Parallel3DOutcome{D: d, K: k, Steps: res.Steps}
 	if res.Reason != sim.ReasonPredicate {
@@ -176,7 +170,7 @@ func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parall
 	out.Decided = true
 	out.Correct = true
 	for id := 0; id < d*d; id++ {
-		st := w.State(id).(p3State)
+		st := w.State(id)
 		if st.On != lang.Pixel(st.I, d) {
 			out.Correct = false
 		}

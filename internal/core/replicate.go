@@ -130,13 +130,13 @@ func northFor(pb grid.Dir, d int) grid.Dir {
 // configuration must come from ShapeConfig.
 type Replicator struct{}
 
-var _ sim.Protocol = (*Replicator)(nil)
+var _ sim.Protocol[rpState] = (*Replicator)(nil)
 
 // ShapeConfig builds the starting configuration: the fully bonded shape G
 // (on-cells) with the leader token on its first cell, plus free nodes.
-func ShapeConfig(g *grid.Shape, free int) sim.Config {
+func ShapeConfig(g *grid.Shape, free int) sim.Config[rpState] {
 	cells := g.Normalize().Cells()
-	specs := make([]sim.NodeSpec, 0, len(cells))
+	specs := make([]sim.NodeSpec[rpState], 0, len(cells))
 	for i, pos := range cells {
 		st := rpState{Kind: rpKindCell, On: true, North: grid.PY}
 		for ci, d := range compassDirs {
@@ -148,43 +148,37 @@ func ShapeConfig(g *grid.Shape, free int) sim.Config {
 			st.HasToken = true
 			st.T = rpToken{Phase: rpSeek, FirstRow: true}
 		}
-		specs = append(specs, sim.NodeSpec{State: st, Pos: pos})
+		specs = append(specs, sim.NodeSpec[rpState]{State: st, Pos: pos})
 	}
-	frees := make([]any, free)
+	frees := make([]rpState, free)
 	for i := range frees {
 		frees[i] = rpState{Kind: rpKindFree}
 	}
-	return sim.Config{Components: []sim.ComponentSpec{{Cells: specs}}, Free: frees}
+	return sim.Config[rpState]{Components: []sim.ComponentSpec[rpState]{{Cells: specs}}, Free: frees}
 }
 
 // InitialState covers nodes outside ShapeConfig.
-func (Replicator) InitialState(id, n int) any { return rpState{Kind: rpKindFree} }
+func (Replicator) InitialState(id, n int) rpState { return rpState{Kind: rpKindFree} }
 
 // Halted reports token completion.
-func (Replicator) Halted(s any) bool {
-	st, ok := s.(rpState)
-	return ok && st.HasToken && st.T.Phase == rpDone
+func (Replicator) Halted(s rpState) bool {
+	return s.HasToken && s.T.Phase == rpDone
 }
 
 // Interact (without component information) treats every unbonded pair as a
 // chance encounter; the engine calls InteractSame instead.
-func (p Replicator) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (p Replicator) Interact(a, b rpState, pa, pb grid.Dir, bonded bool) (rpState, rpState, bool, bool) {
 	return p.InteractSame(a, b, pa, pb, bonded, bonded)
 }
 
-var _ sim.ComponentAware = Replicator{}
+var _ sim.ComponentAware[rpState] = Replicator{}
 
 // InteractSame dispatches the replication rules in both orientations.
-func (p Replicator) InteractSame(a, b any, pa, pb grid.Dir, bonded, sameComp bool) (any, any, bool, bool) {
-	sa, okA := a.(rpState)
-	sb, okB := b.(rpState)
-	if !okA || !okB {
-		return a, b, bonded, false
-	}
-	if na, nb, bond, eff := p.oriented(sa, sb, pa, pb, bonded, sameComp); eff {
+func (p Replicator) InteractSame(a, b rpState, pa, pb grid.Dir, bonded, sameComp bool) (rpState, rpState, bool, bool) {
+	if na, nb, bond, eff := p.oriented(a, b, pa, pb, bonded, sameComp); eff {
 		return na, nb, bond, true
 	}
-	if nb, na, bond, eff := p.oriented(sb, sa, pb, pa, bonded, sameComp); eff {
+	if nb, na, bond, eff := p.oriented(b, a, pb, pa, bonded, sameComp); eff {
 		return na, nb, bond, true
 	}
 	return a, b, bonded, false
@@ -505,18 +499,16 @@ type ReplicationOutcome struct {
 func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationOutcome, error) {
 	proto := Replicator{}
 	w, err := sim.NewFromConfig(ShapeConfig(g, free), proto, sim.Options{
-		Seed: seed, MaxSteps: maxSteps,
-		HaltWhen: func(w *sim.World) bool {
-			return w.CountNodes(func(s any) bool {
-				st, ok := s.(rpState)
-				return ok && st.HasToken && st.T.Phase == rpDone
-			}) >= 2
-		},
-		CheckEvery: 64,
+		Seed: seed, MaxSteps: maxSteps, CheckEvery: 64,
 	})
 	if err != nil {
 		return ReplicationOutcome{}, err
 	}
+	w.SetHaltWhen(func(w *sim.World[rpState]) bool {
+		return w.CountNodes(func(s rpState) bool {
+			return s.HasToken && s.T.Phase == rpDone
+		}) >= 2
+	})
 	res := w.Run()
 	out := ReplicationOutcome{Steps: res.Steps, RGSize: g.EnclosingRect().Size()}
 	if res.Reason != sim.ReasonPredicate {
@@ -537,7 +529,7 @@ func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationO
 		nodes := w.ComponentNodes(slot)
 		allOn := true
 		for _, id := range nodes {
-			st := w.State(id).(rpState)
+			st := w.State(id)
 			if !st.On || st.Kind != rpKindCell {
 				allOn = false
 				break
@@ -559,11 +551,11 @@ func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationO
 
 // settled reports whether every cell has received a cleanup wave and no
 // dummy retains a bond inside a multi-node component.
-func settled(w *sim.World) bool {
+func settled(w *sim.World[rpState]) bool {
 	for _, slot := range w.ComponentSlots() {
 		for _, id := range w.ComponentNodes(slot) {
-			st, ok := w.State(id).(rpState)
-			if !ok || st.Kind != rpKindCell {
+			st := w.State(id)
+			if st.Kind != rpKindCell {
 				continue
 			}
 			if !st.Cleanup {

@@ -101,10 +101,10 @@ type SquareKnowingN struct {
 	D int
 }
 
-var _ sim.Protocol = (*SquareKnowingN)(nil)
+var _ sim.Protocol[skState] = (*SquareKnowingN)(nil)
 
 // InitialState seeds the leader with d.
-func (p *SquareKnowingN) InitialState(id, n int) any {
+func (p *SquareKnowingN) InitialState(id, n int) skState {
 	if id == 0 {
 		l := skState{Kind: skLeader, D: p.D, RowsLeft: p.D - 1, LineKind: lineOrig}
 		if p.D == 1 {
@@ -116,9 +116,8 @@ func (p *SquareKnowingN) InitialState(id, n int) any {
 }
 
 // Halted reports the original leader's termination.
-func (p *SquareKnowingN) Halted(s any) bool {
-	st, ok := s.(skState)
-	return ok && st.Kind == skLeader && st.Done
+func (p *SquareKnowingN) Halted(s skState) bool {
+	return s.Kind == skLeader && s.Done
 }
 
 func upOf(right grid.Dir) grid.Dir   { return grid.CCW(right) }
@@ -126,24 +125,19 @@ func downOf(right grid.Dir) grid.Dir { return grid.CW(right) }
 
 // Interact without component information conservatively treats unbonded
 // pairs as chance encounters; the engine calls InteractSame instead.
-func (p *SquareKnowingN) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (p *SquareKnowingN) Interact(a, b skState, pa, pb grid.Dir, bonded bool) (skState, skState, bool, bool) {
 	return p.InteractSame(a, b, pa, pb, bonded, bonded)
 }
 
-var _ sim.ComponentAware = (*SquareKnowingN)(nil)
+var _ sim.ComponentAware[skState] = (*SquareKnowingN)(nil)
 
 // InteractSame dispatches all Square-Knowing-n rules, trying both operand
 // orders against the single-sided rule list.
-func (p *SquareKnowingN) InteractSame(a, b any, pa, pb grid.Dir, bonded, sameComp bool) (any, any, bool, bool) {
-	sa, okA := a.(skState)
-	sb, okB := b.(skState)
-	if !okA || !okB {
-		return a, b, bonded, false
-	}
-	if na, nb, bond, eff := p.oriented(sa, sb, pa, pb, bonded, sameComp); eff {
+func (p *SquareKnowingN) InteractSame(a, b skState, pa, pb grid.Dir, bonded, sameComp bool) (skState, skState, bool, bool) {
+	if na, nb, bond, eff := p.oriented(a, b, pa, pb, bonded, sameComp); eff {
 		return na, nb, bond, true
 	}
-	if nb, na, bond, eff := p.oriented(sb, sa, pb, pa, bonded, sameComp); eff {
+	if nb, na, bond, eff := p.oriented(b, a, pb, pa, bonded, sameComp); eff {
 		return na, nb, bond, true
 	}
 	return a, b, bonded, false

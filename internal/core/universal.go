@@ -75,26 +75,26 @@ type Universal struct {
 	Pattern shapes.PatternLanguage
 }
 
-var _ sim.Protocol = (*Universal)(nil)
+var _ sim.Protocol[uniCell] = (*Universal)(nil)
 
 // SquareConfig builds the starting configuration: a fully bonded d x d
 // square with the token on pixel 0, plus inert free spectators.
-func (p *Universal) SquareConfig(extraFree int) sim.Config {
+func (p *Universal) SquareConfig(extraFree int) sim.Config[uniCell] {
 	d := p.D
-	cells := make([]sim.NodeSpec, 0, d*d)
+	cells := make([]sim.NodeSpec[uniCell], 0, d*d)
 	for i := 0; i < d*d; i++ {
 		c := uniCell{Sym: tm.Blank}
 		if i == 0 {
 			c.HasToken = true
 			c.T = p.startToken()
 		}
-		cells = append(cells, sim.NodeSpec{State: c, Pos: grid.ZigZagPos(i, d)})
+		cells = append(cells, sim.NodeSpec[uniCell]{State: c, Pos: grid.ZigZagPos(i, d)})
 	}
-	free := make([]any, extraFree)
+	free := make([]uniCell, extraFree)
 	for i := range free {
 		free[i] = uniCell{Spect: true}
 	}
-	return sim.Config{Components: []sim.ComponentSpec{{Cells: cells}}, Free: free}
+	return sim.Config[uniCell]{Components: []sim.ComponentSpec[uniCell]{{Cells: cells}}, Free: free}
 }
 
 func (p *Universal) startToken() uniToken {
@@ -107,12 +107,11 @@ func (p *Universal) startToken() uniToken {
 }
 
 // InitialState is only used for nodes outside SquareConfig.
-func (p *Universal) InitialState(id, n int) any { return uniCell{Spect: true} }
+func (p *Universal) InitialState(id, n int) uniCell { return uniCell{Spect: true} }
 
 // Halted reports token completion.
-func (p *Universal) Halted(s any) bool {
-	c, ok := s.(uniCell)
-	return ok && c.HasToken && c.T.Phase == uphDone
+func (p *Universal) Halted(s uniCell) bool {
+	return s.HasToken && s.T.Phase == uphDone
 }
 
 // releasable reports whether a cell sheds every bond: a released off
@@ -127,22 +126,17 @@ func releasable(c uniCell) bool {
 }
 
 // Interact applies the release rule and the token program.
-func (p *Universal) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
-	ca, okA := a.(uniCell)
-	cb, okB := b.(uniCell)
-	if !okA || !okB {
-		return a, b, bonded, false
+func (p *Universal) Interact(a, b uniCell, pa, pb grid.Dir, bonded bool) (uniCell, uniCell, bool, bool) {
+	if bonded && (releasable(a) || releasable(b)) {
+		return a, b, false, true
 	}
-	if bonded && (releasable(ca) || releasable(cb)) {
-		return ca, cb, false, true
-	}
-	if ca.HasToken {
-		if na, nb, eff := p.token(ca, cb, pa, bonded); eff {
+	if a.HasToken {
+		if na, nb, eff := p.token(a, b, pa, bonded); eff {
 			return na, nb, true, true
 		}
 	}
-	if cb.HasToken {
-		if nb, na, eff := p.token(cb, ca, pb, bonded); eff {
+	if b.HasToken {
+		if nb, na, eff := p.token(b, a, pb, bonded); eff {
 			return na, nb, true, true
 		}
 	}
@@ -417,13 +411,13 @@ func runUniversal(proto *Universal, lang shapes.Language, d int, seed, maxSteps 
 }
 
 // offStillBonded reports whether some released off cell retains a bond.
-func offStillBonded(w *sim.World) bool {
+func offStillBonded(w *sim.World[uniCell]) bool {
 	for _, slot := range w.ComponentSlots() {
 		if w.ComponentSize(slot) < 2 {
 			continue
 		}
 		for _, id := range w.ComponentNodes(slot) {
-			if c, ok := w.State(id).(uniCell); ok && releasable(c) {
+			if releasable(w.State(id)) {
 				return true
 			}
 		}
@@ -432,12 +426,11 @@ func offStillBonded(w *sim.World) bool {
 }
 
 // onShape collects the largest bonded component made of on cells.
-func onShape(w *sim.World) *grid.Shape {
+func onShape(w *sim.World[uniCell]) *grid.Shape {
 	best := grid.NewShape()
 	for _, slot := range w.ComponentSlots() {
 		nodes := w.ComponentNodes(slot)
-		c, ok := w.State(nodes[0]).(uniCell)
-		if !ok || !c.On {
+		if !w.State(nodes[0]).On {
 			continue
 		}
 		s := w.ComponentShape(slot)
@@ -450,7 +443,7 @@ func onShape(w *sim.World) *grid.Shape {
 
 // newUniversalWorld is a small helper for tests and tools that need the
 // live world rather than just the outcome.
-func newUniversalWorld(proto *Universal, seed int64) (*sim.World, error) {
+func newUniversalWorld(proto *Universal, seed int64) (*sim.World[uniCell], error) {
 	return sim.NewFromConfig(proto.SquareConfig(0), proto, sim.Options{
 		Seed: seed, MaxSteps: 50_000_000, StopWhenAnyHalted: true,
 	})

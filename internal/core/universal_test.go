@@ -75,7 +75,7 @@ func TestUniversalPattern(t *testing.T) {
 	// Every pixel colored per the pattern.
 	want := shapes.RenderPattern(shapes.Checker(), d)
 	for id := 0; id < d*d; id++ {
-		c := w.State(id).(uniCell)
+		c := w.State(id)
 		if !c.Decided || c.Color != want.At(id) {
 			t.Fatalf("pixel %d: decided=%v color=%d want %d", id, c.Decided, c.Color, want.At(id))
 		}

@@ -50,7 +50,7 @@ func TestUpperBoundCountersInvariant(t *testing.T) {
 	w := pop.New(40, proto, pop.Options{Seed: 9})
 	for i := 0; i < 20000; i++ {
 		w.Step()
-		l := w.State(0).(Leader)
+		l := w.State(0).L
 		if l.R0 < l.R1 {
 			t.Fatalf("r0=%d < r1=%d at step %d", l.R0, l.R1, i)
 		}
@@ -59,9 +59,9 @@ func TestUpperBoundCountersInvariant(t *testing.T) {
 		}
 	}
 	// Conservation: #q1 = r0 - r1, #q2 = r1 (among non-leaders).
-	l := w.State(0).(Leader)
-	q1 := w.CountNodes(func(s any) bool { return s == Q1 })
-	q2 := w.CountNodes(func(s any) bool { return s == Q2 })
+	l := w.State(0).L
+	q1 := w.CountNodes(func(s UBState) bool { return !s.IsLeader && s.Q == Q1 })
+	q2 := w.CountNodes(func(s UBState) bool { return !s.IsLeader && s.Q == Q2 })
 	if int64(q1) != l.R0-l.R1 {
 		t.Fatalf("#q1=%d, want r0-r1=%d", q1, l.R0-l.R1)
 	}
@@ -74,9 +74,9 @@ func TestUpperBoundHaltPriority(t *testing.T) {
 	// Once r0 == r1, the very next leader interaction halts regardless of
 	// the partner's phase.
 	p := &UpperBound{B: 2}
-	l := Leader{R0: 5, R1: 5}
-	na, nb, eff := p.Apply(l, Q0)
-	if !eff || !na.(Leader).Done || nb != Q0 {
+	l := UBState{IsLeader: true, L: Leader{R0: 5, R1: 5}}
+	na, nb, eff := p.Apply(l, UBState{Q: Q0})
+	if !eff || !na.L.Done || nb.Q != Q0 {
 		t.Fatalf("halt rule not applied: %v %v %v", na, nb, eff)
 	}
 }
@@ -146,7 +146,7 @@ func TestUIDDeactivationMonotone(t *testing.T) {
 	prev := 30
 	for i := 0; i < 100000; i++ {
 		w.Step()
-		active := w.CountNodes(func(s any) bool { return s.(*UIDState).Active })
+		active := w.CountNodes(func(s *UIDState) bool { return s.Active })
 		if active > prev {
 			t.Fatalf("active count grew from %d to %d", prev, active)
 		}
@@ -166,7 +166,7 @@ func TestUIDCustomIDs(t *testing.T) {
 		proto := &UID{B: 2, IDs: ids}
 		w := pop.New(len(ids), proto, pop.Options{Seed: 5, StopWhenAnyHalted: true})
 		res := w.Run()
-		st := w.State(res.FirstHalted).(*UIDState)
+		st := w.State(res.FirstHalted)
 		return UIDOutcome{WinnerIsMax: st.ID == 99, Output: st.Output}
 	}()
 	if !out.WinnerIsMax {
@@ -196,11 +196,10 @@ func TestLeaderlessEarlyTerminationStaysLikely(t *testing.T) {
 
 func TestObservationProtocolDelta(t *testing.T) {
 	p := TwoZerosProtocol()
-	a, b, eff := p.Apply(ObsState{Comm: "q0"}, ObsState{Comm: "q0"})
+	sa, sb, eff := p.Apply(ObsState{Comm: "q0"}, ObsState{Comm: "q0"})
 	if !eff {
 		t.Fatal("q0/q0 should be effective")
 	}
-	sa, sb := a.(ObsState), b.(ObsState)
 	if sa.Comm != "q1" || sb.Comm != "q1" {
 		t.Fatalf("delta wrong: %v %v", sa.Comm, sb.Comm)
 	}

@@ -33,7 +33,7 @@ type ObservationProtocol struct {
 	Target []string
 }
 
-var _ pop.Protocol = (*ObservationProtocol)(nil)
+var _ pop.Protocol[ObsState] = (*ObservationProtocol)(nil)
 
 // DeltaKey builds a Delta key for the ordered pair (a, b).
 func DeltaKey(a, b string) string { return a + "|" + b }
@@ -47,25 +47,24 @@ type ObsState struct {
 }
 
 // InitialState starts every agent identically: uniform protocol, no ids.
-func (p *ObservationProtocol) InitialState(id, n int) any {
+func (p *ObservationProtocol) InitialState(id, n int) ObsState {
 	return ObsState{Comm: p.Initial}
 }
 
 // Apply looks up delta for the pair and records mutual observations.
-func (p *ObservationProtocol) Apply(a, b any) (any, any, bool) {
-	sa, sb := a.(ObsState), b.(ObsState)
-	if sa.Done && sb.Done {
+func (p *ObservationProtocol) Apply(a, b ObsState) (ObsState, ObsState, bool) {
+	if a.Done && b.Done {
 		return a, b, false
 	}
-	ca, cb := sa.Comm, sb.Comm
+	ca, cb := a.Comm, b.Comm
 	if out, ok := p.Delta[DeltaKey(ca, cb)]; ok {
-		sa.Comm, sb.Comm = out[0], out[1]
+		a.Comm, b.Comm = out[0], out[1]
 	} else if out, ok := p.Delta[DeltaKey(cb, ca)]; ok {
-		sb.Comm, sa.Comm = out[0], out[1]
+		b.Comm, a.Comm = out[0], out[1]
 	}
-	sa = p.observe(sa, cb)
-	sb = p.observe(sb, ca)
-	return sa, sb, true
+	a = p.observe(a, cb)
+	b = p.observe(b, ca)
+	return a, b, true
 }
 
 func (p *ObservationProtocol) observe(s ObsState, encountered string) ObsState {
@@ -80,7 +79,7 @@ func (p *ObservationProtocol) observe(s ObsState, encountered string) ObsState {
 }
 
 // Halted reports observation-driven termination.
-func (p *ObservationProtocol) Halted(s any) bool { return s.(ObsState).Done }
+func (p *ObservationProtocol) Halted(s ObsState) bool { return s.Done }
 
 // LeaderlessOutcome reports one run of the Conjecture 1 experiment.
 type LeaderlessOutcome struct {

@@ -62,7 +62,7 @@ type SimpleUID struct {
 	IDs []int
 }
 
-var _ pop.Protocol = (*SimpleUID)(nil)
+var _ pop.Protocol[*SimpleUIDState] = (*SimpleUID)(nil)
 
 func (p *SimpleUID) idOf(agent int) int {
 	if p.IDs != nil {
@@ -72,24 +72,23 @@ func (p *SimpleUID) idOf(agent int) int {
 }
 
 // InitialState gives each agent its unique id and empty observation memory.
-func (p *SimpleUID) InitialState(id, n int) any {
+func (p *SimpleUID) InitialState(id, n int) *SimpleUIDState {
 	return &SimpleUIDState{ID: p.idOf(id), B: p.B, Met: make(map[int]bool)}
 }
 
 // Apply records the mutual observation on both sides.
-func (p *SimpleUID) Apply(a, b any) (any, any, bool) {
-	sa, sb := a.(*SimpleUIDState), b.(*SimpleUIDState)
-	if sa.Done && sb.Done {
+func (p *SimpleUID) Apply(a, b *SimpleUIDState) (*SimpleUIDState, *SimpleUIDState, bool) {
+	if a.Done && b.Done {
 		return a, b, false
 	}
-	na, nb := sa.clone(), sb.clone()
-	na.observe(sb.ID)
-	nb.observe(sa.ID)
+	na, nb := a.clone(), b.clone()
+	na.observe(b.ID)
+	nb.observe(a.ID)
 	return na, nb, true
 }
 
 // Halted reports termination of the agent.
-func (p *SimpleUID) Halted(s any) bool { return s.(*SimpleUIDState).Done }
+func (p *SimpleUID) Halted(s *SimpleUIDState) bool { return s.Done }
 
 // SimpleUIDOutcome reports one execution of the simple UID protocol.
 type SimpleUIDOutcome struct {
@@ -107,7 +106,7 @@ func RunSimpleUID(n, b int, seed int64, maxSteps int64) SimpleUIDOutcome {
 	res := w.Run()
 	out := SimpleUIDOutcome{N: n, B: b, Steps: res.Steps}
 	if res.FirstHalted >= 0 {
-		st := w.State(res.FirstHalted).(*SimpleUIDState)
+		st := w.State(res.FirstHalted)
 		out.Output = st.Output
 		out.Exact = st.Output == n
 	}
@@ -147,7 +146,7 @@ type UID struct {
 	IDs []int // optional id override, default agent i -> i+1
 }
 
-var _ pop.Protocol = (*UID)(nil)
+var _ pop.Protocol[*UIDState] = (*UID)(nil)
 
 func (p *UID) idOf(agent int) int {
 	if p.IDs != nil {
@@ -157,17 +156,16 @@ func (p *UID) idOf(agent int) int {
 }
 
 // InitialState: every agent active, unmarked, unclaimed.
-func (p *UID) InitialState(id, n int) any {
+func (p *UID) InitialState(id, n int) *UIDState {
 	return &UIDState{ID: p.idOf(id), Active: true}
 }
 
 // Apply implements Protocol 3 for the interaction of u, v with idu > idv.
-func (p *UID) Apply(a, b any) (any, any, bool) {
-	sa, sb := a.(*UIDState), b.(*UIDState)
-	if sa.Done || sb.Done {
+func (p *UID) Apply(a, b *UIDState) (*UIDState, *UIDState, bool) {
+	if a.Done || b.Done {
 		return a, b, false
 	}
-	u, v := *sa, *sb // copy: states are treated as values
+	u, v := *a, *b // copy: states are treated as values
 	if u.ID < v.ID {
 		u, v = v, u
 	}
@@ -203,14 +201,14 @@ func (p *UID) Apply(a, b any) (any, any, bool) {
 	if !changed {
 		return a, b, false
 	}
-	if sa.ID == u.ID {
+	if a.ID == u.ID {
 		return &u, &v, true
 	}
 	return &v, &u, true
 }
 
 // Halted reports termination.
-func (p *UID) Halted(s any) bool { return s.(*UIDState).Done }
+func (p *UID) Halted(s *UIDState) bool { return s.Done }
 
 // UIDOutcome reports one execution of Protocol 3.
 type UIDOutcome struct {
@@ -231,7 +229,7 @@ func RunUID(n, b int, seed int64) UIDOutcome {
 	if res.FirstHalted < 0 {
 		return out
 	}
-	st := w.State(res.FirstHalted).(*UIDState)
+	st := w.State(res.FirstHalted)
 	out.WinnerIsMax = st.ID == n // default ids are 1..n
 	out.Output = st.Output
 	out.Success = st.Output >= int64(n)

@@ -20,7 +20,7 @@ const (
 	Q2 = "q2"
 )
 
-// Leader is the unique leader's state in Counting-Upper-Bound: two
+// Leader is the unique leader's payload in Counting-Upper-Bound: two
 // unbounded counters, as assumed in Section 5.1 ("a distinguished leader
 // node has unbounded local memory"). R0 counts first meetings (q0 -> q1
 // conversions), R1 counts second meetings (q1 -> q2 conversions).
@@ -32,6 +32,24 @@ type Leader struct {
 // String implements fmt.Stringer.
 func (l Leader) String() string {
 	return fmt.Sprintf("L(r0=%d,r1=%d,done=%v)", l.R0, l.R1, l.Done)
+}
+
+// UBState is the single agent state type of Counting-Upper-Bound: either
+// the leader (IsLeader, with its counters in L) or a phase agent (Q is one
+// of Q0, Q1, Q2). A flat value type keeps the generic pop engine's hot
+// loop free of interface boxing.
+type UBState struct {
+	L        Leader
+	IsLeader bool
+	Q        string
+}
+
+// String implements fmt.Stringer.
+func (s UBState) String() string {
+	if s.IsLeader {
+		return s.L.String()
+	}
+	return s.Q
 }
 
 // UpperBound is the Counting-Upper-Bound protocol of Theorem 1. The leader
@@ -52,19 +70,19 @@ type UpperBound struct {
 	B int
 }
 
-var _ pop.Protocol = (*UpperBound)(nil)
+var _ pop.Protocol[UBState] = (*UpperBound)(nil)
 
 // InitialState places the leader at agent 0 and the B head-start agents
 // right after it.
-func (p *UpperBound) InitialState(id, n int) any {
+func (p *UpperBound) InitialState(id, n int) UBState {
 	b := p.headStart(n)
 	switch {
 	case id == 0:
-		return Leader{R0: int64(b)}
+		return UBState{IsLeader: true, L: Leader{R0: int64(b)}}
 	case id <= b:
-		return Q1
+		return UBState{Q: Q1}
 	default:
-		return Q0
+		return UBState{Q: Q0}
 	}
 }
 
@@ -82,39 +100,39 @@ func (p *UpperBound) headStart(n int) int {
 }
 
 // Apply implements the three rules above on an unordered pair.
-func (p *UpperBound) Apply(a, b any) (any, any, bool) {
-	l, ok := a.(Leader)
-	if !ok {
-		if l2, ok2 := b.(Leader); ok2 {
-			nb, na, eff := p.Apply(l2, a)
+func (p *UpperBound) Apply(a, b UBState) (UBState, UBState, bool) {
+	if !a.IsLeader {
+		if b.IsLeader {
+			nb, na, eff := p.Apply(b, a)
 			return na, nb, eff
 		}
 		return a, b, false // two non-leaders never react
 	}
-	if l.Done {
+	if a.L.Done {
 		return a, b, false
 	}
 	// Halt rule has priority: (l(r0,r1), .) -> (halt, .) if r0 = r1.
-	if l.R0 == l.R1 {
-		l.Done = true
-		return l, b, true
+	if a.L.R0 == a.L.R1 {
+		a.L.Done = true
+		return a, b, true
 	}
-	switch b {
+	switch b.Q {
 	case Q0:
-		l.R0++
-		return l, Q1, true
+		a.L.R0++
+		b.Q = Q1
+		return a, b, true
 	case Q1:
-		l.R1++
-		return l, Q2, true
+		a.L.R1++
+		b.Q = Q2
+		return a, b, true
 	default:
-		return l, b, false
+		return a, b, false
 	}
 }
 
 // Halted reports whether the agent has terminated.
-func (p *UpperBound) Halted(s any) bool {
-	l, ok := s.(Leader)
-	return ok && l.Done
+func (p *UpperBound) Halted(s UBState) bool {
+	return s.IsLeader && s.L.Done
 }
 
 // UpperBoundOutcome is the measured outcome of one Counting-Upper-Bound
@@ -140,7 +158,7 @@ func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
 	if res.Reason != pop.ReasonHalted {
 		return out
 	}
-	l := w.State(0).(Leader)
+	l := w.State(0).L
 	out.R0 = l.R0
 	out.Estimate = float64(l.R0) / float64(n)
 	out.Success = 2*l.R0 >= int64(n)

@@ -4,6 +4,11 @@
 // of the n(n-1)/2 unordered agent pairs; the pair interacts and updates its
 // states.
 //
+// The engine is generic over the protocol's state type S, so agent states
+// are stored unboxed in a []S and the steady-state Step performs no heap
+// allocations (protocols with value-type states keep the whole hot loop
+// allocation-free; see TestStepZeroAllocs).
+//
 // The counting protocols of Section 5 are built on this engine
 // (internal/counting); the geometric engine of internal/sim is used once
 // counting moves onto a self-assembled line (Section 6.1).
@@ -14,13 +19,13 @@ import (
 	"math/rand"
 )
 
-// Protocol is the agent behavior. Apply receives the two states in random
-// order (pairs are unordered) and returns the updated states plus an
-// effectiveness flag.
-type Protocol interface {
-	InitialState(id, n int) any
-	Apply(a, b any) (na, nb any, effective bool)
-	Halted(s any) bool
+// Protocol is the agent behavior, generic over the per-agent state type S.
+// Apply receives the two states in random order (pairs are unordered) and
+// returns the updated states plus an effectiveness flag.
+type Protocol[S any] interface {
+	InitialState(id, n int) S
+	Apply(a, b S) (na, nb S, effective bool)
+	Halted(s S) bool
 }
 
 // Options configures a run.
@@ -69,13 +74,14 @@ type Result struct {
 	FirstHalted int // id of the first agent to halt, or -1
 }
 
-// World is one population instance. Not safe for concurrent use.
-type World struct {
+// World is one population instance. Not safe for concurrent use; run
+// independent worlds in parallel instead (see internal/runner).
+type World[S any] struct {
 	n      int
 	opts   Options
-	proto  Protocol
+	proto  Protocol[S]
 	rng    *rand.Rand
-	states []any
+	states []S
 	halted []bool
 
 	steps, effective int64
@@ -85,16 +91,16 @@ type World struct {
 
 // New builds a population of n agents in their initial states. n must be at
 // least 2.
-func New(n int, proto Protocol, opts Options) *World {
+func New[S any](n int, proto Protocol[S], opts Options) *World[S] {
 	if n < 2 {
 		panic(fmt.Sprintf("pop: population size %d < 2", n))
 	}
-	w := &World{
+	w := &World[S]{
 		n:           n,
 		opts:        opts.withDefaults(),
 		proto:       proto,
 		rng:         rand.New(rand.NewSource(opts.Seed)),
-		states:      make([]any, n),
+		states:      make([]S, n),
 		halted:      make([]bool, n),
 		firstHalted: -1,
 	}
@@ -112,27 +118,27 @@ func New(n int, proto Protocol, opts Options) *World {
 }
 
 // N returns the population size.
-func (w *World) N() int { return w.n }
+func (w *World[S]) N() int { return w.n }
 
 // Steps returns the number of scheduler selections so far.
-func (w *World) Steps() int64 { return w.steps }
+func (w *World[S]) Steps() int64 { return w.steps }
 
 // Effective returns the number of effective interactions so far.
-func (w *World) Effective() int64 { return w.effective }
+func (w *World[S]) Effective() int64 { return w.effective }
 
 // State returns agent id's current state.
-func (w *World) State(id int) any { return w.states[id] }
+func (w *World[S]) State(id int) S { return w.states[id] }
 
 // HaltedCount returns the number of halted agents.
-func (w *World) HaltedCount() int { return w.haltedCount }
+func (w *World[S]) HaltedCount() int { return w.haltedCount }
 
 // FirstHalted returns the id of the first agent that halted, or -1.
-func (w *World) FirstHalted() int { return w.firstHalted }
+func (w *World[S]) FirstHalted() int { return w.firstHalted }
 
 // FindNode returns the smallest agent id whose state satisfies pred, or -1.
-func (w *World) FindNode(pred func(any) bool) int {
-	for i, s := range w.states {
-		if pred(s) {
+func (w *World[S]) FindNode(pred func(S) bool) int {
+	for i := range w.states {
+		if pred(w.states[i]) {
 			return i
 		}
 	}
@@ -140,10 +146,10 @@ func (w *World) FindNode(pred func(any) bool) int {
 }
 
 // CountNodes returns how many agent states satisfy pred.
-func (w *World) CountNodes(pred func(any) bool) int {
+func (w *World[S]) CountNodes(pred func(S) bool) int {
 	n := 0
-	for _, s := range w.states {
-		if pred(s) {
+	for i := range w.states {
+		if pred(w.states[i]) {
 			n++
 		}
 	}
@@ -152,7 +158,7 @@ func (w *World) CountNodes(pred func(any) bool) int {
 
 // Step performs one uniform random pairwise interaction and reports whether
 // it was effective.
-func (w *World) Step() bool {
+func (w *World[S]) Step() bool {
 	w.steps++
 	i := w.rng.Intn(w.n)
 	j := w.rng.Intn(w.n - 1)
@@ -169,7 +175,7 @@ func (w *World) Step() bool {
 	return true
 }
 
-func (w *World) apply(id int, s any) {
+func (w *World[S]) apply(id int, s S) {
 	w.states[id] = s
 	h := w.proto.Halted(s)
 	if h && !w.halted[id] {
@@ -184,16 +190,25 @@ func (w *World) apply(id int, s any) {
 	}
 }
 
-// Run executes steps until a stop condition fires.
-func (w *World) Run() Result {
+// stopped reports whether a halting stop condition currently holds.
+func (w *World[S]) stopped() bool {
+	return (w.opts.StopWhenAnyHalted && w.haltedCount > 0) ||
+		(w.opts.StopWhenAllHalted && w.haltedCount == w.n)
+}
+
+// Run executes steps until a stop condition fires. Stop conditions already
+// true at entry (for example a protocol whose initial configuration
+// contains a halted agent) return immediately without stepping.
+func (w *World[S]) Run() Result {
 	reason := ReasonMaxSteps
+	if w.stopped() {
+		reason = ReasonHalted
+		return Result{Steps: w.steps, Effective: w.effective,
+			Reason: reason, FirstHalted: w.firstHalted}
+	}
 	for w.steps < w.opts.MaxSteps {
 		w.Step()
-		if w.opts.StopWhenAnyHalted && w.haltedCount > 0 {
-			reason = ReasonHalted
-			break
-		}
-		if w.opts.StopWhenAllHalted && w.haltedCount == w.n {
+		if w.stopped() {
 			reason = ReasonHalted
 			break
 		}

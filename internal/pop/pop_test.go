@@ -5,39 +5,40 @@ import (
 	"testing"
 )
 
-// pairCounter records which unordered pairs interact.
+// pairCounter is an always-effective protocol over plain int states.
 type pairCounter struct{}
 
-func (pairCounter) InitialState(id, n int) any { return id }
-func (pairCounter) Apply(a, b any) (any, any, bool) {
+func (pairCounter) InitialState(id, n int) int { return id }
+func (pairCounter) Apply(a, b int) (int, int, bool) {
 	return a, b, true
 }
-func (pairCounter) Halted(any) bool { return false }
+func (pairCounter) Halted(int) bool { return false }
 
 // halter halts an agent on its first interaction.
 type halter struct{}
 
-func (halter) InitialState(id, n int) any { return false }
-func (halter) Apply(a, b any) (any, any, bool) {
+func (halter) InitialState(id, n int) bool { return false }
+func (halter) Apply(a, b bool) (bool, bool, bool) {
 	return true, true, true
 }
-func (halter) Halted(s any) bool { return s.(bool) }
+func (halter) Halted(s bool) bool { return s }
+
+// bornHalted starts every agent already halted.
+type bornHalted struct{}
+
+func (bornHalted) InitialState(id, n int) bool { return true }
+func (bornHalted) Apply(a, b bool) (bool, bool, bool) {
+	return a, b, false
+}
+func (bornHalted) Halted(s bool) bool { return s }
 
 func TestUniformPairSelection(t *testing.T) {
 	// With n=4 there are 6 unordered pairs; each must be selected about
-	// trials/6 times. We track pairs through a stateful wrapper.
+	// trials/6 times. The recorder protocol notes every interacting pair.
 	const n, trials = 4, 60000
 	counts := map[[2]int]int{}
-	w := New(n, pairCounter{}, Options{Seed: 3})
-	// Re-run selection by instrumenting Step via states: instead, sample
-	// using the same RNG approach: drive Step and recover the pair from
-	// the interaction by marking states.
-	type probe struct{ last [2]int }
-	_ = probe{}
-	// Simpler: use a protocol that records ids into a shared map via
-	// closure.
 	rec := &recorder{counts: counts}
-	w = New(n, rec, Options{Seed: 3})
+	w := New(n, rec, Options{Seed: 3})
 	for i := 0; i < trials; i++ {
 		w.Step()
 	}
@@ -57,16 +58,15 @@ type recorder struct {
 	counts map[[2]int]int
 }
 
-func (r *recorder) InitialState(id, n int) any { return id }
-func (r *recorder) Apply(a, b any) (any, any, bool) {
-	i, j := a.(int), b.(int)
-	if i > j {
-		i, j = j, i
+func (r *recorder) InitialState(id, n int) int { return id }
+func (r *recorder) Apply(a, b int) (int, int, bool) {
+	if a > b {
+		a, b = b, a
 	}
-	r.counts[[2]int{i, j}]++
+	r.counts[[2]int{a, b}]++
 	return a, b, false
 }
-func (r *recorder) Halted(any) bool { return false }
+func (r *recorder) Halted(int) bool { return false }
 
 func TestStopWhenAnyHalted(t *testing.T) {
 	w := New(5, halter{}, Options{Seed: 1, StopWhenAnyHalted: true})
@@ -88,6 +88,31 @@ func TestStopWhenAllHalted(t *testing.T) {
 	if res.Reason != ReasonHalted || w.HaltedCount() != 4 {
 		t.Fatalf("reason=%v halted=%d", res.Reason, w.HaltedCount())
 	}
+	// Every agent halts on its first interaction, so the run needs at
+	// least ceil(n/2) and at most MaxSteps selections.
+	if res.Steps < 2 {
+		t.Fatalf("steps = %d, want >= 2", res.Steps)
+	}
+}
+
+func TestRunStopsImmediatelyWhenEntryConditionHolds(t *testing.T) {
+	// A population born halted must not consume any scheduler steps.
+	for _, opts := range []Options{
+		{Seed: 1, StopWhenAnyHalted: true},
+		{Seed: 1, StopWhenAllHalted: true},
+	} {
+		w := New(3, bornHalted{}, opts)
+		res := w.Run()
+		if res.Reason != ReasonHalted {
+			t.Fatalf("opts %+v: reason %v, want halted", opts, res.Reason)
+		}
+		if res.Steps != 0 {
+			t.Fatalf("opts %+v: steps = %d, want 0", opts, res.Steps)
+		}
+		if res.FirstHalted != 0 {
+			t.Fatalf("opts %+v: first halted = %d, want 0", opts, res.FirstHalted)
+		}
+	}
 }
 
 func TestMaxStepsBudget(t *testing.T) {
@@ -100,6 +125,41 @@ func TestMaxStepsBudget(t *testing.T) {
 		t.Fatalf("effective = %d", res.Effective)
 	}
 }
+
+func TestMaxStepsWithoutStopConditions(t *testing.T) {
+	// With no halting stop condition Run must exhaust the budget even
+	// though agents halt along the way.
+	w := New(4, halter{}, Options{Seed: 5, MaxSteps: 50})
+	res := w.Run()
+	if res.Reason != ReasonMaxSteps || res.Steps != 50 {
+		t.Fatalf("%+v", res)
+	}
+	if w.HaltedCount() != 4 {
+		t.Fatalf("halted = %d, want 4", w.HaltedCount())
+	}
+}
+
+func TestHaltedCountUnwindsOnUnhalt(t *testing.T) {
+	// A protocol may bring a halted agent back; the count must follow.
+	w := New(2, toggler{}, Options{Seed: 1})
+	w.Step() // both halt
+	if w.HaltedCount() != 2 {
+		t.Fatalf("halted = %d, want 2", w.HaltedCount())
+	}
+	w.Step() // both unhalt
+	if w.HaltedCount() != 0 {
+		t.Fatalf("halted = %d, want 0", w.HaltedCount())
+	}
+}
+
+// toggler flips both agents' halted flag on every interaction.
+type toggler struct{}
+
+func (toggler) InitialState(id, n int) bool { return false }
+func (toggler) Apply(a, b bool) (bool, bool, bool) {
+	return !a, !b, true
+}
+func (toggler) Halted(s bool) bool { return s }
 
 func TestDeterministicSeeds(t *testing.T) {
 	run := func(seed int64) int64 {
@@ -118,4 +178,16 @@ func TestTooSmallPopulationPanics(t *testing.T) {
 		}
 	}()
 	New(1, halter{}, Options{})
+}
+
+// TestStepZeroAllocs is the allocation regression guard: with a value-type
+// state the generic engine's steady-state Step must not touch the heap.
+func TestStepZeroAllocs(t *testing.T) {
+	w := New(64, pairCounter{}, Options{Seed: 9})
+	for i := 0; i < 1_000; i++ { // settle any warm-up effects
+		w.Step()
+	}
+	if allocs := testing.AllocsPerRun(1_000, func() { w.Step() }); allocs != 0 {
+		t.Fatalf("Step allocates %.1f times per call, want 0", allocs)
+	}
 }

@@ -1,0 +1,163 @@
+// Package runner executes independent randomized trials across a worker
+// pool. Every statistic in the paper is an aggregate over many scheduler
+// seeds; the engines themselves are single-threaded by design (one RNG, one
+// deterministic execution per seed), so the way to use all cores is to fan
+// complete trials out, one world per seed per worker.
+//
+// Determinism contract: a trial is a pure function of its seed, results are
+// collected in seed order, and aggregates are folded over that order — so
+// the same seed set produces byte-identical aggregates (and JSON) for ANY
+// worker count, including 1.
+package runner
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"shapesol/internal/stats"
+)
+
+// Seeds returns n consecutive seeds starting at base: the canonical seed
+// set of an experiment configuration.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Workers normalizes a worker-count request: values < 1 mean "all cores".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Map runs fn once per seed on min(workers, len(seeds)) goroutines and
+// returns the results in seed order. fn must be a pure function of its
+// seed (build the world, run it, return the measurement) so that the
+// result slice — and everything folded over it — is independent of worker
+// count and scheduling.
+func Map[T any](workers int, seeds []int64, fn func(seed int64) T) []T {
+	workers = Workers(workers)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([]T, len(seeds))
+	if workers <= 1 {
+		for i, s := range seeds {
+			out[i] = fn(s)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				out[i] = fn(seeds[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Trial is one measured execution of a protocol under one scheduler seed.
+// Flags carry named success criteria ("halted", "square", ...); Values
+// carry named measurements beyond the step count ("waste", "r0_over_n").
+type Trial struct {
+	Seed   int64              `json:"seed"`
+	Steps  int64              `json:"steps"`
+	Flags  map[string]bool    `json:"flags,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Run executes fn for every seed across the pool and returns the trials in
+// seed order. It is Map specialized to the Trial measurement type.
+func Run(workers int, seeds []int64, fn func(seed int64) Trial) []Trial {
+	return Map(workers, seeds, fn)
+}
+
+// Aggregate summarizes a trial set: step statistics, one Wilson rate per
+// flag (absent keys count as false), and one mean per value key over the
+// trials that recorded it — a trial omits a value when it is undefined
+// (e.g. a measurement only meaningful on success). Folding happens in
+// slice order, so equal trial slices yield equal (bit-identical)
+// aggregates.
+type Aggregate struct {
+	Trials int                   `json:"trials"`
+	Steps  stats.Summary         `json:"steps"`
+	Rates  map[string]stats.Rate `json:"rates,omitempty"`
+	Means  map[string]float64    `json:"means,omitempty"`
+}
+
+// Summarize folds trials (in input order) into an Aggregate.
+func Summarize(trials []Trial) Aggregate {
+	agg := Aggregate{Trials: len(trials)}
+	steps := make([]float64, len(trials))
+	for i, t := range trials {
+		steps[i] = float64(t.Steps)
+	}
+	agg.Steps = stats.Summarize(steps)
+
+	for _, key := range keyUnion(trials, func(t Trial) map[string]bool { return t.Flags }) {
+		hits := 0
+		for _, t := range trials {
+			if t.Flags[key] {
+				hits++
+			}
+		}
+		if agg.Rates == nil {
+			agg.Rates = make(map[string]stats.Rate)
+		}
+		agg.Rates[key] = stats.NewRate(hits, len(trials))
+	}
+	for _, key := range keyUnion(trials, func(t Trial) map[string]float64 { return t.Values }) {
+		sum, count := 0.0, 0
+		for _, t := range trials {
+			if v, ok := t.Values[key]; ok {
+				sum += v
+				count++
+			}
+		}
+		if agg.Means == nil {
+			agg.Means = make(map[string]float64)
+		}
+		agg.Means[key] = sum / float64(count)
+	}
+	return agg
+}
+
+// keyUnion collects the sorted union of map keys across trials, so that
+// aggregate folding visits keys in a deterministic order.
+func keyUnion[V any](trials []Trial, get func(Trial) map[string]V) []string {
+	seen := make(map[string]bool)
+	for _, t := range trials {
+		for k := range get(t) {
+			seen[k] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collect is the common fan-out-then-fold pipeline: run one trial per seed
+// across the pool and summarize the ordered results.
+func Collect(workers int, seeds []int64, fn func(seed int64) Trial) Aggregate {
+	return Summarize(Run(workers, seeds, fn))
+}

@@ -7,31 +7,31 @@ import (
 )
 
 // NodeSpec places one node of a pre-built component.
-type NodeSpec struct {
-	State any
+type NodeSpec[S any] struct {
+	State S
 	Pos   grid.Pos
 }
 
 // ComponentSpec describes a pre-built connected component. When Bonds is
 // nil every pair of adjacent cells is bonded; otherwise Bonds lists index
 // pairs into Cells.
-type ComponentSpec struct {
-	Cells []NodeSpec
+type ComponentSpec[S any] struct {
+	Cells []NodeSpec[S]
 	Bonds [][2]int
 }
 
 // Config is an explicit initial configuration: some pre-assembled
 // components plus free nodes. Several of the paper's protocols (replication,
 // TM simulation on a given square) start from such configurations.
-type Config struct {
-	Components []ComponentSpec
-	Free       []any // states of the free nodes
+type Config[S any] struct {
+	Components []ComponentSpec[S]
+	Free       []S // states of the free nodes
 }
 
 // NewFromConfig builds a world from an explicit initial configuration.
 // Node ids are assigned component by component in specification order,
 // then to the free nodes.
-func NewFromConfig(cfg Config, proto Protocol, opts Options) (*World, error) {
+func NewFromConfig[S any](cfg Config[S], proto Protocol[S], opts Options) (*World[S], error) {
 	n := len(cfg.Free)
 	for _, cs := range cfg.Components {
 		n += len(cs.Cells)
@@ -51,7 +51,7 @@ func NewFromConfig(cfg Config, proto Protocol, opts Options) (*World, error) {
 	return w, nil
 }
 
-func (w *World) addComponentSpec(cs ComponentSpec, firstID int) error {
+func (w *World[S]) addComponentSpec(cs ComponentSpec[S], firstID int) error {
 	if len(cs.Cells) == 0 {
 		return fmt.Errorf("empty component")
 	}
@@ -118,7 +118,7 @@ func (w *World) addComponentSpec(cs ComponentSpec, firstID int) error {
 	return nil
 }
 
-func (w *World) bondByIndex(c *component, firstID, i, j, n int) error {
+func (w *World[S]) bondByIndex(c *component, firstID, i, j, n int) error {
 	if i < 0 || i >= n || j < 0 || j >= n {
 		return fmt.Errorf("bond (%d,%d) out of range", i, j)
 	}
@@ -138,7 +138,7 @@ func (w *World) bondByIndex(c *component, firstID, i, j, n int) error {
 }
 
 // FindNode returns the smallest node id whose state satisfies pred, or -1.
-func (w *World) FindNode(pred func(any) bool) int {
+func (w *World[S]) FindNode(pred func(S) bool) int {
 	for id := range w.nodes {
 		if pred(w.nodes[id].state) {
 			return id
@@ -148,7 +148,7 @@ func (w *World) FindNode(pred func(any) bool) int {
 }
 
 // CountNodes returns how many node states satisfy pred.
-func (w *World) CountNodes(pred func(any) bool) int {
+func (w *World[S]) CountNodes(pred func(S) bool) int {
 	n := 0
 	for id := range w.nodes {
 		if pred(w.nodes[id].state) {

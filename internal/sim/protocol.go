@@ -6,6 +6,11 @@
 // at unit distance between aligned ports and every connected component must
 // remain a valid shape (no two nodes on the same cell).
 //
+// The engine is generic over the protocol's state type S: node states live
+// unboxed in the per-node records, so the hot step loop performs no
+// interface boxing and no per-step heap allocations beyond the (rare)
+// component merges and splits that inherently rebuild index structures.
+//
 // The scheduler is exactly uniform over the permissible interaction set,
 // which is maintained incrementally as three categories:
 //
@@ -25,27 +30,28 @@ import (
 	"shapesol/internal/rules"
 )
 
-// Protocol is the behavior executed at every interaction. Implementations
-// must be deterministic: all randomness in the model comes from the
-// scheduler. States are opaque to the engine; rule-table protocols use
-// rules.State, the programmatic constructors use small structs.
+// Protocol is the behavior executed at every interaction, generic over the
+// per-node state type S. Implementations must be deterministic: all
+// randomness in the model comes from the scheduler. States are opaque to
+// the engine; rule-table protocols use rules.State, the programmatic
+// constructors use small structs.
 //
 // Interact receives the two participating states in arbitrary order
 // (interactions are unordered pairs) and must therefore handle both
 // orientations.
-type Protocol interface {
+type Protocol[S any] interface {
 	// InitialState returns the initial state of node id in a population of
 	// n nodes. By convention node 0 carries the pre-elected leader state
 	// when the protocol assumes one.
-	InitialState(id, n int) any
+	InitialState(id, n int) S
 
 	// Interact computes delta((a,pa),(b,pb),bonded). It returns the new
 	// states, the new bond state, and whether the transition was effective.
-	Interact(a, b any, pa, pb grid.Dir, bonded bool) (na, nb any, bond bool, effective bool)
+	Interact(a, b S, pa, pb grid.Dir, bonded bool) (na, nb S, bond bool, effective bool)
 
 	// Halted reports whether s is a halting state (all rules from it are
 	// ineffective and the engine may stop counting the node).
-	Halted(s any) bool
+	Halted(s S) bool
 }
 
 // ComponentAware is an optional extension of Protocol: when implemented,
@@ -56,17 +62,18 @@ type Protocol interface {
 // adjacent behaves differently from a chance encounter — and the
 // replication constructor of Section 7 needs it to keep its squaring rule
 // from gluing independent components (see DESIGN.md).
-type ComponentAware interface {
-	Protocol
-	InteractSame(a, b any, pa, pb grid.Dir, bonded, sameComponent bool) (na, nb any, bond bool, effective bool)
+type ComponentAware[S any] interface {
+	Protocol[S]
+	InteractSame(a, b S, pa, pb grid.Dir, bonded, sameComponent bool) (na, nb S, bond bool, effective bool)
 }
 
-// TableProtocol adapts a rules.Table to the Protocol interface.
+// TableProtocol adapts a rules.Table to the Protocol interface over the
+// rules.State state type.
 type TableProtocol struct {
 	table *rules.Table
 }
 
-var _ Protocol = (*TableProtocol)(nil)
+var _ Protocol[rules.State] = (*TableProtocol)(nil)
 
 // NewTableProtocol wraps a finite rule table.
 func NewTableProtocol(t *rules.Table) *TableProtocol {
@@ -77,7 +84,7 @@ func NewTableProtocol(t *rules.Table) *TableProtocol {
 func (p *TableProtocol) Table() *rules.Table { return p.table }
 
 // InitialState gives node 0 the leader state when the table declares one.
-func (p *TableProtocol) InitialState(id, n int) any {
+func (p *TableProtocol) InitialState(id, n int) rules.State {
 	if id == 0 && p.table.Leader() != "" {
 		return p.table.Leader()
 	}
@@ -85,9 +92,8 @@ func (p *TableProtocol) InitialState(id, n int) any {
 }
 
 // Interact looks the interaction up in the table, in both orientations.
-func (p *TableProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
-	sa, sb := a.(rules.State), b.(rules.State)
-	out, swapped, ok := p.table.Lookup(sa, pa, sb, pb, bonded)
+func (p *TableProtocol) Interact(a, b rules.State, pa, pb grid.Dir, bonded bool) (rules.State, rules.State, bool, bool) {
+	out, swapped, ok := p.table.Lookup(a, pa, b, pb, bonded)
 	if !ok {
 		return a, b, bonded, false
 	}
@@ -98,7 +104,6 @@ func (p *TableProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, a
 }
 
 // Halted reports membership in Q_halt.
-func (p *TableProtocol) Halted(s any) bool {
-	st, ok := s.(rules.State)
-	return ok && p.table.Halting(st)
+func (p *TableProtocol) Halted(s rules.State) bool {
+	return p.table.Halting(s)
 }

@@ -12,42 +12,41 @@ import (
 // aggregator used to stress merging and latent activation.
 type glueProtocol struct{}
 
-func (glueProtocol) InitialState(id, n int) any { return "q" }
+func (glueProtocol) InitialState(id, n int) string { return "q" }
 
-func (glueProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (glueProtocol) Interact(a, b string, pa, pb grid.Dir, bonded bool) (string, string, bool, bool) {
 	if bonded {
 		return a, b, true, false
 	}
 	return a, b, true, true
 }
 
-func (glueProtocol) Halted(any) bool { return false }
+func (glueProtocol) Halted(string) bool { return false }
 
 // churnProtocol flips bonds pseudo-deterministically from integer states to
 // exercise merge, split, and latent transitions together.
 type churnProtocol struct{}
 
-func (churnProtocol) InitialState(id, n int) any { return id }
+func (churnProtocol) InitialState(id, n int) int { return id }
 
-func (churnProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
-	x, y := a.(int), b.(int)
-	bond := (x+y)%3 != 0
-	return x + 1, y + 1, bond, true
+func (churnProtocol) Interact(a, b int, pa, pb grid.Dir, bonded bool) (int, int, bool, bool) {
+	bond := (a+b)%3 != 0
+	return a + 1, b + 1, bond, true
 }
 
-func (churnProtocol) Halted(any) bool { return false }
+func (churnProtocol) Halted(int) bool { return false }
 
 // inertProtocol never does anything; used to freeze configurations for
 // distribution tests.
 type inertProtocol struct{}
 
-func (inertProtocol) InitialState(id, n int) any { return "q" }
+func (inertProtocol) InitialState(id, n int) string { return "q" }
 
-func (inertProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (inertProtocol) Interact(a, b string, pa, pb grid.Dir, bonded bool) (string, string, bool, bool) {
 	return a, b, bonded, false
 }
 
-func (inertProtocol) Halted(any) bool { return false }
+func (inertProtocol) Halted(string) bool { return false }
 
 // lineTable is the simplified spanning-line protocol of Section 4.1:
 // (L, r), (q0, l), 0 -> (q1, L, 1).
@@ -131,7 +130,7 @@ func TestDeterministicUnderSeed(t *testing.T) {
 		slot, _ := w.LargestComponent()
 		sum := int64(0)
 		for id := 0; id < 20; id++ {
-			sum = sum*31 + int64(w.State(id).(int))
+			sum = sum*31 + int64(w.State(id))
 		}
 		cells := int64(0)
 		if slot >= 0 {
@@ -205,6 +204,18 @@ func TestRunMaxIneffective(t *testing.T) {
 	}
 }
 
+func TestRunHaltWhenPredicate(t *testing.T) {
+	w := New(6, inertProtocol{}, Options{Seed: 1, CheckEvery: 8})
+	w.SetHaltWhen(func(w *World[string]) bool { return w.Steps() >= 24 })
+	res := w.Run()
+	if res.Reason != ReasonPredicate {
+		t.Fatalf("reason = %v, want predicate", res.Reason)
+	}
+	if res.Steps != 24 {
+		t.Fatalf("steps = %d, want 24 (predicate checked every 8)", res.Steps)
+	}
+}
+
 func TestSingleNodeNoInteraction(t *testing.T) {
 	w := New(1, glueProtocol{}, Options{Seed: 1})
 	if _, err := w.Step(); err != ErrNoInteraction {
@@ -217,13 +228,13 @@ func TestSingleNodeNoInteraction(t *testing.T) {
 // square plus one free node in 2D gives 4 bond interactions and 8*4 = 32
 // open-port pairs (all feasible), 36 equally likely selections.
 func TestSamplingUniform(t *testing.T) {
-	square := ComponentSpec{Cells: []NodeSpec{
+	square := ComponentSpec[string]{Cells: []NodeSpec[string]{
 		{State: "q", Pos: grid.Pos{X: 0, Y: 0}},
 		{State: "q", Pos: grid.Pos{X: 1, Y: 0}},
 		{State: "q", Pos: grid.Pos{X: 0, Y: 1}},
 		{State: "q", Pos: grid.Pos{X: 1, Y: 1}},
 	}}
-	w, err := NewFromConfig(Config{Components: []ComponentSpec{square}, Free: []any{"q"}},
+	w, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{square}, Free: []string{"q"}},
 		inertProtocol{}, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -269,8 +280,8 @@ func TestSamplingUniform(t *testing.T) {
 // placement ever overlaps cells: after gluing them the union must have
 // exactly 8 distinct cells.
 func TestCollisionRejected(t *testing.T) {
-	sq := func() ComponentSpec {
-		return ComponentSpec{Cells: []NodeSpec{
+	sq := func() ComponentSpec[string] {
+		return ComponentSpec[string]{Cells: []NodeSpec[string]{
 			{State: "q", Pos: grid.Pos{X: 0, Y: 0}},
 			{State: "q", Pos: grid.Pos{X: 1, Y: 0}},
 			{State: "q", Pos: grid.Pos{X: 0, Y: 1}},
@@ -278,7 +289,7 @@ func TestCollisionRejected(t *testing.T) {
 		}}
 	}
 	for seed := int64(0); seed < 20; seed++ {
-		w, err := NewFromConfig(Config{Components: []ComponentSpec{sq(), sq()}},
+		w, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{sq(), sq()}},
 			glueProtocol{}, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
@@ -307,13 +318,13 @@ func TestCollisionRejected(t *testing.T) {
 // the other square's bottom-right node must be rejected in exactly the
 // orientation that would overlap.
 func TestFeasiblePlacementsOverlap(t *testing.T) {
-	sq := ComponentSpec{Cells: []NodeSpec{
+	sq := ComponentSpec[string]{Cells: []NodeSpec[string]{
 		{State: "q", Pos: grid.Pos{X: 0, Y: 0}},
 		{State: "q", Pos: grid.Pos{X: 1, Y: 0}},
 		{State: "q", Pos: grid.Pos{X: 0, Y: 1}},
 		{State: "q", Pos: grid.Pos{X: 1, Y: 1}},
 	}}
-	w, err := NewFromConfig(Config{Components: []ComponentSpec{sq, sq}}, inertProtocol{}, Options{Seed: 1})
+	w, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{sq, sq}}, inertProtocol{}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +339,7 @@ func TestFeasiblePlacementsOverlap(t *testing.T) {
 		t.Fatalf("expected collision rejection, got %d placements", len(placements))
 	}
 	// The same ports on a free node are feasible.
-	w2, err := NewFromConfig(Config{Components: []ComponentSpec{sq}, Free: []any{"q"}},
+	w2, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{sq}, Free: []string{"q"}},
 		inertProtocol{}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -342,13 +353,13 @@ func TestFeasiblePlacementsOverlap(t *testing.T) {
 func TestSplitReleasesParts(t *testing.T) {
 	// A 1x3 line whose middle bond is cut must split into a 2-line and a
 	// free node.
-	line := ComponentSpec{Cells: []NodeSpec{
+	line := ComponentSpec[string]{Cells: []NodeSpec[string]{
 		{State: "a", Pos: grid.Pos{X: 0}},
 		{State: "b", Pos: grid.Pos{X: 1}},
 		{State: "c", Pos: grid.Pos{X: 2}},
 	}}
 	cutter := cutterProtocol{}
-	w, err := NewFromConfig(Config{Components: []ComponentSpec{line}}, cutter, Options{Seed: 2})
+	w, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{line}}, cutter, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,41 +386,40 @@ func TestSplitReleasesParts(t *testing.T) {
 // cutterProtocol cuts the bond between states b and c exactly once.
 type cutterProtocol struct{}
 
-func (cutterProtocol) InitialState(id, n int) any { return "x" }
+func (cutterProtocol) InitialState(id, n int) string { return "x" }
 
-func (cutterProtocol) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (cutterProtocol) Interact(a, b string, pa, pb grid.Dir, bonded bool) (string, string, bool, bool) {
 	if !bonded {
 		return a, b, bonded, false
 	}
-	s1, s2 := a.(string), b.(string)
-	if (s1 == "b" && s2 == "c") || (s1 == "c" && s2 == "b") {
+	if (a == "b" && b == "c") || (a == "c" && b == "b") {
 		return "b2", "c2", false, true
 	}
 	return a, b, bonded, false
 }
 
-func (cutterProtocol) Halted(any) bool { return false }
+func (cutterProtocol) Halted(string) bool { return false }
 
 func TestConfigErrors(t *testing.T) {
-	dup := ComponentSpec{Cells: []NodeSpec{
+	dup := ComponentSpec[string]{Cells: []NodeSpec[string]{
 		{State: "q", Pos: grid.Pos{}},
 		{State: "q", Pos: grid.Pos{}},
 	}}
-	if _, err := NewFromConfig(Config{Components: []ComponentSpec{dup}}, inertProtocol{}, Options{}); err == nil {
+	if _, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{dup}}, inertProtocol{}, Options{}); err == nil {
 		t.Error("duplicate cells accepted")
 	}
-	disconnected := ComponentSpec{Cells: []NodeSpec{
+	disconnected := ComponentSpec[string]{Cells: []NodeSpec[string]{
 		{State: "q", Pos: grid.Pos{}},
 		{State: "q", Pos: grid.Pos{X: 2}},
 	}}
-	if _, err := NewFromConfig(Config{Components: []ComponentSpec{disconnected}}, inertProtocol{}, Options{}); err == nil {
+	if _, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{disconnected}}, inertProtocol{}, Options{}); err == nil {
 		t.Error("disconnected component accepted")
 	}
-	badBond := ComponentSpec{
-		Cells: []NodeSpec{{State: "q", Pos: grid.Pos{}}, {State: "q", Pos: grid.Pos{X: 1}}},
+	badBond := ComponentSpec[string]{
+		Cells: []NodeSpec[string]{{State: "q", Pos: grid.Pos{}}, {State: "q", Pos: grid.Pos{X: 1}}},
 		Bonds: [][2]int{{0, 5}},
 	}
-	if _, err := NewFromConfig(Config{Components: []ComponentSpec{badBond}}, inertProtocol{}, Options{}); err == nil {
+	if _, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{badBond}}, inertProtocol{}, Options{}); err == nil {
 		t.Error("out-of-range bond accepted")
 	}
 }
@@ -417,8 +427,8 @@ func TestConfigErrors(t *testing.T) {
 func TestLatentPairsFromConfig(t *testing.T) {
 	// Two adjacent cells bonded explicitly to only one neighbor leave the
 	// other adjacency latent: an L of 3 cells with one missing bond.
-	l := ComponentSpec{
-		Cells: []NodeSpec{
+	l := ComponentSpec[string]{
+		Cells: []NodeSpec[string]{
 			{State: "q", Pos: grid.Pos{X: 0, Y: 0}},
 			{State: "q", Pos: grid.Pos{X: 1, Y: 0}},
 			{State: "q", Pos: grid.Pos{X: 1, Y: 1}},
@@ -426,7 +436,7 @@ func TestLatentPairsFromConfig(t *testing.T) {
 		},
 		Bonds: [][2]int{{0, 1}, {1, 2}, {2, 3}}, // bond 3-0 left latent
 	}
-	w, err := NewFromConfig(Config{Components: []ComponentSpec{l}}, inertProtocol{}, Options{Seed: 1})
+	w, err := NewFromConfig(Config[string]{Components: []ComponentSpec[string]{l}}, inertProtocol{}, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,5 +445,21 @@ func TestLatentPairsFromConfig(t *testing.T) {
 	}
 	if err := w.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStepAllocationFree is the sim-engine counterpart of the pop alloc
+// guard: on a frozen all-free population the steady-state Step (inter-pair
+// sampling, placement enumeration, ineffective interaction) must not touch
+// the heap.
+func TestStepAllocationFree(t *testing.T) {
+	w := New(64, inertProtocol{}, Options{Seed: 3})
+	for i := 0; i < 1_000; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(1_000, func() { w.Step() }); allocs != 0 {
+		t.Fatalf("Step allocates %.1f times per call, want 0", allocs)
 	}
 }

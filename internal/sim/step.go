@@ -34,7 +34,7 @@ type StepInfo struct {
 
 // Step performs one scheduler selection and interaction. ErrNoInteraction
 // is returned when the permissible set is empty.
-func (w *World) Step() (StepInfo, error) {
+func (w *World[S]) Step() (StepInfo, error) {
 	for attempt := 0; attempt < maxSampleAttempts; attempt++ {
 		w1 := int64(w.bonded.Len())
 		w2 := int64(w.latent.Len())
@@ -73,7 +73,7 @@ func (w *World) Step() (StepInfo, error) {
 // counts and rejecting i == j realizes exactly that distribution; the
 // rejection loop stays INSIDE the inter category so that the category
 // weights remain exact.
-func (w *World) sampleOpenPair() (PortRef, PortRef, bool) {
+func (w *World[S]) sampleOpenPair() (PortRef, PortRef, bool) {
 	for attempt := 0; attempt < maxSampleAttempts; attempt++ {
 		si, ok := w.weights.Sample(w.rng)
 		if !ok {
@@ -96,26 +96,31 @@ func (w *World) sampleOpenPair() (PortRef, PortRef, bool) {
 // feasiblePlacements returns the isometries mapping pj's component frame
 // into pi's component frame that align the two ports at unit distance
 // without any cell collision. In 2D there is at most one; in 3D up to four.
-func (w *World) feasiblePlacements(pi, pj PortRef) []grid.Isometry {
+//
+// The returned slice aliases a per-world scratch buffer: it is only valid
+// until the next call (stepExhaustive copies it when it must retain
+// results).
+func (w *World[S]) feasiblePlacements(pi, pj PortRef) []grid.Isometry {
 	ca := w.comps[w.nodes[pi.Node].comp]
 	cb := w.comps[w.nodes[pj.Node].comp]
 	dA := w.worldDir(pi.Node, pi.Port)
 	target := w.nodes[pi.Node].pos.Step(dA)
 	dB := w.worldDir(pj.Node, pj.Port)
 
-	var out []grid.Isometry
-	for _, g := range grid.RotsMapping(dB, dA.Opposite(), w.rots) {
+	out := w.isoBuf[:0]
+	for _, g := range w.rotsMapping[dB][dA.Opposite()] {
 		iso := grid.Isometry{R: g, T: target.Sub(g.Apply(w.nodes[pj.Node].pos))}
 		if w.placementFree(ca, cb, iso) {
 			out = append(out, iso)
 		}
 	}
+	w.isoBuf = out[:0]
 	return out
 }
 
 // placementFree reports whether mapping component b through iso collides
 // with component a. It iterates the smaller side.
-func (w *World) placementFree(a, b *component, iso grid.Isometry) bool {
+func (w *World[S]) placementFree(a, b *component, iso grid.Isometry) bool {
 	if len(b.cells) <= len(a.cells) {
 		for p := range b.cells {
 			if _, hit := a.cells[iso.Apply(p)]; hit {
@@ -135,7 +140,7 @@ func (w *World) placementFree(a, b *component, iso grid.Isometry) bool {
 
 // fireIntra executes an interaction on an intra-component pair (an active
 // bond or a latent facing pair).
-func (w *World) fireIntra(pp PortPair, bondedNow bool) StepInfo {
+func (w *World[S]) fireIntra(pp PortPair, bondedNow bool) StepInfo {
 	w.steps++
 	kind := KindLatent
 	if bondedNow {
@@ -166,7 +171,7 @@ func (w *World) fireIntra(pp PortPair, bondedNow bool) StepInfo {
 
 // fireInter executes an interaction between two components whose ports were
 // aligned through iso (mapping b's frame into a's frame).
-func (w *World) fireInter(pi, pj PortRef, iso grid.Isometry) StepInfo {
+func (w *World[S]) fireInter(pi, pj PortRef, iso grid.Isometry) StepInfo {
 	w.steps++
 	info := StepInfo{Kind: KindInter, A: pi, B: pj}
 	a, b := pi, pj
@@ -190,15 +195,16 @@ func (w *World) fireInter(pi, pj PortRef, iso grid.Isometry) StepInfo {
 }
 
 // interact dispatches to the protocol, passing component information to
-// ComponentAware implementations.
-func (w *World) interact(a, b any, pa, pb grid.Dir, bonded, sameComp bool) (any, any, bool, bool) {
-	if ca, ok := w.proto.(ComponentAware); ok {
-		return ca.InteractSame(a, b, pa, pb, bonded, sameComp)
+// ComponentAware implementations. The assertion is resolved once at world
+// construction, not per interaction.
+func (w *World[S]) interact(a, b S, pa, pb grid.Dir, bonded, sameComp bool) (S, S, bool, bool) {
+	if w.isCompAware {
+		return w.compAware.InteractSame(a, b, pa, pb, bonded, sameComp)
 	}
 	return w.proto.Interact(a, b, pa, pb, bonded)
 }
 
-func (w *World) applyState(id int, s any) {
+func (w *World[S]) applyState(id int, s S) {
 	nd := &w.nodes[id]
 	if nd.halted {
 		w.haltedCount--
@@ -211,7 +217,7 @@ func (w *World) applyState(id int, s any) {
 }
 
 // activate turns a latent facing pair into an active bond.
-func (w *World) activate(pp PortPair) {
+func (w *World[S]) activate(pp PortPair) {
 	w.latent.Remove(pp)
 	w.bonded.Add(pp)
 	w.nodes[pp.A.Node].bondedTo[pp.A.Port] = int32(pp.B.Node)
@@ -221,7 +227,7 @@ func (w *World) activate(pp PortPair) {
 // deactivate removes an active bond; if the component falls apart the two
 // sides become independent components that drift away from each other. It
 // reports whether a split occurred.
-func (w *World) deactivate(pp PortPair) bool {
+func (w *World[S]) deactivate(pp PortPair) bool {
 	w.bonded.Remove(pp)
 	w.nodes[pp.A.Node].bondedTo[pp.A.Port] = -1
 	w.nodes[pp.B.Node].bondedTo[pp.B.Port] = -1
@@ -239,7 +245,7 @@ func (w *World) deactivate(pp PortPair) bool {
 }
 
 // bondSide collects the nodes reachable from start through active bonds.
-func (w *World) bondSide(start, sizeHint int) map[int]bool {
+func (w *World[S]) bondSide(start, sizeHint int) map[int]bool {
 	seen := make(map[int]bool, sizeHint)
 	seen[start] = true
 	queue := []int{start}
@@ -263,7 +269,7 @@ func (w *World) bondSide(start, sizeHint int) map[int]bool {
 // Iteration is over node slices, never maps, so that the mutation order of
 // the sampling sets — and therefore the whole run — is reproducible from
 // the seed.
-func (w *World) split(c *component, side map[int]bool) {
+func (w *World[S]) split(c *component, side map[int]bool) {
 	w.splits++
 	// Move the smaller set for efficiency.
 	moveSide := len(side) <= len(c.nodes)/2
@@ -306,7 +312,7 @@ func (w *World) split(c *component, side map[int]bool) {
 }
 
 // rebuildOpen recomputes the open-port set of a component from scratch.
-func (w *World) rebuildOpen(c *component) {
+func (w *World[S]) rebuildOpen(c *component) {
 	c.open.Clear()
 	for _, id := range c.nodes {
 		w.recomputeOpen(c, id)
@@ -317,7 +323,7 @@ func (w *World) rebuildOpen(c *component) {
 // merge joins pj's component into pi's component using the placement iso
 // and activates the bond between the two sampled ports. Every new facing
 // pair created across the seam becomes latent.
-func (w *World) merge(pi, pj PortRef, iso grid.Isometry) {
+func (w *World[S]) merge(pi, pj PortRef, iso grid.Isometry) {
 	w.merges++
 	dst := w.comps[w.nodes[pi.Node].comp]
 	src := w.comps[w.nodes[pj.Node].comp]
@@ -386,7 +392,7 @@ func (w *World) merge(pi, pj PortRef, iso grid.Isometry) {
 // stepExhaustive enumerates the full permissible set once and samples from
 // it uniformly. It is the fallback when rejection sampling exceeds its
 // attempt budget, and the ground truth used by engine invariant tests.
-func (w *World) stepExhaustive() (StepInfo, error) {
+func (w *World[S]) stepExhaustive() (StepInfo, error) {
 	type inter struct {
 		pi, pj PortRef
 		isos   []grid.Isometry
@@ -399,7 +405,11 @@ func (w *World) stepExhaustive() (StepInfo, error) {
 			for _, pi := range ca.open.Items() {
 				for _, pj := range cb.open.Items() {
 					if isos := w.feasiblePlacements(pi, pj); len(isos) > 0 {
-						inters = append(inters, inter{pi, pj, isos})
+						// feasiblePlacements returns scratch storage; copy
+						// before the next enumeration overwrites it.
+						kept := make([]grid.Isometry, len(isos))
+						copy(kept, isos)
+						inters = append(inters, inter{pi, pj, kept})
 					}
 				}
 			}

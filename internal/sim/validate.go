@@ -10,7 +10,7 @@ import (
 // scratch recomputation. It is used by the engine's own tests after long
 // randomized runs; a non-nil error means the incremental scheduler state
 // diverged from the ground truth.
-func (w *World) Validate() error {
+func (w *World[S]) Validate() error {
 	// Node <-> component consistency.
 	liveNodes := 0
 	for slot, c := range w.comps {

@@ -36,8 +36,8 @@ func newPortPair(a, b PortRef) PortPair {
 // nodeData is the engine's per-node record. pos and rot are expressed in
 // the node's component frame; absolute coordinates are meaningless in a
 // well-mixed solution.
-type nodeData struct {
-	state    any
+type nodeData[S any] struct {
+	state    S
 	comp     int // component slot
 	pos      grid.Pos
 	rot      grid.Rot
@@ -70,10 +70,8 @@ type Options struct {
 	// ineffective interactions (a stabilization heuristic for the paper's
 	// stabilizing-but-not-terminating protocols).
 	MaxIneffective int64
-	// HaltWhen, when non-nil, is evaluated every CheckEvery steps and stops
-	// Run when it returns true.
-	HaltWhen func(*World) bool
-	// CheckEvery defaults to 256.
+	// CheckEvery is the evaluation period of the SetHaltWhen predicate.
+	// Defaults to 256.
 	CheckEvery int64
 }
 
@@ -129,17 +127,22 @@ type Result struct {
 	Reason    StopReason
 }
 
-// World is a complete simulation instance. It is not safe for concurrent
-// use; run independent worlds in parallel instead.
-type World struct {
+// World is a complete simulation instance, generic over the protocol state
+// type S. It is not safe for concurrent use; run independent worlds in
+// parallel instead (see internal/runner).
+type World[S any] struct {
 	n     int
 	opts  Options
 	ports []grid.Dir
 	rots  []grid.Rot
-	proto Protocol
-	rng   *rand.Rand
+	proto Protocol[S]
+	// compAware caches the one proto type assertion of the hot loop.
+	compAware   ComponentAware[S]
+	isCompAware bool
+	rng         *rand.Rand
+	haltWhen    func(*World[S]) bool
 
-	nodes     []nodeData
+	nodes     []nodeData[S]
 	comps     []*component
 	freeSlots []int
 	weights   *wrand.Fenwick // open-port count per component slot
@@ -149,6 +152,12 @@ type World struct {
 	bonded *wrand.Set[PortPair]
 	latent *wrand.Set[PortPair]
 
+	// rotsMapping[from][to] precomputes grid.RotsMapping over w.rots so
+	// that placement enumeration allocates nothing per step.
+	rotsMapping [grid.NumDirs][grid.NumDirs][]grid.Rot
+	// isoBuf is the reusable scratch slice of feasiblePlacements.
+	isoBuf []grid.Isometry
+
 	steps, effective, merges, splits int64
 	ineffectiveRun                   int64
 	haltedCount                      int
@@ -156,7 +165,7 @@ type World struct {
 
 // New builds a world of n free nodes, each in its protocol-defined initial
 // state.
-func New(n int, proto Protocol, opts Options) *World {
+func New[S any](n int, proto Protocol[S], opts Options) *World[S] {
 	w := newEmpty(n, proto, opts)
 	for id := 0; id < n; id++ {
 		w.addFreeNode(id, proto.InitialState(id, n))
@@ -164,22 +173,23 @@ func New(n int, proto Protocol, opts Options) *World {
 	return w
 }
 
-func newEmpty(n int, proto Protocol, opts Options) *World {
+func newEmpty[S any](n int, proto Protocol[S], opts Options) *World[S] {
 	opts = opts.withDefaults()
 	if opts.Dim != 2 && opts.Dim != 3 {
 		panic(fmt.Sprintf("sim: invalid dimension %d", opts.Dim))
 	}
-	w := &World{
+	w := &World[S]{
 		n:       n,
 		opts:    opts,
 		proto:   proto,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nodes:   make([]nodeData, n),
+		nodes:   make([]nodeData[S], n),
 		comps:   make([]*component, 0, n),
 		weights: wrand.NewFenwick(n),
 		bonded:  wrand.NewSet[PortPair](),
 		latent:  wrand.NewSet[PortPair](),
 	}
+	w.compAware, w.isCompAware = proto.(ComponentAware[S])
 	if opts.Dim == 2 {
 		w.ports = grid.Ports2D[:]
 		w.rots = grid.PlanarRots()
@@ -187,12 +197,24 @@ func newEmpty(n int, proto Protocol, opts Options) *World {
 		w.ports = grid.Ports3D[:]
 		w.rots = grid.AllRots()
 	}
+	for _, from := range w.ports {
+		for _, to := range w.ports {
+			w.rotsMapping[from][to] = grid.RotsMapping(from, to, w.rots)
+		}
+	}
 	return w
+}
+
+// SetHaltWhen installs a stop predicate that Run evaluates every
+// Options.CheckEvery steps, stopping with ReasonPredicate when it returns
+// true. It replaces any previously installed predicate.
+func (w *World[S]) SetHaltWhen(pred func(*World[S]) bool) {
+	w.haltWhen = pred
 }
 
 // addFreeNode installs node id as a singleton component at the origin of its
 // own frame.
-func (w *World) addFreeNode(id int, state any) {
+func (w *World[S]) addFreeNode(id int, state S) {
 	nd := &w.nodes[id]
 	nd.state = state
 	nd.pos = grid.Pos{}
@@ -214,7 +236,7 @@ func (w *World) addFreeNode(id int, state any) {
 	w.syncWeight(c)
 }
 
-func (w *World) newComponent() *component {
+func (w *World[S]) newComponent() *component {
 	var slot int
 	if len(w.freeSlots) > 0 {
 		slot = w.freeSlots[len(w.freeSlots)-1]
@@ -235,14 +257,14 @@ func (w *World) newComponent() *component {
 	return c
 }
 
-func (w *World) dropComponent(c *component) {
+func (w *World[S]) dropComponent(c *component) {
 	w.setWeight(c.slot, 0)
 	w.comps[c.slot] = nil
 	w.freeSlots = append(w.freeSlots, c.slot)
 }
 
 // setWeight maintains the Fenwick tree and the openT/openS2 aggregates.
-func (w *World) setWeight(slot int, count int64) {
+func (w *World[S]) setWeight(slot int, count int64) {
 	old := w.weights.Weight(slot)
 	if old == count {
 		return
@@ -252,29 +274,29 @@ func (w *World) setWeight(slot int, count int64) {
 	w.weights.Set(slot, count)
 }
 
-func (w *World) syncWeight(c *component) {
+func (w *World[S]) syncWeight(c *component) {
 	w.setWeight(c.slot, int64(c.open.Len()))
 }
 
 // worldDir returns the component-frame direction of node id's local port p.
-func (w *World) worldDir(id int, p grid.Dir) grid.Dir {
+func (w *World[S]) worldDir(id int, p grid.Dir) grid.Dir {
 	return w.nodes[id].rot.Dir(p)
 }
 
 // portOfWorldDir returns the local port of node id pointing in
 // component-frame direction d.
-func (w *World) portOfWorldDir(id int, d grid.Dir) grid.Dir {
+func (w *World[S]) portOfWorldDir(id int, d grid.Dir) grid.Dir {
 	return w.nodes[id].rot.Inverse().Dir(d)
 }
 
 // facingCell returns the cell faced by node id's port p (component frame).
-func (w *World) facingCell(id int, p grid.Dir) grid.Pos {
+func (w *World[S]) facingCell(id int, p grid.Dir) grid.Pos {
 	return w.nodes[id].pos.Step(w.worldDir(id, p))
 }
 
 // recomputeOpen rebuilds the open/closed status of every port of node id
 // within component c.
-func (w *World) recomputeOpen(c *component, id int) {
+func (w *World[S]) recomputeOpen(c *component, id int) {
 	for _, p := range w.ports {
 		ref := PortRef{Node: id, Port: p}
 		if _, occupied := c.cells[w.facingCell(id, p)]; occupied {
@@ -286,23 +308,23 @@ func (w *World) recomputeOpen(c *component, id int) {
 }
 
 // N returns the population size.
-func (w *World) N() int { return w.n }
+func (w *World[S]) N() int { return w.n }
 
 // Dim returns 2 or 3.
-func (w *World) Dim() int { return w.opts.Dim }
+func (w *World[S]) Dim() int { return w.opts.Dim }
 
 // Steps returns the number of scheduler selections so far.
-func (w *World) Steps() int64 { return w.steps }
+func (w *World[S]) Steps() int64 { return w.steps }
 
 // Effective returns the number of effective interactions so far.
-func (w *World) Effective() int64 { return w.effective }
+func (w *World[S]) Effective() int64 { return w.effective }
 
 // State returns the current state of node id.
-func (w *World) State(id int) any { return w.nodes[id].state }
+func (w *World[S]) State(id int) S { return w.nodes[id].state }
 
 // SetNodeState overrides a node's state (used by configuration builders and
 // tests, never by protocols).
-func (w *World) SetNodeState(id int, s any) {
+func (w *World[S]) SetNodeState(id int, s S) {
 	nd := &w.nodes[id]
 	if nd.halted {
 		w.haltedCount--
@@ -315,19 +337,19 @@ func (w *World) SetNodeState(id int, s any) {
 }
 
 // HaltedCount returns the number of nodes in halting states.
-func (w *World) HaltedCount() int { return w.haltedCount }
+func (w *World[S]) HaltedCount() int { return w.haltedCount }
 
 // Pos returns node id's cell in its component frame.
-func (w *World) Pos(id int) grid.Pos { return w.nodes[id].pos }
+func (w *World[S]) Pos(id int) grid.Pos { return w.nodes[id].pos }
 
 // Rot returns node id's orientation in its component frame.
-func (w *World) Rot(id int) grid.Rot { return w.nodes[id].rot }
+func (w *World[S]) Rot(id int) grid.Rot { return w.nodes[id].rot }
 
 // ComponentOf returns the component slot of node id.
-func (w *World) ComponentOf(id int) int { return w.nodes[id].comp }
+func (w *World[S]) ComponentOf(id int) int { return w.nodes[id].comp }
 
 // ComponentSlots returns the live component slots in ascending order.
-func (w *World) ComponentSlots() []int {
+func (w *World[S]) ComponentSlots() []int {
 	var out []int
 	for i, c := range w.comps {
 		if c != nil {
@@ -339,7 +361,7 @@ func (w *World) ComponentSlots() []int {
 
 // NumComponents returns the number of connected components (free nodes are
 // singleton components).
-func (w *World) NumComponents() int {
+func (w *World[S]) NumComponents() int {
 	n := 0
 	for _, c := range w.comps {
 		if c != nil {
@@ -350,7 +372,7 @@ func (w *World) NumComponents() int {
 }
 
 // ComponentNodes returns the node ids of component slot.
-func (w *World) ComponentNodes(slot int) []int {
+func (w *World[S]) ComponentNodes(slot int) []int {
 	c := w.comps[slot]
 	if c == nil {
 		return nil
@@ -361,7 +383,7 @@ func (w *World) ComponentNodes(slot int) []int {
 }
 
 // ComponentSize returns the number of nodes in component slot.
-func (w *World) ComponentSize(slot int) int {
+func (w *World[S]) ComponentSize(slot int) int {
 	c := w.comps[slot]
 	if c == nil {
 		return 0
@@ -371,7 +393,7 @@ func (w *World) ComponentSize(slot int) int {
 
 // ComponentShape returns the shape (cells plus active bonds) of component
 // slot, in the component's own frame.
-func (w *World) ComponentShape(slot int) *grid.Shape {
+func (w *World[S]) ComponentShape(slot int) *grid.Shape {
 	c := w.comps[slot]
 	s := grid.NewShape()
 	if c == nil {
@@ -396,7 +418,7 @@ func (w *World) ComponentShape(slot int) *grid.Shape {
 
 // LargestComponent returns the slot and node count of the largest
 // component.
-func (w *World) LargestComponent() (slot, size int) {
+func (w *World[S]) LargestComponent() (slot, size int) {
 	slot = -1
 	for i, c := range w.comps {
 		if c != nil && len(c.nodes) > size {
@@ -407,13 +429,13 @@ func (w *World) LargestComponent() (slot, size int) {
 }
 
 // BondedNeighbor returns the node bonded to id via local port p, or -1.
-func (w *World) BondedNeighbor(id int, p grid.Dir) int {
+func (w *World[S]) BondedNeighbor(id int, p grid.Dir) int {
 	return int(w.nodes[id].bondedTo[p])
 }
 
-// CountStates tallies node states by their fmt.Stringer/string value via
-// the supplied key function (useful in tests and tools).
-func (w *World) CountStates(key func(any) string) map[string]int {
+// CountStates tallies node states by the supplied key function (useful in
+// tests and tools).
+func (w *World[S]) CountStates(key func(S) string) map[string]int {
 	out := make(map[string]int)
 	for i := range w.nodes {
 		out[key(w.nodes[i].state)]++
@@ -424,7 +446,7 @@ func (w *World) CountStates(key func(any) string) map[string]int {
 // Run executes scheduler steps until a stop condition fires. Stop
 // conditions already true at entry (for example a protocol whose initial
 // configuration is terminal) return immediately.
-func (w *World) Run() Result {
+func (w *World[S]) Run() Result {
 	reason := ReasonMaxSteps
 	switch {
 	case w.opts.StopWhenAnyHalted && w.haltedCount > 0,
@@ -456,7 +478,7 @@ func (w *World) Run() Result {
 			reason = ReasonHalted
 			break
 		}
-		if w.opts.HaltWhen != nil && w.steps%w.opts.CheckEvery == 0 && w.opts.HaltWhen(w) {
+		if w.haltWhen != nil && w.steps%w.opts.CheckEvery == 0 && w.haltWhen(w) {
 			reason = ReasonPredicate
 			break
 		}

@@ -11,11 +11,14 @@ import (
 
 // Summary holds basic descriptive statistics of a sample.
 type Summary struct {
-	N         int
-	Mean, Std float64
-	Min, Max  float64
-	Median    float64
-	P10, P90  float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	P10    float64 `json:"p10"`
+	P90    float64 `json:"p90"`
 }
 
 // Summarize computes descriptive statistics. An empty sample yields zeros.
@@ -62,8 +65,11 @@ func Quantile(sorted []float64, q float64) float64 {
 
 // Rate is a success proportion with a Wilson 95% confidence interval.
 type Rate struct {
-	Successes, Trials int
-	P, Lo, Hi         float64
+	Successes int     `json:"successes"`
+	Trials    int     `json:"trials"`
+	P         float64 `json:"p"`
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
 }
 
 // NewRate computes the proportion and its Wilson interval.

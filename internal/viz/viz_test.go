@@ -35,25 +35,25 @@ func TestRenderLabeled(t *testing.T) {
 
 type inert struct{}
 
-func (inert) InitialState(id, n int) any { return "q" }
-func (inert) Interact(a, b any, pa, pb grid.Dir, bonded bool) (any, any, bool, bool) {
+func (inert) InitialState(id, n int) string { return "q" }
+func (inert) Interact(a, b string, pa, pb grid.Dir, bonded bool) (string, string, bool, bool) {
 	return a, b, bonded, false
 }
-func (inert) Halted(any) bool { return false }
+func (inert) Halted(string) bool { return false }
 
 func TestRenderWorld(t *testing.T) {
-	cfg := sim.Config{
-		Components: []sim.ComponentSpec{{Cells: []sim.NodeSpec{
+	cfg := sim.Config[string]{
+		Components: []sim.ComponentSpec[string]{{Cells: []sim.NodeSpec[string]{
 			{State: "a", Pos: grid.Pos{}},
 			{State: "b", Pos: grid.Pos{X: 1}},
 		}}},
-		Free: []any{"f", "f", "f"},
+		Free: []string{"f", "f", "f"},
 	}
 	w, err := sim.NewFromConfig(cfg, inert{}, sim.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := RenderWorld(w, func(s any) byte { return s.(string)[0] })
+	out := RenderWorld(w, func(s string) byte { return s[0] })
 	if !strings.Contains(out, "ab") {
 		t.Fatalf("missing component row in %q", out)
 	}
