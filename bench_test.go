@@ -1,6 +1,6 @@
 package shapesol
 
-// One benchmark per experiment of EXPERIMENTS.md (E1-E13). Each reports
+// One benchmark per experiment of EXPERIMENTS.md (E1-E14). Each reports
 // scheduler steps per run via b.ReportMetric so that the experiment tables
 // can be regenerated from `go test -bench . -benchmem`; absolute ns/op is
 // secondary (the paper's unit is interactions, not wall-clock).
@@ -13,6 +13,7 @@ import (
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
 	"shapesol/internal/pop"
+	"shapesol/internal/pop/urn"
 	"shapesol/internal/rules"
 	"shapesol/internal/shapes"
 	"shapesol/internal/sim"
@@ -245,6 +246,74 @@ func BenchmarkE12Replication(b *testing.B) {
 			}
 			reportSteps(b, steps)
 			b.ReportMetric(float64(copies)/float64(b.N), "copy-rate")
+		})
+	}
+}
+
+// E14 — the urn engine at scale, plus its head-to-head against the exact
+// engine. The exact/urn pair runs the identical protocol configuration
+// (Counting-Upper-Bound, b=5, n=1000) so the wall-clock ratio of the two
+// sub-benchmarks is the ineffective-step-skipping speedup on a
+// convergence-tail-heavy run; the urn-only sizes are out of the exact
+// engine's reach entirely.
+func BenchmarkE14UrnVsExactUpperBound(b *testing.B) {
+	const n, headStart = 1000, 5
+	b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			out := counting.RunUpperBound(n, headStart, int64(i))
+			if !out.Success {
+				b.Fatalf("exact run failed: %+v", out)
+			}
+			steps += out.Steps
+		}
+		reportSteps(b, steps)
+	})
+	b.Run(fmt.Sprintf("urn/n=%d", n), func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			out := counting.RunUpperBoundUrn(n, headStart, int64(i))
+			if !out.Success {
+				b.Fatalf("urn run failed: %+v", out)
+			}
+			steps += out.Steps
+		}
+		reportSteps(b, steps)
+	})
+	for _, big := range []int{100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("urn/n=%d", big), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				out := counting.RunUpperBoundUrn(big, headStart, int64(i))
+				if !out.Success {
+					b.Fatalf("urn run failed: %+v", out)
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// BenchmarkUrnEngineEvent is the urn-engine micro-benchmark: one
+// skip-and-apply event on a churning counting run (the leader's slot is
+// retired and reallocated every event, and the geometric skip is drawn
+// every event). Steady state must report 0 allocs/op.
+func BenchmarkUrnEngineEvent(b *testing.B) {
+	for _, n := range []int{10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := urn.New(n, &counting.UpperBound{B: n - 1}, pop.Options{Seed: 1, MaxSteps: 1 << 62})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w.HaltedCount() > 0 {
+					// The run converged and froze; restart on a fresh world.
+					b.StopTimer()
+					w = urn.New(n, &counting.UpperBound{B: n - 1}, pop.Options{Seed: int64(i), MaxSteps: 1 << 62})
+					b.StartTimer()
+				}
+				w.StepEffective()
+			}
 		})
 	}
 }

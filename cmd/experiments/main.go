@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
@@ -32,6 +33,29 @@ import (
 	"shapesol/internal/stats"
 	"shapesol/internal/viz"
 )
+
+// registry is the single source of truth for the experiment set: run order,
+// the -exp lookup table, and every advertised id list (help text, unknown-
+// experiment errors) all derive from it, so they cannot drift. Gaps in the
+// numbering are intentional — see EXPERIMENTS.md (E5/E6 are bench-only
+// stabilization measurements, E11 is unassigned).
+var registry = []struct {
+	id string
+	fn func(config) Report
+}{
+	{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E7", e7},
+	{"E8", e8}, {"E9", e9}, {"E10", e10}, {"E12", e12}, {"E13", e13},
+	{"E14", e14},
+}
+
+// registryIDs returns the advertised experiment ids in run order.
+func registryIDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
+}
 
 // config carries the trial plan shared by every experiment.
 type config struct {
@@ -64,7 +88,8 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "", "experiment id (E1..E13); empty runs all")
+		exp = flag.String("exp", "",
+			fmt.Sprintf("experiment id (one of %s); empty runs all", strings.Join(registryIDs(), " ")))
 		trials   = flag.Int("trials", 20, "trials per configuration")
 		parallel = flag.Bool("parallel", false, "fan trials across all CPU cores")
 		workers  = flag.Int("workers", 0, "exact worker count (overrides -parallel)")
@@ -87,15 +112,15 @@ func run() int {
 		cfg.workers = 0 // runner.Workers: all cores
 	}
 
-	all := map[string]func(config) Report{
-		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E7": e7,
-		"E8": e8, "E9": e9, "E10": e10, "E12": e12, "E13": e13,
+	all := make(map[string]func(config) Report, len(registry))
+	for _, e := range registry {
+		all[e.id] = e.fn
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E7", "E8", "E9", "E10", "E12", "E13"}
-	ids := order
+	ids := registryIDs()
 	if *exp != "" {
 		if _, ok := all[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %s)\n",
+				*exp, strings.Join(ids, ", "))
 			return 2
 		}
 		ids = []string{*exp}
@@ -331,6 +356,28 @@ func e13(cfg config) Report {
 		})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n}, Agg: agg})
+	}
+	return r
+}
+
+func e14(cfg config) Report {
+	r := Report{ID: "E14", Title: "Urn engine: Counting-Upper-Bound at scale (b=5, n up to 10^6)",
+		Note: "same law as E1/E2 on the urn-compressed scheduler; slope ~2 plus log factor"}
+	var xs, ys []float64
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
+			out := counting.RunUpperBoundUrn(n, 5, seed)
+			return runner.Trial{Seed: seed, Steps: out.Steps,
+				Flags:  map[string]bool{"success": out.Success},
+				Values: map[string]float64{"r0_over_n": out.Estimate}}
+		})
+		xs = append(xs, float64(n))
+		ys = append(ys, agg.Steps.Mean)
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	}
+	if slope, err := stats.LogLogSlope(xs, ys); err == nil {
+		r.Derived = map[string]float64{"loglog_slope": slope}
 	}
 	return r
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"shapesol/internal/pop"
+	"shapesol/internal/pop/urn"
 )
 
 // Agent phases of Counting-Upper-Bound. Non-leader agents move
@@ -70,7 +71,12 @@ type UpperBound struct {
 	B int
 }
 
-var _ pop.Protocol[UBState] = (*UpperBound)(nil)
+// UBState is a flat comparable value type, so the protocol runs unchanged
+// on both the exact engine and the urn-compressed one.
+var (
+	_ pop.Protocol[UBState] = (*UpperBound)(nil)
+	_ urn.Protocol[UBState] = (*UpperBound)(nil)
+)
 
 // InitialState places the leader at agent 0 and the B head-start agents
 // right after it.
@@ -162,5 +168,35 @@ func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
 	out.R0 = l.R0
 	out.Estimate = float64(l.R0) / float64(n)
 	out.Success = 2*l.R0 >= int64(n)
+	return out
+}
+
+// RunUpperBoundUrn executes Counting-Upper-Bound on the urn-compressed
+// engine. The urn scheduler induces the same distribution over
+// configuration trajectories as pop's exact pair scheduler (per-seed
+// trajectories differ, aggregates agree statistically; see DESIGN.md), but
+// skips the ineffective convergence tail in O(1) per effective interaction,
+// so populations of 10^6 and beyond are practical.
+//
+// The step budget is effectively unbounded: the protocol halts in every
+// execution (Theorem 1) after Theta(n^2 log n) simulated steps, which the
+// urn engine advances past without iterating.
+func RunUpperBoundUrn(n, b int, seed int64) UpperBoundOutcome {
+	proto := &UpperBound{B: b}
+	w := urn.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: 1 << 62,
+	})
+	res := w.Run()
+	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
+	if res.Reason != pop.ReasonHalted {
+		return out
+	}
+	l, ok := w.FindState(func(s UBState) bool { return s.IsLeader })
+	if !ok {
+		return out
+	}
+	out.R0 = l.L.R0
+	out.Estimate = float64(l.L.R0) / float64(n)
+	out.Success = 2*l.L.R0 >= int64(n)
 	return out
 }

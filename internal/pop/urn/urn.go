@@ -1,0 +1,423 @@
+// Package urn implements an urn-compressed population-protocol engine: the
+// configuration is stored as a multiset of distinct states (an "urn" of
+// state counts) instead of a []S of agents, so memory and per-interaction
+// cost scale with the number of distinct states m, not the population size
+// n. For the Section 5 counting protocols m stays O(1), which makes
+// populations of 10^6 and beyond simulable.
+//
+// The engine reproduces the exact uniform pair scheduler of internal/pop in
+// distribution. A uniform random unordered agent pair corresponds to a
+// state pair {s, t} with probability c_s*c_t / C (s != t) or
+// c_s*(c_s-1)/2 / C (s == t), where C = n(n-1)/2; both the exact Step and
+// the compressed Run sample from this law through wrand.Fenwick trees.
+//
+// The headline speedup is ineffective-step skipping: the engine maintains
+// the total weight W of responsive state pairs (pairs whose interaction is
+// effective) next to the all-pairs total C. A run of the exact scheduler
+// between two effective interactions is a sequence of Bernoulli(p = W/C)
+// failures, so its length is geometric and can be drawn in O(1); the
+// simulated clock still advances in exact scheduler steps. Convergence
+// tails that are >99.99% ineffective — the regime that caps the exact
+// engine near n = 10^3 — collapse to one random draw each.
+//
+// Protocol contract beyond pop.Protocol: S must be comparable, Apply must
+// be a pure function of the two states (the engine calls it both to
+// classify pair responsiveness and to apply transitions), and its
+// effectiveness flag must not depend on argument order (Apply(a, b) and
+// Apply(b, a) are either both effective or both not — true of any
+// well-formed protocol on unordered pairs, and checked at run time). See
+// DESIGN.md ("The urn engine") for the full equivalence argument.
+package urn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"shapesol/internal/pop"
+	"shapesol/internal/wrand"
+)
+
+// Protocol is the urn engine's protocol contract. It is pop.Protocol[S]
+// narrowed to comparable state types, so any value-state protocol of
+// internal/pop (e.g. counting.UpperBound) satisfies both interfaces.
+type Protocol[S comparable] interface {
+	InitialState(id, n int) S
+	Apply(a, b S) (na, nb S, effective bool)
+	Halted(s S) bool
+}
+
+// Result summarizes a Run. Steps counts scheduler selections of the
+// simulated exact scheduler, including the Skipped ineffective ones that
+// were advanced past in O(1).
+type Result struct {
+	Steps     int64
+	Effective int64
+	Skipped   int64
+	Reason    pop.StopReason
+}
+
+// World is one urn-compressed population instance. Not safe for concurrent
+// use; run independent worlds in parallel instead (see internal/runner).
+type World[S comparable] struct {
+	n          int
+	totalPairs int64 // n(n-1)/2
+	opts       pop.Options
+	proto      Protocol[S]
+	rng        *rand.Rand
+
+	// Slot tables: one slot per distinct present state. Freed slots are
+	// recycled so steady-state churn (e.g. a leader whose counter state
+	// changes every effective interaction) allocates nothing.
+	states     []S
+	counts     []int64
+	haltedSlot []bool
+	slotOf     map[S]int
+	freeSlots  []int
+	live       []int32 // live slots, swap-removed
+	livePos    []int32 // slot -> index in live, -1 when free
+
+	// countF weights each slot by its count: sampling it draws a uniform
+	// random agent's state.
+	countF *wrand.Fenwick
+
+	// pairF holds one entry per *responsive* unordered slot pair {i, j},
+	// weighted by the number of agent pairs realizing it (c_i*c_j, or
+	// c_i*(c_i-1)/2 on the diagonal). Its Total() is the responsive weight
+	// W of the geometric skip.
+	pairF     *wrand.Fenwick
+	pairAB    [][2]int32
+	pairSlot  [][]int32 // [i][j] pair entry of {i, j}, -1 when unresponsive
+	freePairs []int
+
+	steps, effective int64
+	haltedCount      int64
+}
+
+// New builds a population of n agents in their initial states. n must be at
+// least 2. Options are interpreted exactly as by pop.New (MaxSteps defaults
+// to 100 million scheduler steps).
+func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
+	if n < 2 {
+		panic(fmt.Sprintf("urn: population size %d < 2", n))
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100_000_000
+	}
+	w := &World[S]{
+		n:          n,
+		totalPairs: int64(n) * int64(n-1) / 2,
+		opts:       opts,
+		proto:      proto,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		slotOf:     make(map[S]int),
+		countF:     wrand.NewFenwick(0),
+		pairF:      wrand.NewFenwick(0),
+	}
+	for id := 0; id < n; id++ {
+		w.addOne(proto.InitialState(id, n))
+	}
+	return w
+}
+
+// N returns the population size.
+func (w *World[S]) N() int { return w.n }
+
+// Steps returns the number of simulated scheduler selections so far.
+func (w *World[S]) Steps() int64 { return w.steps }
+
+// Effective returns the number of effective interactions so far.
+func (w *World[S]) Effective() int64 { return w.effective }
+
+// Distinct returns the number of distinct states currently present.
+func (w *World[S]) Distinct() int { return len(w.live) }
+
+// HaltedCount returns the number of agents in halting states.
+func (w *World[S]) HaltedCount() int64 { return w.haltedCount }
+
+// ResponsiveWeight returns the number of unordered agent pairs whose
+// interaction would be effective in the current configuration.
+func (w *World[S]) ResponsiveWeight() int64 { return w.pairF.Total() }
+
+// Count returns the multiplicity of state s.
+func (w *World[S]) Count(s S) int64 {
+	if slot, ok := w.slotOf[s]; ok {
+		return w.counts[slot]
+	}
+	return 0
+}
+
+// CountWhere returns the number of agents whose state satisfies pred.
+func (w *World[S]) CountWhere(pred func(S) bool) int64 {
+	var total int64
+	for _, slot := range w.live {
+		if pred(w.states[slot]) {
+			total += w.counts[slot]
+		}
+	}
+	return total
+}
+
+// FindState returns some present state satisfying pred. The iteration
+// order is arbitrary but deterministic given the operation history.
+func (w *World[S]) FindState(pred func(S) bool) (S, bool) {
+	for _, slot := range w.live {
+		if pred(w.states[slot]) {
+			return w.states[slot], true
+		}
+	}
+	var zero S
+	return zero, false
+}
+
+// ForEach visits every distinct present state with its multiplicity.
+func (w *World[S]) ForEach(visit func(s S, count int64)) {
+	for _, slot := range w.live {
+		visit(w.states[slot], w.counts[slot])
+	}
+}
+
+// pairWeight returns the number of unordered agent pairs realizing the
+// slot pair {i, j} under the current counts.
+func (w *World[S]) pairWeight(i, j int) int64 {
+	if i == j {
+		c := w.counts[i]
+		return c * (c - 1) / 2
+	}
+	return w.counts[i] * w.counts[j]
+}
+
+// allocSlot installs state s in a fresh (or recycled) slot with count 0 and
+// classifies its responsiveness against every live slot, including itself.
+func (w *World[S]) allocSlot(s S) int {
+	var slot int
+	if k := len(w.freeSlots); k > 0 {
+		slot = w.freeSlots[k-1]
+		w.freeSlots = w.freeSlots[:k-1]
+	} else {
+		slot = len(w.states)
+		var zero S
+		w.states = append(w.states, zero)
+		w.counts = append(w.counts, 0)
+		w.haltedSlot = append(w.haltedSlot, false)
+		w.livePos = append(w.livePos, -1)
+		w.pairSlot = append(w.pairSlot, nil)
+		for i := range w.pairSlot {
+			for len(w.pairSlot[i]) < len(w.states) {
+				w.pairSlot[i] = append(w.pairSlot[i], -1)
+			}
+		}
+		w.countF.Grow(len(w.states))
+	}
+	w.states[slot] = s
+	w.counts[slot] = 0
+	w.haltedSlot[slot] = w.proto.Halted(s)
+	w.slotOf[s] = slot
+	w.livePos[slot] = int32(len(w.live))
+	w.live = append(w.live, int32(slot))
+	for _, j := range w.live {
+		_, _, eff := w.proto.Apply(s, w.states[j])
+		if int(j) != slot {
+			// Enforce the contract at classification time: a protocol whose
+			// effectiveness depends on argument order would make the urn
+			// scheduler silently drop (or double) interactions.
+			if _, _, rev := w.proto.Apply(w.states[j], s); rev != eff {
+				panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+			}
+		}
+		if eff {
+			w.addPair(slot, int(j))
+		}
+	}
+	return slot
+}
+
+// freeSlot retires a slot whose count reached zero: its responsive pairs,
+// index entries and map key are all removed so the slot can be recycled.
+func (w *World[S]) freeSlot(slot int) {
+	for _, j := range w.live {
+		if ps := w.pairSlot[slot][j]; ps >= 0 {
+			w.pairF.Set(int(ps), 0)
+			w.pairSlot[slot][j] = -1
+			w.pairSlot[j][slot] = -1
+			w.freePairs = append(w.freePairs, int(ps))
+		}
+	}
+	pos := w.livePos[slot]
+	last := int32(len(w.live) - 1)
+	moved := w.live[last]
+	w.live[pos] = moved
+	w.livePos[moved] = pos
+	w.live = w.live[:last]
+	w.livePos[slot] = -1
+	delete(w.slotOf, w.states[slot])
+	var zero S
+	w.states[slot] = zero
+	w.freeSlots = append(w.freeSlots, slot)
+}
+
+// addPair registers the unordered slot pair {i, j} as responsive.
+func (w *World[S]) addPair(i, j int) {
+	var ps int
+	if k := len(w.freePairs); k > 0 {
+		ps = w.freePairs[k-1]
+		w.freePairs = w.freePairs[:k-1]
+	} else {
+		ps = len(w.pairAB)
+		w.pairAB = append(w.pairAB, [2]int32{})
+		w.pairF.Grow(len(w.pairAB))
+	}
+	w.pairAB[ps] = [2]int32{int32(i), int32(j)}
+	w.pairSlot[i][j] = int32(ps)
+	w.pairSlot[j][i] = int32(ps)
+	w.pairF.Set(ps, w.pairWeight(i, j))
+}
+
+// setCount updates a slot's multiplicity and resynchronizes every sampling
+// structure touching it: the agent-count tree, the halted tally, and the
+// weights of all responsive pairs involving the slot (O(m log m)).
+func (w *World[S]) setCount(slot int, c int64) {
+	old := w.counts[slot]
+	if old == c {
+		return
+	}
+	w.counts[slot] = c
+	w.countF.Set(slot, c)
+	if w.haltedSlot[slot] {
+		w.haltedCount += c - old
+	}
+	for _, j := range w.live {
+		if ps := w.pairSlot[slot][j]; ps >= 0 {
+			w.pairF.Set(int(ps), w.pairWeight(slot, int(j)))
+		}
+	}
+}
+
+// addOne adds one agent in state s to the urn.
+func (w *World[S]) addOne(s S) {
+	slot, ok := w.slotOf[s]
+	if !ok {
+		slot = w.allocSlot(s)
+	}
+	w.setCount(slot, w.counts[slot]+1)
+}
+
+// removeOne removes one agent in state s from the urn.
+func (w *World[S]) removeOne(s S) {
+	slot, ok := w.slotOf[s]
+	if !ok {
+		panic("urn: removing an absent state")
+	}
+	c := w.counts[slot] - 1
+	w.setCount(slot, c)
+	if c == 0 {
+		w.freeSlot(slot)
+	}
+}
+
+// Step performs one exact scheduler step — a uniform random unordered agent
+// pair, like pop.World.Step — and reports whether it was effective. The
+// first agent is drawn by count weight, the second uniformly among the
+// remaining n-1, which realizes a uniform ordered pair; Run is the
+// compressed path that skips the ineffective steps instead.
+func (w *World[S]) Step() bool {
+	w.steps++
+	i, ok := w.countF.Sample(w.rng)
+	if !ok {
+		panic("urn: empty population")
+	}
+	w.countF.Add(i, -1)
+	j, ok := w.countF.Sample(w.rng)
+	w.countF.Add(i, 1)
+	if !ok {
+		panic("urn: population size 1")
+	}
+	a, b := w.states[i], w.states[j]
+	na, nb, effective := w.proto.Apply(a, b)
+	if !effective {
+		return false
+	}
+	w.effective++
+	w.removeOne(a)
+	w.removeOne(b)
+	w.addOne(na)
+	w.addOne(nb)
+	return true
+}
+
+// StepEffective is the compressed scheduler's unit of work: it advances
+// the simulated clock past the next (geometrically distributed) run of
+// ineffective selections and applies the following effective interaction.
+// It returns false when the Options.MaxSteps budget is exhausted first —
+// including a frozen configuration with no responsive pair at all, which
+// the exact scheduler would churn through ineffectively until MaxSteps.
+func (w *World[S]) StepEffective() bool {
+	weight := w.pairF.Total()
+	if weight <= 0 {
+		w.steps = w.opts.MaxSteps
+		return false
+	}
+	if p := float64(weight) / float64(w.totalPairs); p < 1 {
+		// Failures before the first success of Bernoulli(p) are geometric:
+		// floor(log(U)/log(1-p)) for U uniform on (0, 1].
+		u := 1 - w.rng.Float64()
+		skip := math.Floor(math.Log(u) / math.Log1p(-p))
+		if rem := w.opts.MaxSteps - w.steps; skip >= float64(rem) {
+			w.steps = w.opts.MaxSteps
+			return false
+		}
+		w.steps += int64(skip)
+	}
+	w.steps++
+	w.effective++
+	ps, _ := w.pairF.Sample(w.rng)
+	i, j := int(w.pairAB[ps][0]), int(w.pairAB[ps][1])
+	a, b := w.states[i], w.states[j]
+	if i != j && w.rng.Int63n(2) == 1 {
+		a, b = b, a
+	}
+	na, nb, effective := w.proto.Apply(a, b)
+	if !effective {
+		panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+	}
+	w.removeOne(a)
+	w.removeOne(b)
+	w.addOne(na)
+	w.addOne(nb)
+	return true
+}
+
+// stopped reports whether a halting stop condition currently holds.
+func (w *World[S]) stopped() bool {
+	return (w.opts.StopWhenAnyHalted && w.haltedCount > 0) ||
+		(w.opts.StopWhenAllHalted && w.haltedCount == int64(w.n))
+}
+
+// Run executes the compressed scheduler until a stop condition fires. Stop
+// conditions already true at entry return immediately without stepping.
+// Skipped steps are all ineffective and cannot change any agent's halting
+// status, so checking stop conditions only after effective interactions is
+// exact.
+func (w *World[S]) Run() Result {
+	if w.stopped() {
+		return w.result(pop.ReasonHalted)
+	}
+	for w.steps < w.opts.MaxSteps {
+		if !w.StepEffective() {
+			break
+		}
+		if w.stopped() {
+			return w.result(pop.ReasonHalted)
+		}
+	}
+	return w.result(pop.ReasonMaxSteps)
+}
+
+func (w *World[S]) result(reason pop.StopReason) Result {
+	return Result{
+		Steps:     w.steps,
+		Effective: w.effective,
+		Skipped:   w.steps - w.effective,
+		Reason:    reason,
+	}
+}

@@ -216,6 +216,39 @@ func TestRunHaltWhenPredicate(t *testing.T) {
 	}
 }
 
+// TestRunHaltWhenPredicateTrueAtEntry is the regression test for the
+// entry-condition contract: a predicate already true at step 0 must stop
+// Run immediately, not after the first CheckEvery window (and must not be
+// masked by an earlier no-interaction stop).
+func TestRunHaltWhenPredicateTrueAtEntry(t *testing.T) {
+	w := New(6, inertProtocol{}, Options{Seed: 1, CheckEvery: 256})
+	w.SetHaltWhen(func(w *World[string]) bool { return true })
+	res := w.Run()
+	if res.Reason != ReasonPredicate {
+		t.Fatalf("reason = %v, want predicate", res.Reason)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("steps = %d, want 0 (predicate true at entry)", res.Steps)
+	}
+
+	// A single node has no permissible interaction at all; the entry check
+	// must still see the predicate before Step can fail.
+	w1 := New(1, inertProtocol{}, Options{Seed: 1})
+	w1.SetHaltWhen(func(w *World[string]) bool { return true })
+	if res := w1.Run(); res.Reason != ReasonPredicate {
+		t.Fatalf("single-node reason = %v, want predicate", res.Reason)
+	}
+
+	// A predicate that becomes true only after the entry check must not be
+	// masked by the scheduler running dry between CheckEvery windows.
+	calls := 0
+	w2 := New(1, inertProtocol{}, Options{Seed: 1})
+	w2.SetHaltWhen(func(w *World[string]) bool { calls++; return calls >= 2 })
+	if res := w2.Run(); res.Reason != ReasonPredicate {
+		t.Fatalf("no-interaction masking: reason = %v, want predicate", res.Reason)
+	}
+}
+
 func TestSingleNodeNoInteraction(t *testing.T) {
 	w := New(1, glueProtocol{}, Options{Seed: 1})
 	if _, err := w.Step(); err != ErrNoInteraction {

@@ -205,9 +205,9 @@ func newEmpty[S any](n int, proto Protocol[S], opts Options) *World[S] {
 	return w
 }
 
-// SetHaltWhen installs a stop predicate that Run evaluates every
-// Options.CheckEvery steps, stopping with ReasonPredicate when it returns
-// true. It replaces any previously installed predicate.
+// SetHaltWhen installs a stop predicate that Run evaluates at entry and
+// then every Options.CheckEvery steps, stopping with ReasonPredicate when
+// it returns true. It replaces any previously installed predicate.
 func (w *World[S]) SetHaltWhen(pred func(*World[S]) bool) {
 	w.haltWhen = pred
 }
@@ -454,11 +454,22 @@ func (w *World[S]) Run() Result {
 		reason = ReasonHalted
 		return Result{Steps: w.steps, Effective: w.effective,
 			Merges: w.merges, Splits: w.splits, Reason: reason}
+	case w.haltWhen != nil && w.haltWhen(w):
+		reason = ReasonPredicate
+		return Result{Steps: w.steps, Effective: w.effective,
+			Merges: w.merges, Splits: w.splits, Reason: reason}
 	}
 	for w.steps < w.opts.MaxSteps {
 		info, err := w.Step()
 		if err != nil {
-			reason = ReasonNoInteraction
+			// A satisfied predicate outranks the no-interaction stop: the
+			// predicate may have become true between CheckEvery windows and
+			// must not be masked by the scheduler running dry.
+			if w.haltWhen != nil && w.haltWhen(w) {
+				reason = ReasonPredicate
+			} else {
+				reason = ReasonNoInteraction
+			}
 			break
 		}
 		if info.Effective {

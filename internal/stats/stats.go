@@ -29,15 +29,22 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	var sum, sq float64
+	var sum float64
 	for _, x := range sorted {
 		sum += x
-		sq += x * x
 	}
 	n := float64(len(xs))
 	s.Mean = sum / n
-	variance := sq/n - s.Mean*s.Mean
-	if variance > 0 {
+	// Two-pass variance: summing squared deviations from the mean avoids
+	// the catastrophic cancellation of E[x^2] - mean^2, which collapses Std
+	// to 0 for large-magnitude, low-variance samples (step counts of 10^7+
+	// square to the edge of float64 precision).
+	var sq float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if variance := sq / n; variance > 0 {
 		s.Std = math.Sqrt(variance)
 	}
 	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]

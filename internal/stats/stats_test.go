@@ -19,6 +19,24 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeLargeMagnitudeLowVariance is the regression test for the
+// variance formula: E[x^2] - mean^2 cancels catastrophically for samples
+// like step counts near 10^8 (squares ~10^16, the edge of float64
+// precision) and reported Std = 0. The two-pass sum of squared deviations
+// is exact here: {x, x+1, x+2} has variance 2/3 regardless of x.
+func TestSummarizeLargeMagnitudeLowVariance(t *testing.T) {
+	const base = 1e8
+	s := Summarize([]float64{base, base + 1, base + 2})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-6 {
+		t.Fatalf("std = %v, want %v (catastrophic cancellation)", s.Std, want)
+	}
+	// Zero-variance samples at large magnitude must stay exactly 0.
+	if s := Summarize([]float64{1e15, 1e15, 1e15}); s.Std != 0 {
+		t.Fatalf("constant sample std = %v, want 0", s.Std)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	sorted := []float64{0, 10}
 	if got := Quantile(sorted, 0.5); got != 5 {

@@ -102,6 +102,97 @@ func TestFenwickGrow(t *testing.T) {
 	}
 }
 
+// TestFenwickGrowPreservesWeights is the property-based growth test the
+// urn engine's pair-weight bookkeeping leans on: growing in arbitrary
+// stages (including the degenerate grow-from-zero and shrink-request
+// no-ops) must preserve every weight and the total.
+func TestFenwickGrowPreservesWeights(t *testing.T) {
+	prop := func(ws []uint8, extra1, extra2 uint8) bool {
+		f := NewFenwick(0)
+		f.Grow(len(ws))
+		for i, w := range ws {
+			f.Set(i, int64(w))
+		}
+		f.Grow(len(ws)) // no-op
+		f.Grow(len(ws) + int(extra1))
+		f.Grow(len(ws)) // shrink requests are no-ops
+		f.Grow(len(ws) + int(extra1) + int(extra2))
+		var want int64
+		for i, w := range ws {
+			if f.Weight(i) != int64(w) {
+				return false
+			}
+			want += int64(w)
+		}
+		for i := len(ws); i < f.Len(); i++ {
+			if f.Weight(i) != 0 {
+				return false
+			}
+		}
+		return f.Total() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFenwickSampleChiSquared is the distribution smoke test: the
+// chi-squared statistic of Sample counts against expected frequencies must
+// stay below the critical value, including after a Grow and a weight
+// rewrite mid-stream (the urn engine's steady-state usage pattern).
+func TestFenwickSampleChiSquared(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	sample := func(f *Fenwick, trials int) []int {
+		counts := make([]int, f.Len())
+		for i := 0; i < trials; i++ {
+			idx, ok := f.Sample(r)
+			if !ok {
+				t.Fatal("sample failed with positive total")
+			}
+			counts[idx]++
+		}
+		return counts
+	}
+	chi2 := func(counts []int, f *Fenwick, trials int) float64 {
+		var stat float64
+		total := float64(f.Total())
+		for i, c := range counts {
+			w := float64(f.Weight(i))
+			if w == 0 {
+				if c != 0 {
+					t.Fatalf("zero-weight slot %d sampled %d times", i, c)
+				}
+				continue
+			}
+			expect := w / total * float64(trials)
+			d := float64(c) - expect
+			stat += d * d / expect
+		}
+		return stat
+	}
+
+	const trials = 100000
+	f := NewFenwick(6)
+	for i, w := range []int64{5, 1, 0, 7, 2, 10} {
+		f.Set(i, w)
+	}
+	// 5 positive-weight cells -> 4 degrees of freedom; chi2 critical value
+	// at alpha = 0.001 is 18.47.
+	if stat := chi2(sample(f, trials), f, trials); stat > 18.47 {
+		t.Errorf("chi-squared = %.2f > 18.47 (df=4, alpha=0.001)", stat)
+	}
+
+	// Grow and rewrite the weights, as the urn's pair bookkeeping does, and
+	// re-verify: 8 positive cells -> df=7, critical value 24.32.
+	f.Grow(9)
+	for i, w := range []int64{1, 2, 3, 4, 0, 4, 3, 2, 1} {
+		f.Set(i, w)
+	}
+	if stat := chi2(sample(f, trials), f, trials); stat > 24.32 {
+		t.Errorf("post-grow chi-squared = %.2f > 24.32 (df=7, alpha=0.001)", stat)
+	}
+}
+
 func TestFenwickNegativePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
