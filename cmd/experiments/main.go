@@ -1,9 +1,11 @@
 // Command experiments regenerates the paper's measurement tables: every
 // theorem's quantitative claim and the figures' configurations.
 //
-// Trials fan out across a worker pool (internal/runner); one world per seed
-// per worker, results folded in seed order, so the output — including the
-// -json form — is byte-identical for any worker count.
+// Every experiment is a set of Jobs against the protocol registry of
+// internal/job (see EXPERIMENTS.md for the experiment-to-spec map).
+// Trials fan out across a worker pool (internal/runner.RunMany); one
+// world per seed per worker, results folded in seed order, so the output
+// — including the -json form — is byte-identical for any worker count.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +31,7 @@ import (
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
+	"shapesol/internal/job"
 	"shapesol/internal/runner"
 	"shapesol/internal/shapes"
 	"shapesol/internal/stats"
@@ -36,16 +40,29 @@ import (
 
 // registry is the single source of truth for the experiment set: run order,
 // the -exp lookup table, and every advertised id list (help text, unknown-
-// experiment errors) all derive from it, so they cannot drift. Gaps in the
-// numbering are intentional — see EXPERIMENTS.md (E5/E6 are bench-only
-// stabilization measurements, E11 is unassigned).
+// experiment errors) all derive from it, so they cannot drift. Each entry
+// names the internal/job protocol spec it measures, and the experiment
+// function receives that name and builds its Jobs from it — the spec
+// column (which EXPERIMENTS.md renders as the id-to-spec map) is the
+// single source of which protocol an experiment runs. Gaps in the numbering are intentional
+// — see EXPERIMENTS.md (E5/E6 are bench-only stabilization measurements,
+// E11 is unassigned).
 var registry = []struct {
-	id string
-	fn func(config) Report
+	id   string
+	spec string // protocol spec name in the internal/job registry
+	fn   func(config, string) Report
 }{
-	{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E7", e7},
-	{"E8", e8}, {"E9", e9}, {"E10", e10}, {"E12", e12}, {"E13", e13},
-	{"E14", e14},
+	{"E1", "counting-upper-bound", e1},
+	{"E2", "counting-upper-bound", e2},
+	{"E3", "simple-uid", e3},
+	{"E4", "uid", e4},
+	{"E7", "count-line", e7},
+	{"E8", "square-knowing-n", e8},
+	{"E9", "universal", e9},
+	{"E10", "parallel-3d", e10},
+	{"E12", "replication", e12},
+	{"E13", "leaderless", e13},
+	{"E14", "counting-upper-bound", e14},
 }
 
 // registryIDs returns the advertised experiment ids in run order.
@@ -57,6 +74,19 @@ func registryIDs() []string {
 	return ids
 }
 
+// checkSpecs guards the experiment-to-spec map against drift: every
+// experiment must reference a protocol that is actually registered in
+// the internal/job registry.
+func checkSpecs() error {
+	for _, e := range registry {
+		if _, ok := job.Get(e.spec); !ok {
+			return fmt.Errorf("experiment %s references unregistered protocol spec %q (have %s)",
+				e.id, e.spec, strings.Join(job.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 // config carries the trial plan shared by every experiment.
 type config struct {
 	trials  int
@@ -65,6 +95,25 @@ type config struct {
 }
 
 func (c config) seeds() []int64 { return runner.Seeds(c.seed, c.trials) }
+
+// collect is the shared measurement pipeline: run one Job per seed across
+// the worker pool and fold the Result envelopes into an Aggregate. mk
+// extracts the experiment's flags and values from the typed payload; seed
+// and step count come from the envelope.
+func (c config) collect(j job.Job, mk func(job.Result) runner.Trial) runner.Aggregate {
+	results, err := runner.RunMany(context.Background(), c.workers, j, c.seeds())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	trials := make([]runner.Trial, len(results))
+	for i, res := range results {
+		t := mk(res)
+		t.Seed = res.Seed
+		t.Steps = res.Steps
+		trials[i] = t
+	}
+	return runner.Summarize(trials)
+}
 
 // Row is one experiment configuration's aggregated outcome.
 type Row struct {
@@ -99,6 +148,11 @@ func run() int {
 	)
 	flag.Parse()
 
+	if err := checkSpecs(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+
 	if *figures {
 		renderFigures()
 		return 0
@@ -114,7 +168,8 @@ func run() int {
 
 	all := make(map[string]func(config) Report, len(registry))
 	for _, e := range registry {
-		all[e.id] = e.fn
+		e := e
+		all[e.id] = func(cfg config) Report { return e.fn(cfg, e.spec) }
 	}
 	ids := registryIDs()
 	if *exp != "" {
@@ -179,30 +234,30 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-func e1(cfg config) Report {
+func e1(cfg config, spec string) Report {
 	r := Report{ID: "E1", Title: "Theorem 1 / Remark 2: Counting-Upper-Bound (b=5)",
 		Note: "halts always; r0 >= n/2 w.h.p.; estimate ~0.9n for n <= 1000"}
 	for _, n := range []int{100, 300, 1000} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := counting.RunUpperBound(n, 5, seed)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags:  map[string]bool{"success": out.Success},
-				Values: map[string]float64{"r0_over_n": out.Estimate}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: n, B: 5}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundOutcome)
+				return runner.Trial{
+					Flags:  map[string]bool{"success": out.Success},
+					Values: map[string]float64{"r0_over_n": out.Estimate}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
 	}
 	return r
 }
 
-func e2(cfg config) Report {
+func e2(cfg config, spec string) Report {
 	r := Report{ID: "E2", Title: "Remark 1: counting time = O(n^2 log n)",
 		Note: "log-log slope 2 plus log factor"}
 	var xs, ys []float64
 	for _, n := range []int{50, 100, 200, 400} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			return runner.Trial{Seed: seed, Steps: counting.RunUpperBound(n, 4, seed).Steps}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: n, B: 4}},
+			func(job.Result) runner.Trial { return runner.Trial{} })
 		xs = append(xs, float64(n))
 		ys = append(ys, agg.Steps.Mean)
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
@@ -214,114 +269,116 @@ func e2(cfg config) Report {
 	return r
 }
 
-func e3(cfg config) Report {
+func e3(cfg config, spec string) Report {
 	r := Report{ID: "E3", Title: "Theorem 2: simple UID counting, E[time] = Theta(n^b)",
 		Note: "exact count w.h.p.; expected steps grow like b(n-1)^b"}
 	for _, c := range []struct{ n, b int }{{6, 2}, {6, 3}, {8, 2}} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := counting.RunSimpleUID(c.n, c.b, seed, 500_000_000)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"exact": out.Exact}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: c.n, B: c.b},
+			MaxSteps: 500_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.SimpleUIDOutcome)
+				return runner.Trial{Flags: map[string]bool{"exact": out.Exact}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d b=%d", c.n, c.b),
 			Params: map[string]int{"n": c.n, "b": c.b}, Agg: agg})
 	}
 	return r
 }
 
-func e4(cfg config) Report {
+func e4(cfg config, spec string) Report {
 	r := Report{ID: "E4", Title: "Theorem 3: UID counting (Protocol 3, b=4)",
 		Note: "max id wins and 2*count1 >= n w.h.p."}
 	for _, n := range []int{50, 200} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := counting.RunUID(n, 4, seed)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"winner_is_max": out.WinnerIsMax, "success": out.Success}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: n, B: 4}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UIDOutcome)
+				return runner.Trial{
+					Flags: map[string]bool{"winner_is_max": out.WinnerIsMax, "success": out.Success}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n, "b": 4}, Agg: agg})
 	}
 	return r
 }
 
-func e7(cfg config) Report {
+func e7(cfg config, spec string) Report {
 	r := Report{ID: "E7", Title: "Lemma 1: Counting-on-a-Line (b=3)",
 		Note: "r0 >= n/2; tape length floor(lg r0)+1; debt repaid at halt"}
 	for _, n := range []int{16, 32} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := core.RunCountLine(n, 3, seed, 200_000_000)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: n, B: 3},
+			MaxSteps: 200_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(core.CountLineOutcome)
+				return runner.Trial{Flags: map[string]bool{
 					"success":     out.Success,
 					"length_ok":   out.LineLength == core.ExpectedLineLength(out.R0),
 					"debt_repaid": out.DebtRepaid,
 				}}
-		})
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n, "b": 3}, Agg: agg})
 	}
 	return r
 }
 
-func e8(cfg config) Report {
+func e8(cfg config, spec string) Report {
 	r := Report{ID: "E8", Title: "Lemma 2: Square-Knowing-n (n = d^2 exactly)",
 		Note: "terminates with the exact d x d square"}
 	for _, d := range []int{3, 4} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := core.RunSquareKnowingN(d*d, d, seed, 500_000_000)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"square": out.Halted && out.Square}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: d * d, D: d},
+			MaxSteps: 500_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(core.SquareKnowingNOutcome)
+				return runner.Trial{Flags: map[string]bool{"square": out.Halted && out.Square}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("d=%d", d),
 			Params: map[string]int{"d": d, "n": d * d}, Agg: agg})
 	}
 	return r
 }
 
-func e9(cfg config) Report {
+func e9(cfg config, spec string) Report {
 	r := Report{ID: "E9", Title: "Theorem 4: universal constructor, waste <= (d-1)d"}
 	for _, name := range []string{"star", "cross", "bottom-row"} {
-		lang, err := shapes.ByName(name)
-		if err != nil {
-			panic(err)
-		}
 		for _, d := range []int{6, 10} {
-			agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-				out, err := core.RunUniversalOnSquare(lang, d, seed, 500_000_000)
-				match := err == nil && out.Match
-				t := runner.Trial{Seed: seed, Steps: out.Steps,
-					Flags: map[string]bool{
-						"match":    match,
-						"waste_ok": match && out.Waste <= (d-1)*d,
+			bound := (d - 1) * d
+			agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{Lang: name, D: d},
+				MaxSteps: 500_000_000},
+				func(res job.Result) runner.Trial {
+					out := res.Payload.(core.UniversalOutcome)
+					t := runner.Trial{Flags: map[string]bool{
+						"match":    out.Match,
+						"waste_ok": out.Match && out.Waste <= bound,
 					}}
-				if match { // waste is undefined on unconverged trials
-					t.Values = map[string]float64{"waste": float64(out.Waste)}
-				}
-				return t
-			})
+					if out.Match { // waste is undefined on unconverged trials
+						t.Values = map[string]float64{"waste": float64(out.Waste)}
+					}
+					return t
+				})
 			r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("%s d=%d", name, d),
-				Params: map[string]int{"d": d, "bound": (d - 1) * d}, Agg: agg})
+				Params: map[string]int{"d": d, "bound": bound}, Agg: agg})
 		}
 	}
 	return r
 }
 
-func e10(cfg config) Report {
+func e10(cfg config, spec string) Report {
 	r := Report{ID: "E10", Title: "Theorem 5: parallel simulations on 3D columns (k=3)"}
 	for _, d := range []int{3, 4} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out, err := core.RunParallel3D(shapes.Star(), d, 3, seed, 300_000_000)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"decided": err == nil && out.Decided,
-					"correct": err == nil && out.Correct}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{Lang: "star", D: d, K: 3},
+			MaxSteps: 300_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(core.Parallel3DOutcome)
+				return runner.Trial{
+					Flags: map[string]bool{"decided": out.Decided, "correct": out.Correct}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("d=%d", d),
 			Params: map[string]int{"d": d, "k": 3}, Agg: agg})
 	}
 	return r
 }
 
-func e12(cfg config) Report {
+func e12(cfg config, spec string) Report {
 	r := Report{ID: "E12", Title: "Section 7: shape self-replication (free = 2|R_G|-|G|)"}
 	for _, tc := range []struct {
 		name string
@@ -332,11 +389,12 @@ func e12(cfg config) Report {
 	} {
 		g := tc.g
 		free := 2*g.EnclosingRect().Size() - g.Size()
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out, err := core.RunReplication(g, free, seed, 500_000_000)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"two_copies": err == nil && out.Copies == 2}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{Shape: g, Free: free},
+			MaxSteps: 500_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(core.ReplicationOutcome)
+				return runner.Trial{Flags: map[string]bool{"two_copies": out.Copies == 2}}
+			})
 		r.Rows = append(r.Rows, Row{Label: tc.name,
 			Params: map[string]int{"size": g.Size(), "rect": g.EnclosingRect().Size(), "free": free},
 			Agg:    agg})
@@ -344,33 +402,35 @@ func e12(cfg config) Report {
 	return r
 }
 
-func e13(cfg config) Report {
+func e13(cfg config, spec string) Report {
 	r := Report{ID: "E13", Title: "Conjecture 1 evidence: leaderless early termination",
 		Note: "stays constant as n grows => leaderless counting impossible"}
-	proto := counting.TwoZerosProtocol()
 	for _, n := range []int{20, 100, 500} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := counting.RunLeaderless(proto, n, seed, int64(50*n))
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags: map[string]bool{"early": out.EarlyTermination}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{N: n},
+			MaxSteps: int64(50 * n)},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.LeaderlessOutcome)
+				return runner.Trial{Flags: map[string]bool{"early": out.EarlyTermination}}
+			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n}, Agg: agg})
 	}
 	return r
 }
 
-func e14(cfg config) Report {
+func e14(cfg config, spec string) Report {
 	r := Report{ID: "E14", Title: "Urn engine: Counting-Upper-Bound at scale (b=5, n up to 10^6)",
 		Note: "same law as E1/E2 on the urn-compressed scheduler; slope ~2 plus log factor"}
 	var xs, ys []float64
 	for _, n := range []int{10_000, 100_000, 1_000_000} {
-		agg := runner.Collect(cfg.workers, cfg.seeds(), func(seed int64) runner.Trial {
-			out := counting.RunUpperBoundUrn(n, 5, seed)
-			return runner.Trial{Seed: seed, Steps: out.Steps,
-				Flags:  map[string]bool{"success": out.Success},
-				Values: map[string]float64{"r0_over_n": out.Estimate}}
-		})
+		agg := cfg.collect(job.Job{Protocol: spec, Engine: job.EngineUrn,
+			Params: job.Params{N: n, B: 5}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundOutcome)
+				return runner.Trial{
+					Flags:  map[string]bool{"success": out.Success},
+					Values: map[string]float64{"r0_over_n": out.Estimate}}
+			})
 		xs = append(xs, float64(n))
 		ys = append(ys, agg.Steps.Mean)
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),

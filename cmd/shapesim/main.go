@@ -1,21 +1,49 @@
 // Command shapesim runs a single protocol of the paper at a chosen
-// population size and renders the outcome.
+// population size and renders the outcome. It is a thin front end over
+// the unified job API: -protocol names a registry spec (or one of the
+// legacy aliases line/square/square2/count), -engine and -budget override
+// the spec's defaults, and -json dumps the full Result envelope.
 //
 // Usage:
 //
-//	shapesim -protocol line|square|square2 -n 16 [-seed 1]
-//	shapesim -protocol count|countline -n 100 [-b 5]
+//	shapesim -protocol stabilize -table line -n 16 [-seed 1]
+//	shapesim -protocol line|square|square2 -n 16        # alias for the above
+//	shapesim -protocol counting-upper-bound -n 100 [-b 5] [-engine urn]
+//	shapesim -protocol count-line -n 100 [-b 3]
+//	shapesim -protocol square-knowing-n -d 4
 //	shapesim -protocol universal -lang star -d 7
-//	shapesim -protocol squaren -d 4
+//	shapesim -protocol parallel-3d -lang star -d 3 [-k 3]
+//	shapesim -protocol replication -shape "0,0;1,0;2,0;0,1" [-free 8]
+//	shapesim -protocol <any> ... -json                  # raw Result envelope
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"shapesol"
+	"shapesol/internal/core"
+	"shapesol/internal/counting"
+	"shapesol/internal/grid"
+	"shapesol/internal/job"
 )
+
+// aliases maps the historical -protocol names onto registry jobs,
+// preserving the historical defaults where they differ from the spec's
+// (countline used to inherit the shared -b default of 5; the count-line
+// spec defaults to the paper's b=3). An explicitly set flag still wins.
+var aliases = map[string]func(j *job.Job){
+	"line":      func(j *job.Job) { j.Protocol = "stabilize"; j.Params.Table = "line" },
+	"square":    func(j *job.Job) { j.Protocol = "stabilize"; j.Params.Table = "square" },
+	"square2":   func(j *job.Job) { j.Protocol = "stabilize"; j.Params.Table = "square2" },
+	"count":     func(j *job.Job) { j.Protocol = "counting-upper-bound" },
+	"countline": func(j *job.Job) { j.Protocol = "count-line"; j.Params.B = 5 },
+	"squaren":   func(j *job.Job) { j.Protocol = "square-knowing-n" },
+}
 
 func main() {
 	os.Exit(run())
@@ -23,45 +51,152 @@ func main() {
 
 func run() int {
 	var (
-		protocol = flag.String("protocol", "line", "line, square, square2, count, countline, squaren, universal")
-		n        = flag.Int("n", 16, "population size")
-		b        = flag.Int("b", 5, "head start for the counting protocols")
-		d        = flag.Int("d", 4, "side length for squaren/universal")
-		lang     = flag.String("lang", "star", "shape language for universal")
-		seed     = flag.Int64("seed", 1, "scheduler seed")
+		protocol = flag.String("protocol", "line",
+			fmt.Sprintf("protocol spec (one of %s) or a legacy alias (line, square, square2, count, countline, squaren)",
+				strings.Join(job.Names(), ", ")))
+		engine = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
+		budget = flag.Int64("budget", 0, "step budget override (default: the spec's)")
+		n      = flag.Int("n", 16, "population size")
+		b      = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
+		d      = flag.Int("d", 4, "side length for square-knowing-n/universal/parallel-3d")
+		k      = flag.Int("k", 0, "memory column height for parallel-3d (default: the spec's)")
+		lang   = flag.String("lang", "", "shape language for universal/parallel-3d (default: the spec's)")
+		table  = flag.String("table", "", "rule table for stabilize: line, square or square2")
+		shape  = flag.String("shape", "", `replication target as "x,y;x,y;..." cells`)
+		free   = flag.Int("free", 0, "free nodes for replication (default: the paper's 2|R_G|-|G|)")
+		seed   = flag.Int64("seed", 1, "scheduler seed")
+		asJSON = flag.Bool("json", false, "print the raw Result envelope as JSON")
 	)
 	flag.Parse()
 
-	switch *protocol {
-	case "line", "square", "square2":
-		shape, err := shapesol.Stabilize(*protocol, *n, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "shapesim:", err)
-			return 1
-		}
-		fmt.Printf("%s stabilized on %d nodes:\n%s", *protocol, *n, shapesol.Render(shape))
-	case "count":
-		out := shapesol.Count(*n, *b, *seed)
-		fmt.Printf("counting halted after %d interactions: r0=%d (r0/n=%.3f, success=%v)\n",
-			out.Steps, out.R0, out.Estimate, out.Success)
-	case "countline":
-		out := shapesol.CountOnLine(*n, *b, *seed)
-		fmt.Printf("counting-on-a-line: halted=%v r0=%d line-length=%d debt-repaid=%v steps=%d\n",
-			out.Halted, out.R0, out.LineLength, out.DebtRepaid, out.Steps)
-	case "squaren":
-		out := shapesol.BuildSquare(*n, *d, *seed)
-		fmt.Printf("square-knowing-n: halted=%v square=%v spans=%d steps=%d\n",
-			out.Halted, out.Square, out.Spanned, out.Steps)
-	case "universal":
-		out, render, err := shapesol.Construct(*lang, *d, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "shapesim:", err)
-			return 1
-		}
-		fmt.Printf("universal constructor (%s, d=%d): %v\n%s", *lang, *d, out, render)
-	default:
-		fmt.Fprintf(os.Stderr, "shapesim: unknown protocol %q\n", *protocol)
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	j := job.Job{
+		Protocol: *protocol,
+		Seed:     *seed,
+		Engine:   job.Engine(*engine),
+		MaxSteps: *budget,
+	}
+	if alias, ok := aliases[*protocol]; ok {
+		alias(&j)
+	}
+	spec, ok := job.Get(j.Protocol)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "shapesim: unknown protocol %q (have %s)\n",
+			*protocol, strings.Join(job.Names(), ", "))
 		return 2
 	}
+	// Forward a parameter flag when the user set it explicitly (so the
+	// registry rejects parameters the spec does not take), and otherwise
+	// only when the spec requires it (so optional parameters fall through
+	// to their spec defaults instead of being shadowed by flag defaults —
+	// e.g. square-knowing-n's n defaults to d*d, not to -n's 16).
+	required := map[string]bool{}
+	for _, f := range spec.Params {
+		if f.Required {
+			required[f.Name] = true
+		}
+	}
+	forward := func(name string) bool { return setFlags[name] || required[name] }
+	if forward("n") {
+		j.Params.N = *n
+	}
+	if forward("b") {
+		j.Params.B = *b
+	}
+	if forward("d") {
+		j.Params.D = *d
+	}
+	if forward("k") {
+		j.Params.K = *k
+	}
+	if forward("lang") {
+		j.Params.Lang = *lang
+	}
+	if setFlags["table"] && j.Params.Table != "" && j.Params.Table != *table {
+		fmt.Fprintf(os.Stderr, "shapesim: -table %s conflicts with the %q alias (table %s)\n",
+			*table, *protocol, j.Params.Table)
+		return 2
+	}
+	if forward("table") && j.Params.Table == "" {
+		j.Params.Table = *table
+	}
+	if forward("free") {
+		j.Params.Free = *free
+	}
+	if forward("shape") {
+		g, err := parseShape(*shape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shapesim:", err)
+			return 2
+		}
+		j.Params.Shape = g
+	}
+
+	res, err := job.Run(context.Background(), j)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapesim:", err)
+		return 1
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shapesim:", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
+	printResult(res)
 	return 0
+}
+
+// parseShape decodes a "x,y;x,y;..." cell list into a shape.
+func parseShape(s string) (*grid.Shape, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-shape: empty cell list")
+	}
+	var cells []grid.Pos
+	for _, cell := range strings.Split(s, ";") {
+		var x, y int
+		if _, err := fmt.Sscanf(cell, "%d,%d", &x, &y); err != nil {
+			return nil, fmt.Errorf("-shape: bad cell %q (want x,y)", cell)
+		}
+		cells = append(cells, grid.Pos{X: x, Y: y})
+	}
+	return grid.ShapeOf(cells...), nil
+}
+
+// printResult renders the envelope plus a payload-specific summary.
+func printResult(res job.Result) {
+	fmt.Printf("%s [%s engine] seed=%d: %s after %d steps (%.2fs)\n",
+		res.Protocol, res.Engine, res.Seed, res.Reason, res.Steps, res.WallTime.Seconds())
+	switch out := res.Payload.(type) {
+	case core.StabilizeOutcome:
+		fmt.Printf("%s on %d nodes: spanning=%v (largest component %d)\n%s",
+			out.Table, out.N, out.Spanning, out.Spanned, shapesol.Render(out.Shape))
+	case counting.UpperBoundOutcome:
+		fmt.Printf("r0=%d (r0/n=%.3f, success=%v)\n", out.R0, out.Estimate, out.Success)
+	case counting.SimpleUIDOutcome:
+		fmt.Printf("output=%d exact=%v\n", out.Output, out.Exact)
+	case counting.UIDOutcome:
+		fmt.Printf("output=%d winner-is-max=%v success=%v\n", out.Output, out.WinnerIsMax, out.Success)
+	case counting.LeaderlessOutcome:
+		fmt.Printf("early-termination=%v\n", out.EarlyTermination)
+	case core.CountLineOutcome:
+		fmt.Printf("halted=%v r0=%d line-length=%d debt-repaid=%v\n",
+			out.Halted, out.R0, out.LineLength, out.DebtRepaid)
+	case core.SquareKnowingNOutcome:
+		fmt.Printf("halted=%v square=%v spans=%d\n", out.Halted, out.Square, out.Spanned)
+	case core.UniversalOutcome:
+		fmt.Printf("%v\n", out)
+	case core.Parallel3DOutcome:
+		fmt.Printf("decided=%v correct=%v\n", out.Decided, out.Correct)
+	case core.ReplicationOutcome:
+		fmt.Printf("done=%v copies=%d exact=%v\n", out.Done, out.Copies, out.Exact)
+	default:
+		fmt.Printf("%+v\n", res.Payload)
+	}
 }

@@ -1,8 +1,12 @@
-// Quickstart: assemble a spanning line and a spanning square with the
-// stabilizing protocols of Section 4, then render them.
+// Quickstart: the unified job API. Every construction of the paper is a
+// named protocol in a registry; one cancellable Run call executes any of
+// them and returns a common Result envelope. Here: assemble a spanning
+// line and a spanning square with the stabilizing protocols of Section 4,
+// then render them.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,17 +14,31 @@ import (
 )
 
 func main() {
-	line, err := shapesol.Stabilize("line", 12, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("spanning line on 12 nodes:")
-	fmt.Print(shapesol.Render(line))
+	ctx := context.Background()
 
-	square, err := shapesol.Stabilize("square", 25, 2)
+	fmt.Printf("registered protocols: %v\n\n", shapesol.Protocols())
+
+	res, err := shapesol.Run(ctx, shapesol.Job{
+		Protocol: "stabilize",
+		Params:   shapesol.Params{Table: "line", N: 12},
+		Seed:     1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nspanning square on 25 nodes (Protocol 1):")
-	fmt.Print(shapesol.Render(square))
+	line := res.Payload.(shapesol.StabilizeOutcome)
+	fmt.Printf("spanning line on 12 nodes (%s after %d steps):\n%s",
+		res.Reason, res.Steps, shapesol.Render(line.Shape))
+
+	res, err = shapesol.Run(ctx, shapesol.Job{
+		Protocol: "stabilize",
+		Params:   shapesol.Params{Table: "square", N: 25},
+		Seed:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	square := res.Payload.(shapesol.StabilizeOutcome)
+	fmt.Printf("\nspanning square on 25 nodes (Protocol 1, %s after %d steps):\n%s",
+		res.Reason, res.Steps, shapesol.Render(square.Shape))
 }

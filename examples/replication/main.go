@@ -1,9 +1,12 @@
 // Self-replication (Section 7): an L-shaped structure squares itself into
 // R_G, shifts a copy out column by column, splits, and de-squares into two
-// identical copies.
+// identical copies. The shape rides in the Job as a typed parameter; the
+// free-node count is left to the spec's default, which is exactly the
+// paper's requirement 2|R_G| - |G|.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,11 +19,16 @@ func main() {
 	fmt.Println("original shape G:")
 	fmt.Print(shapesol.Render(g))
 
-	free := 2*g.EnclosingRect().Size() - g.Size() // the paper's requirement
-	out, err := shapesol.Replicate(g, free, 11)
+	res, err := shapesol.Run(context.Background(), shapesol.Job{
+		Protocol: "replication",
+		Params:   shapesol.Params{Shape: g},
+		Seed:     11,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	out := res.Payload.(shapesol.ReplicationOutcome)
+	free := 2*g.EnclosingRect().Size() - g.Size()
 	fmt.Printf("\nreplicated with %d free nodes after %d interactions: %d exact copies\n",
-		free, out.Steps, out.Copies)
+		free, res.Steps, out.Copies)
 }

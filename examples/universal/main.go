@@ -1,6 +1,9 @@
 // Universal construction (Theorem 4, Figure 7): simulate a shape-
 // constructing TM on the square, mark pixels, release the waste, and keep
-// exactly the target shape — here the star of Figure 7(c).
+// exactly the target shape — here all three built-in languages on a 7x7
+// square, through the facade's Construct wrapper (a "universal" registry
+// job with the language as a typed parameter, returning the rendered
+// target alongside the outcome).
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 )
 
 func main() {
+	fmt.Printf("shape languages: %v\n\n", shapesol.Languages())
 	for _, lang := range []string{"star", "cross", "bottom-row"} {
 		out, render, err := shapesol.Construct(lang, 7, 3)
 		if err != nil {

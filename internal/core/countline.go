@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 
 	"shapesol/internal/grid"
@@ -334,14 +335,14 @@ func sub(bit, borrow *bool) {
 
 // CountLineOutcome is the measured result of one Counting-on-a-Line run.
 type CountLineOutcome struct {
-	N          int
-	B          int
-	Steps      int64
-	R0         int64 // the count read back off the line, in binary
-	LineLength int   // tape cells including the leader
-	Success    bool  // R0 >= n/2
-	DebtRepaid bool  // R2 == 0 at termination
-	Halted     bool
+	N          int   `json:"n"`
+	B          int   `json:"b"`
+	Steps      int64 `json:"steps"`
+	R0         int64 `json:"r0"`          // the count read back off the line, in binary
+	LineLength int   `json:"line_length"` // tape cells including the leader
+	Success    bool  `json:"success"`     // R0 >= n/2
+	DebtRepaid bool  `json:"debt_repaid"` // R2 == 0 at termination
+	Halted     bool  `json:"halted"`
 }
 
 // FindLeader returns the node currently carrying the leader role (it moves
@@ -395,12 +396,21 @@ func b2i(b bool) int64 {
 // RunCountLine executes Counting-on-a-Line on n nodes until the leader
 // halts (or the step budget runs out).
 func RunCountLine(n, b int, seed, maxSteps int64) CountLineOutcome {
+	out, _ := RunCountLineCtx(context.Background(), n, b, seed, maxSteps, nil)
+	return out
+}
+
+// RunCountLineCtx is RunCountLine under a cancelable context with an
+// optional progress callback.
+func RunCountLineCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (CountLineOutcome, sim.StopReason) {
 	proto := &CountLine{B: b}
-	w := sim.New(n, proto, sim.Options{Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true})
-	res := w.Run()
+	w := sim.New(n, proto, sim.Options{
+		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := CountLineOutcome{N: n, B: b, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out
+		return out, res.Reason
 	}
 	out.Halted = true
 	r0, _, r2, length := ReadCounters(w, FindLeader(w))
@@ -408,7 +418,7 @@ func RunCountLine(n, b int, seed, maxSteps int64) CountLineOutcome {
 	out.LineLength = length
 	out.Success = 2*r0 >= int64(n)
 	out.DebtRepaid = r2 == 0
-	return out
+	return out, res.Reason
 }
 
 // ExpectedLineLength returns floor(lg r0) + 1, the tape length Lemma 1

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"shapesol/internal/grid"
 	"shapesol/internal/shapes"
 	"shapesol/internal/sim"
@@ -141,31 +143,39 @@ func (p *Parallel3D) oriented(a, b p3State, pa, pb grid.Dir, bonded bool) (p3Sta
 
 // Parallel3DOutcome reports one run.
 type Parallel3DOutcome struct {
-	D, K    int
-	Steps   int64 // scheduler steps until every pixel was decided
-	Decided bool
-	Correct bool // every pixel matches the language
+	D       int   `json:"d"`
+	K       int   `json:"k"`
+	Steps   int64 `json:"steps"` // scheduler steps until every pixel was decided
+	Decided bool  `json:"decided"`
+	Correct bool  `json:"correct"` // every pixel matches the language
 }
 
 // RunParallel3D executes the parallel constructor until every pixel is
 // decided (or the budget runs out).
 func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parallel3DOutcome, error) {
+	out, _, err := RunParallel3DCtx(context.Background(), lang, d, k, seed, maxSteps, nil)
+	return out, err
+}
+
+// RunParallel3DCtx is RunParallel3D under a cancelable context with an
+// optional progress callback.
+func RunParallel3DCtx(ctx context.Context, lang shapes.Language, d, k int, seed, maxSteps int64, progress func(int64)) (Parallel3DOutcome, sim.StopReason, error) {
 	proto := &Parallel3D{D: d, K: k, Lang: lang}
 	w, err := sim.NewFromConfig(proto.SquareConfig3D(), proto, sim.Options{
-		Dim: 3, Seed: seed, MaxSteps: maxSteps, CheckEvery: 64,
+		Dim: 3, Seed: seed, MaxSteps: maxSteps, CheckEvery: 64, Progress: progress,
 	})
 	if err != nil {
-		return Parallel3DOutcome{}, err
+		return Parallel3DOutcome{}, 0, err
 	}
 	w.SetHaltWhen(func(w *sim.World[p3State]) bool {
 		return w.CountNodes(func(s p3State) bool {
 			return s.Kind == p3Pixel && s.Decided
 		}) == d*d
 	})
-	res := w.Run()
+	res := w.RunContext(ctx)
 	out := Parallel3DOutcome{D: d, K: k, Steps: res.Steps}
 	if res.Reason != sim.ReasonPredicate {
-		return out, nil
+		return out, res.Reason, nil
 	}
 	out.Decided = true
 	out.Correct = true
@@ -175,5 +185,5 @@ func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parall
 			out.Correct = false
 		}
 	}
-	return out, nil
+	return out, res.Reason, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"shapesol/internal/grid"
@@ -487,36 +488,45 @@ func (p Replicator) copyStep(a, b rpState, pa grid.Dir, t rpToken, movable bool)
 
 // ReplicationOutcome reports one run of Section 7 Approach 1.
 type ReplicationOutcome struct {
-	Steps  int64
-	Done   bool // both leaders reached rpDone
-	Copies int  // components whose on-shape equals G up to translation
-	Exact  bool // exactly two faithful copies and nothing larger
-	RGSize int
+	Steps  int64 `json:"steps"`
+	Done   bool  `json:"done"`   // both leaders reached rpDone
+	Copies int   `json:"copies"` // components whose on-shape equals G up to translation
+	Exact  bool  `json:"exact"`  // exactly two faithful copies and nothing larger
+	RGSize int   `json:"rg_size"`
 }
 
 // RunReplication replicates the shape g on a population of g.Size()+free
 // nodes. The paper's requirement is free >= 2|R_G| - |G|.
 func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationOutcome, error) {
+	out, _, err := RunReplicationCtx(context.Background(), g, free, seed, maxSteps, nil)
+	return out, err
+}
+
+// RunReplicationCtx is RunReplication under a cancelable context with an
+// optional progress callback. A canceled run skips the settling phase and
+// reports Done=false.
+func RunReplicationCtx(ctx context.Context, g *grid.Shape, free int, seed, maxSteps int64, progress func(int64)) (ReplicationOutcome, sim.StopReason, error) {
 	proto := Replicator{}
 	w, err := sim.NewFromConfig(ShapeConfig(g, free), proto, sim.Options{
-		Seed: seed, MaxSteps: maxSteps, CheckEvery: 64,
+		Seed: seed, MaxSteps: maxSteps, CheckEvery: 64, Progress: progress,
 	})
 	if err != nil {
-		return ReplicationOutcome{}, err
+		return ReplicationOutcome{}, 0, err
 	}
 	w.SetHaltWhen(func(w *sim.World[rpState]) bool {
 		return w.CountNodes(func(s rpState) bool {
 			return s.HasToken && s.T.Phase == rpDone
 		}) >= 2
 	})
-	res := w.Run()
+	res := w.RunContext(ctx)
 	out := ReplicationOutcome{Steps: res.Steps, RGSize: g.EnclosingRect().Size()}
 	if res.Reason != sim.ReasonPredicate {
-		return out, nil
+		return out, res.Reason, nil
 	}
 	out.Done = true
 	// Settle: let the cleanup waves finish labeling and the dummies shed.
-	for settle := w.Steps() + int64(w.N())*20000; w.Steps() < settle && !settled(w); {
+	// The context is observed so a late cancel is not absorbed here.
+	for settle := w.Steps() + int64(w.N())*20000; w.Steps() < settle && !settled(w) && ctx.Err() == nil; {
 		if _, err := w.Step(); err != nil {
 			break
 		}
@@ -546,7 +556,7 @@ func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationO
 		}
 	}
 	out.Exact = out.Copies == 2
-	return out, nil
+	return out, res.Reason, nil
 }
 
 // settled reports whether every cell has received a cleanup wave and no

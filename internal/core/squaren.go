@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"shapesol/internal/grid"
 	"shapesol/internal/sim"
 )
@@ -409,11 +411,12 @@ func kindAllowed(rowsLeft, lineKind int) bool {
 
 // SquareKnowingNOutcome reports one run.
 type SquareKnowingNOutcome struct {
-	N, D    int
-	Steps   int64
-	Halted  bool
-	Square  bool // the leader's component is exactly a d x d block
-	Spanned int  // size of the leader's component at halting
+	N       int   `json:"n"`
+	D       int   `json:"d"`
+	Steps   int64 `json:"steps"`
+	Halted  bool  `json:"halted"`
+	Square  bool  `json:"square"`  // the leader's component is exactly a d x d block
+	Spanned int   `json:"spanned"` // size of the leader's component at halting
 }
 
 // RunSquareKnowingN executes the protocol and checks the result. After the
@@ -421,16 +424,28 @@ type SquareKnowingNOutcome struct {
 // shed rules settle (the paper's construction also stabilizes its final
 // bonds after the leader's decision).
 func RunSquareKnowingN(n, d int, seed, maxSteps int64) SquareKnowingNOutcome {
+	out, _ := RunSquareKnowingNCtx(context.Background(), n, d, seed, maxSteps, nil)
+	return out
+}
+
+// RunSquareKnowingNCtx is RunSquareKnowingN under a cancelable context
+// with an optional progress callback. A canceled run skips the settling
+// phase and reports Halted=false.
+func RunSquareKnowingNCtx(ctx context.Context, n, d int, seed, maxSteps int64, progress func(int64)) (SquareKnowingNOutcome, sim.StopReason) {
 	proto := &SquareKnowingN{D: d}
-	w := sim.New(n, proto, sim.Options{Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true})
-	res := w.Run()
+	w := sim.New(n, proto, sim.Options{
+		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := SquareKnowingNOutcome{N: n, D: d, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out
+		return out, res.Reason
 	}
 	out.Halted = true
+	// The settle loop observes the context too: a cancel arriving after
+	// the halt must not be absorbed by up to n*2000 further steps.
 	settle := w.Steps() + int64(n)*2000
-	for w.Steps() < settle {
+	for w.Steps() < settle && ctx.Err() == nil {
 		if _, err := w.Step(); err != nil {
 			break
 		}
@@ -440,5 +455,5 @@ func RunSquareKnowingN(n, d int, seed, maxSteps int64) SquareKnowingNOutcome {
 	out.Spanned = shape.Size()
 	h, v, _ := shape.Dims()
 	out.Square = h == d && v == d && shape.Size() == d*d
-	return out
+	return out, res.Reason
 }

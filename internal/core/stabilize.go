@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"shapesol/internal/grid"
+	"shapesol/internal/rules"
+	"shapesol/internal/sim"
+)
+
+// StabilizeTable resolves a Section 4 stabilizing rule table by name.
+func StabilizeTable(name string) (*rules.Table, error) {
+	switch name {
+	case "line":
+		return LineTable(), nil
+	case "square":
+		return SquareTable(), nil
+	case "square2":
+		return Square2Table(), nil
+	}
+	return nil, fmt.Errorf("core: unknown rule table %q (want line, square or square2)", name)
+}
+
+// StabilizeOutcome reports one run of a Section 4 stabilizing rule table.
+// The protocols stabilize but never terminate — no node knows the
+// structure is done — so the run stops the first time the largest bonded
+// component spans the population (checked on the engine's CheckEvery
+// cadence), or when the step budget runs out.
+type StabilizeOutcome struct {
+	Table    string `json:"table"`
+	N        int    `json:"n"`
+	Steps    int64  `json:"steps"`
+	Spanned  int    `json:"spanned"`  // size of the largest component at stop
+	Spanning bool   `json:"spanning"` // Spanned == N
+	// Shape is the largest component's shape. It is reported out of band of
+	// the JSON encoding; render it with internal/viz.
+	Shape *grid.Shape `json:"-"`
+}
+
+// RunStabilizeCtx drives the named rule table on n free nodes until the
+// structure spans the population or the budget runs out (unlike the other
+// constructors there is no context-free wrapper: every consumer goes
+// through the job layer, which always carries a context). The spanning
+// condition is a SetHaltWhen predicate over sim.World.Run, so the stop
+// reason is sim.ReasonPredicate on success.
+func RunStabilizeCtx(ctx context.Context, table string, n int, seed, maxSteps int64, progress func(int64)) (StabilizeOutcome, sim.StopReason, error) {
+	t, err := StabilizeTable(table)
+	if err != nil {
+		return StabilizeOutcome{}, 0, err
+	}
+	w := sim.New(n, sim.NewTableProtocol(t), sim.Options{
+		Seed: seed, MaxSteps: maxSteps, Progress: progress,
+	})
+	w.SetHaltWhen(func(w *sim.World[rules.State]) bool {
+		_, size := w.LargestComponent()
+		return size == n
+	})
+	res := w.RunContext(ctx)
+	slot, size := w.LargestComponent()
+	out := StabilizeOutcome{
+		Table:    table,
+		N:        n,
+		Steps:    res.Steps,
+		Spanned:  size,
+		Spanning: size == n,
+		Shape:    w.ComponentShape(slot),
+	}
+	return out, res.Reason, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"shapesol/internal/grid"
@@ -343,11 +344,11 @@ func (p *Universal) decide(a uniCell, i int) uniCell {
 
 // UniversalOutcome reports a run of the universal phase.
 type UniversalOutcome struct {
-	D      int
-	Steps  int64
-	Halted bool
-	Match  bool // the surviving bonded shape equals G_d (up to translation)
-	Waste  int  // nodes released
+	D      int   `json:"d"`
+	Steps  int64 `json:"steps"`
+	Halted bool  `json:"halted"`
+	Match  bool  `json:"match"` // the surviving bonded shape equals G_d (up to translation)
+	Waste  int   `json:"waste"` // nodes released
 }
 
 // String renders outcomes for logs.
@@ -360,8 +361,16 @@ func (o UniversalOutcome) String() string {
 // pre-built square (oracle decisions) and compares the surviving shape
 // against the language's G_d.
 func RunUniversalOnSquare(lang shapes.Language, d int, seed, maxSteps int64) (UniversalOutcome, error) {
+	out, _, err := RunUniversalOnSquareCtx(context.Background(), lang, d, seed, maxSteps, nil)
+	return out, err
+}
+
+// RunUniversalOnSquareCtx is RunUniversalOnSquare under a cancelable
+// context with an optional progress callback. A canceled run skips the
+// settling phase and reports Halted=false.
+func RunUniversalOnSquareCtx(ctx context.Context, lang shapes.Language, d int, seed, maxSteps int64, progress func(int64)) (UniversalOutcome, sim.StopReason, error) {
 	proto := &Universal{D: d, Lang: lang}
-	return runUniversal(proto, lang, d, seed, maxSteps)
+	return runUniversal(ctx, proto, lang, d, seed, maxSteps, progress)
 }
 
 // RunUniversalMicroStep is the fully faithful variant: pixel decisions are
@@ -376,30 +385,32 @@ func RunUniversalMicroStep(machine *tm.PixelMachine, d int, seed, maxSteps int64
 			"core: input (%d symbols) exceeds the %dx%d tape; use d >= 4", worst, d, d)
 	}
 	proto := &Universal{D: d, Machine: machine}
-	return runUniversal(proto, machine, d, seed, maxSteps)
+	out, _, err := runUniversal(context.Background(), proto, machine, d, seed, maxSteps, nil)
+	return out, err
 }
 
-func runUniversal(proto *Universal, lang shapes.Language, d int, seed, maxSteps int64) (UniversalOutcome, error) {
+func runUniversal(ctx context.Context, proto *Universal, lang shapes.Language, d int, seed, maxSteps int64, progress func(int64)) (UniversalOutcome, sim.StopReason, error) {
 	want := shapes.Render(lang, d).Shape()
 	if d == 1 {
 		// A 1x1 square has no bonded pair to act on; the result is trivial.
-		return UniversalOutcome{D: 1, Halted: true, Match: lang.Pixel(0, 1)}, nil
+		return UniversalOutcome{D: 1, Halted: true, Match: lang.Pixel(0, 1)}, sim.ReasonHalted, nil
 	}
 	w, err := sim.NewFromConfig(proto.SquareConfig(0), proto, sim.Options{
-		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true,
+		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
 	})
 	if err != nil {
-		return UniversalOutcome{}, err
+		return UniversalOutcome{}, 0, err
 	}
-	res := w.Run()
+	res := w.RunContext(ctx)
 	out := UniversalOutcome{D: d, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out, nil
+		return out, res.Reason, nil
 	}
 	out.Halted = true
 	// Let the released off pixels finish detaching: run until no off cell
-	// keeps a bond (bounded budget).
-	for settle := w.Steps() + int64(d*d)*5000; w.Steps() < settle && offStillBonded(w); {
+	// keeps a bond (bounded budget, and the context is observed so a late
+	// cancel is not absorbed by the settling).
+	for settle := w.Steps() + int64(d*d)*5000; w.Steps() < settle && offStillBonded(w) && ctx.Err() == nil; {
 		if _, err := w.Step(); err != nil {
 			break
 		}
@@ -407,7 +418,7 @@ func runUniversal(proto *Universal, lang shapes.Language, d int, seed, maxSteps 
 	got := onShape(w)
 	out.Match = got.EqualUpToTranslation(want)
 	out.Waste = d*d - got.Size()
-	return out, nil
+	return out, res.Reason, nil
 }
 
 // offStillBonded reports whether some released off cell retains a bond.

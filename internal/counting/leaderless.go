@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"context"
 	"slices"
 
 	"shapesol/internal/pop"
@@ -83,14 +84,14 @@ func (p *ObservationProtocol) Halted(s ObsState) bool { return s.Done }
 
 // LeaderlessOutcome reports one run of the Conjecture 1 experiment.
 type LeaderlessOutcome struct {
-	N int
+	N int `json:"n"`
 	// EarlyTermination is true when some agent terminated having
 	// participated in at most len(Target) interactions — the event whose
 	// probability Conjecture 1 claims stays constant as n grows.
-	EarlyTermination bool
+	EarlyTermination bool `json:"early_termination"`
 	// Steps is the scheduler step at which the first agent terminated (or
 	// the budget if none did).
-	Steps int64
+	Steps int64 `json:"steps"`
 }
 
 // TwoZerosProtocol is the concrete instance used in the experiments: all
@@ -111,11 +112,20 @@ func TwoZerosProtocol() *ObservationProtocol {
 
 // RunLeaderless executes one Conjecture 1 trial.
 func RunLeaderless(proto *ObservationProtocol, n int, seed int64, maxSteps int64) LeaderlessOutcome {
-	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps})
-	res := w.Run()
+	out, _ := RunLeaderlessCtx(context.Background(), proto, n, seed, maxSteps, nil)
+	return out
+}
+
+// RunLeaderlessCtx is RunLeaderless under a cancelable context with an
+// optional progress callback.
+func RunLeaderlessCtx(ctx context.Context, proto *ObservationProtocol, n int, seed, maxSteps int64, progress func(int64)) (LeaderlessOutcome, pop.StopReason) {
+	w := pop.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := LeaderlessOutcome{N: n, Steps: res.Steps}
 	if res.FirstHalted >= 0 {
 		out.EarlyTermination = true
 	}
-	return out
+	return out, res.Reason
 }

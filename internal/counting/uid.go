@@ -1,6 +1,7 @@
 package counting
 
 import (
+	"context"
 	"slices"
 
 	"shapesol/internal/pop"
@@ -92,25 +93,34 @@ func (p *SimpleUID) Halted(s *SimpleUIDState) bool { return s.Done }
 
 // SimpleUIDOutcome reports one execution of the simple UID protocol.
 type SimpleUIDOutcome struct {
-	N      int
-	B      int
-	Steps  int64
-	Output int  // count output by the first terminating agent
-	Exact  bool // Output == N
+	N      int   `json:"n"`
+	B      int   `json:"b"`
+	Steps  int64 `json:"steps"`
+	Output int   `json:"output"` // count output by the first terminating agent
+	Exact  bool  `json:"exact"`  // Output == N
 }
 
 // RunSimpleUID executes the protocol until the first agent terminates.
 func RunSimpleUID(n, b int, seed int64, maxSteps int64) SimpleUIDOutcome {
+	out, _ := RunSimpleUIDCtx(context.Background(), n, b, seed, maxSteps, nil)
+	return out
+}
+
+// RunSimpleUIDCtx is RunSimpleUID under a cancelable context with an
+// optional progress callback.
+func RunSimpleUIDCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (SimpleUIDOutcome, pop.StopReason) {
 	proto := &SimpleUID{B: b}
-	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps})
-	res := w.Run()
+	w := pop.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := SimpleUIDOutcome{N: n, B: b, Steps: res.Steps}
 	if res.FirstHalted >= 0 {
 		st := w.State(res.FirstHalted)
 		out.Output = st.Output
 		out.Exact = st.Output == n
 	}
-	return out
+	return out, res.Reason
 }
 
 // NoBelongs marks an agent not yet claimed by any counter (the paper's
@@ -212,26 +222,35 @@ func (p *UID) Halted(s *UIDState) bool { return s.Done }
 
 // UIDOutcome reports one execution of Protocol 3.
 type UIDOutcome struct {
-	N           int
-	B           int
-	Steps       int64
-	WinnerIsMax bool  // the halting agent carries the maximum id
-	Output      int64 // 2 * count1 of the halting agent
-	Success     bool  // Output >= n (Theorem 3's guarantee)
+	N           int   `json:"n"`
+	B           int   `json:"b"`
+	Steps       int64 `json:"steps"`
+	WinnerIsMax bool  `json:"winner_is_max"` // the halting agent carries the maximum id
+	Output      int64 `json:"output"`        // 2 * count1 of the halting agent
+	Success     bool  `json:"success"`       // Output >= n (Theorem 3's guarantee)
 }
 
 // RunUID executes Protocol 3 until the first agent halts.
 func RunUID(n, b int, seed int64) UIDOutcome {
+	out, _ := RunUIDCtx(context.Background(), n, b, seed, 0, nil)
+	return out
+}
+
+// RunUIDCtx is RunUID under a cancelable context with an explicit step
+// budget (0 means the engine default) and an optional progress callback.
+func RunUIDCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UIDOutcome, pop.StopReason) {
 	proto := &UID{B: b}
-	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true})
-	res := w.Run()
+	w := pop.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := UIDOutcome{N: n, B: b, Steps: res.Steps}
 	if res.FirstHalted < 0 {
-		return out
+		return out, res.Reason
 	}
 	st := w.State(res.FirstHalted)
 	out.WinnerIsMax = st.ID == n // default ids are 1..n
 	out.Output = st.Output
 	out.Success = st.Output >= int64(n)
-	return out
+	return out, res.Reason
 }

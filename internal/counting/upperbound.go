@@ -7,6 +7,7 @@
 package counting
 
 import (
+	"context"
 	"fmt"
 
 	"shapesol/internal/pop"
@@ -144,12 +145,12 @@ func (p *UpperBound) Halted(s UBState) bool {
 // UpperBoundOutcome is the measured outcome of one Counting-Upper-Bound
 // execution.
 type UpperBoundOutcome struct {
-	N        int
-	B        int
-	Steps    int64 // total interactions until the leader halted
-	R0       int64 // the leader's count at halting
-	Success  bool  // R0 >= n/2 (Theorem 1's guarantee)
-	Estimate float64
+	N        int     `json:"n"`
+	B        int     `json:"b"`
+	Steps    int64   `json:"steps"`    // total interactions until the leader halted
+	R0       int64   `json:"r0"`       // the leader's count at halting
+	Success  bool    `json:"success"`  // R0 >= n/2 (Theorem 1's guarantee)
+	Estimate float64 `json:"estimate"` // R0 / n
 }
 
 // RunUpperBound executes the protocol once and reports the outcome. The
@@ -157,18 +158,29 @@ type UpperBoundOutcome struct {
 // indicates a much-too-small budget and is reported via Success=false with
 // Steps = budget.
 func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
+	out, _ := RunUpperBoundCtx(context.Background(), n, b, seed, 0, nil)
+	return out
+}
+
+// RunUpperBoundCtx is RunUpperBound under a cancelable context with an
+// explicit step budget (0 means the engine default) and an optional
+// progress callback. The stop reason distinguishes a halt from a canceled
+// or exhausted run.
+func RunUpperBoundCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UpperBoundOutcome, pop.StopReason) {
 	proto := &UpperBound{B: b}
-	w := pop.New(n, proto, pop.Options{Seed: seed, StopWhenAnyHalted: true})
-	res := w.Run()
+	w := pop.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
+	})
+	res := w.RunContext(ctx)
 	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
 	if res.Reason != pop.ReasonHalted {
-		return out
+		return out, res.Reason
 	}
 	l := w.State(0).L
 	out.R0 = l.R0
 	out.Estimate = float64(l.R0) / float64(n)
 	out.Success = 2*l.R0 >= int64(n)
-	return out
+	return out, res.Reason
 }
 
 // RunUpperBoundUrn executes Counting-Upper-Bound on the urn-compressed
@@ -182,21 +194,32 @@ func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
 // execution (Theorem 1) after Theta(n^2 log n) simulated steps, which the
 // urn engine advances past without iterating.
 func RunUpperBoundUrn(n, b int, seed int64) UpperBoundOutcome {
+	out, _ := RunUpperBoundUrnCtx(context.Background(), n, b, seed, 0, nil)
+	return out
+}
+
+// RunUpperBoundUrnCtx is RunUpperBoundUrn under a cancelable context with
+// an explicit simulated-step budget (0 means effectively unbounded) and an
+// optional progress callback.
+func RunUpperBoundUrnCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UpperBoundOutcome, pop.StopReason) {
+	if maxSteps == 0 {
+		maxSteps = 1 << 62
+	}
 	proto := &UpperBound{B: b}
 	w := urn.New(n, proto, pop.Options{
-		Seed: seed, StopWhenAnyHalted: true, MaxSteps: 1 << 62,
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
 	})
-	res := w.Run()
+	res := w.RunContext(ctx)
 	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
 	if res.Reason != pop.ReasonHalted {
-		return out
+		return out, res.Reason
 	}
 	l, ok := w.FindState(func(s UBState) bool { return s.IsLeader })
 	if !ok {
-		return out
+		return out, res.Reason
 	}
 	out.R0 = l.L.R0
 	out.Estimate = float64(l.L.R0) / float64(n)
 	out.Success = 2*l.L.R0 >= int64(n)
-	return out
+	return out, res.Reason
 }

@@ -1,0 +1,323 @@
+// Package job is the unified run layer of the reproduction: one registry
+// of protocol Specs, one typed Job describing a single execution
+// (protocol name, typed parameters, seed, engine choice, budget), one
+// Result envelope with stable JSON marshaling, and one context-aware entry
+// point — Run(ctx, Job) — shared by the shapesol facade, cmd/shapesim,
+// cmd/experiments, the examples and the parallel trial runner
+// (internal/runner.RunMany).
+//
+// Every construction of the paper registers a Spec in the Default
+// registry: the Section 4 stabilizing tables, the Section 5 counting
+// protocols (Theorems 1-3 and the Conjecture 1 evidence harness), the
+// Section 6 terminating constructions (Lemmas 1-2, Theorems 4-5) and the
+// Section 7 self-replication. A Spec names the engines that can execute
+// the protocol — the exact pair scheduler (internal/pop), the
+// urn-compressed scheduler (internal/pop/urn) and the geometric simulator
+// (internal/sim) — and carries the per-protocol default step budgets that
+// used to be hardcoded in the facade.
+//
+// Cancellation: the context handed to Run is threaded into the engines'
+// step loops and observed on their CheckEvery cadence, so canceling it
+// stops any run — including an n = 10^6 urn run that is simulating
+// trillions of scheduler steps — promptly, with Result.Reason ==
+// ReasonCanceled. The engines' per-step hot paths stay allocation-free.
+package job
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"shapesol/internal/grid"
+)
+
+// Engine selects the execution engine of a Job.
+type Engine string
+
+// The three engines. Not every protocol supports every engine: geometric
+// constructions need sim, the counting protocols of Section 5 run on pop
+// (and, for value-state protocols, on urn).
+const (
+	// EngineSim is the geometric simulation engine (internal/sim).
+	EngineSim Engine = "sim"
+	// EnginePop is the exact uniform pair scheduler (internal/pop).
+	EnginePop Engine = "pop"
+	// EngineUrn is the urn-compressed scheduler with ineffective-step
+	// skipping (internal/pop/urn).
+	EngineUrn Engine = "urn"
+)
+
+// ReasonCanceled is the Result.Reason reported when the Job's context was
+// canceled before the protocol reached a terminal condition. The other
+// reasons are the engines' stop-reason strings ("halted", "max-steps",
+// "predicate", ...).
+const ReasonCanceled = "canceled"
+
+// Params is the typed parameter set of a Job. Which fields a protocol
+// reads — and their defaults — is declared by its Spec's Params schema;
+// Run rejects a Job that sets a field its protocol does not take. A zero
+// field means "use the spec default" — there is deliberately no way to
+// pass an explicit zero for a defaulted parameter (no protocol here has a
+// meaningful zero: sizes and side lengths must be positive, and the
+// counting head start is clamped to >= 1 by the protocol itself).
+type Params struct {
+	// N is the population size.
+	N int `json:"n,omitempty"`
+	// B is the head start (counting protocols) or window length.
+	B int `json:"b,omitempty"`
+	// D is the square side length.
+	D int `json:"d,omitempty"`
+	// K is the memory-column height of the parallel 3D constructor.
+	K int `json:"k,omitempty"`
+	// Free is the number of free nodes added to a seeded configuration.
+	Free int `json:"free,omitempty"`
+	// Lang names a shape language (Definition 3).
+	Lang string `json:"lang,omitempty"`
+	// Table names a Section 4 stabilizing rule table.
+	Table string `json:"table,omitempty"`
+	// Shape is the replication target. It is carried by reference and not
+	// part of the JSON form.
+	Shape *grid.Shape `json:"-"`
+}
+
+// intField and strField give schema-driven access to the named fields.
+func (p *Params) intField(name string) *int {
+	switch name {
+	case "n":
+		return &p.N
+	case "b":
+		return &p.B
+	case "d":
+		return &p.D
+	case "k":
+		return &p.K
+	case "free":
+		return &p.Free
+	}
+	return nil
+}
+
+func (p *Params) strField(name string) *string {
+	switch name {
+	case "lang":
+		return &p.Lang
+	case "table":
+		return &p.Table
+	}
+	return nil
+}
+
+// intFieldNames and strFieldNames enumerate every settable Params field,
+// so that normalization can reject fields outside a Spec's schema.
+var (
+	intFieldNames = []string{"n", "b", "d", "k", "free"}
+	strFieldNames = []string{"lang", "table"}
+)
+
+// Field declares one parameter of a Spec: its Params field name, whether
+// it must be set, the default applied when it is zero, and the minimum a
+// set int field must reach. A Field named "shape" refers to Params.Shape
+// (required-only; no default or minimum).
+type Field struct {
+	Name     string
+	Usage    string
+	Required bool
+	// Default fills a zero int field; DefaultStr a zero string field.
+	Default    int
+	DefaultStr string
+	// Min rejects a non-zero int value below it (zero still means "use
+	// the default"), so out-of-range jobs fail validation instead of
+	// panicking inside an engine.
+	Min int
+}
+
+// Job describes one protocol execution.
+type Job struct {
+	// Protocol is the Spec name (see Registry.Names).
+	Protocol string `json:"protocol"`
+	// Params carries the typed protocol parameters.
+	Params Params `json:"params"`
+	// Seed seeds the engine's scheduler RNG.
+	Seed int64 `json:"seed"`
+	// Engine selects the execution engine; empty means the Spec's default
+	// (its first supported engine).
+	Engine Engine `json:"engine,omitempty"`
+	// MaxSteps overrides the Spec's default step budget when positive.
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Progress, when non-nil, is invoked on the engine's CheckEvery
+	// cadence with the current step count. It must not mutate the run.
+	Progress func(steps int64) `json:"-"`
+}
+
+// Outcome is what a Spec's runner reports back to Run: the envelope
+// measurements plus the protocol-specific payload.
+type Outcome struct {
+	Steps  int64
+	Halted bool   // the protocol reached its terminal condition
+	Reason string // engine stop reason ("halted", "max-steps", "canceled", ...)
+	// Payload is the protocol's own outcome struct (e.g.
+	// counting.UpperBoundOutcome); it must marshal to JSON.
+	Payload any
+}
+
+// Result is the common envelope of one executed Job.
+type Result struct {
+	Protocol string `json:"protocol"`
+	Engine   Engine `json:"engine"`
+	Seed     int64  `json:"seed"`
+	Halted   bool   `json:"halted"`
+	Reason   string `json:"reason"`
+	Steps    int64  `json:"steps"`
+	// WallTime is the measured execution time. It is the one
+	// non-deterministic envelope field; consumers that need reproducible
+	// bytes (golden files, aggregate tables) zero or drop it.
+	WallTime time.Duration `json:"wall_ns"`
+	// Payload is the protocol-specific outcome. It round-trips through
+	// JSON as a generic object.
+	Payload any `json:"payload,omitempty"`
+}
+
+// Spec describes one registered protocol.
+type Spec struct {
+	// Name is the registry key, kebab-case (e.g. "counting-upper-bound").
+	Name string
+	// Title is a one-line description.
+	Title string
+	// Paper names the claim the protocol implements (e.g. "Theorem 1").
+	Paper string
+	// Engines lists the supported engines; Engines[0] is the default.
+	Engines []Engine
+	// Budget is the default MaxSteps; Budgets overrides it per engine.
+	Budget  int64
+	Budgets map[Engine]int64
+	// Params is the parameter schema.
+	Params []Field
+	// Run executes the protocol. It receives the normalized Job (engine
+	// resolved, budget and parameter defaults applied).
+	Run func(ctx context.Context, j Job) (Outcome, error)
+}
+
+// Supports reports whether the spec can execute on engine e.
+func (s *Spec) Supports(e Engine) bool {
+	for _, have := range s.Engines {
+		if have == e {
+			return true
+		}
+	}
+	return false
+}
+
+// BudgetFor returns the default step budget on engine e.
+func (s *Spec) BudgetFor(e Engine) int64 {
+	if b, ok := s.Budgets[e]; ok {
+		return b
+	}
+	return s.Budget
+}
+
+// normalize applies the spec's parameter defaults to p and validates it:
+// required fields must be set, fields outside the schema must not be.
+func (s *Spec) normalize(p *Params) error {
+	schema := make(map[string]Field, len(s.Params))
+	for _, f := range s.Params {
+		schema[f.Name] = f
+	}
+	for _, name := range intFieldNames {
+		v := p.intField(name)
+		f, ok := schema[name]
+		if !ok {
+			if *v != 0 {
+				return fmt.Errorf("job: protocol %q does not take parameter %q", s.Name, name)
+			}
+			continue
+		}
+		if *v == 0 {
+			*v = f.Default
+		}
+		if f.Required && *v == 0 {
+			return fmt.Errorf("job: protocol %q requires parameter %q", s.Name, name)
+		}
+		if *v != 0 && *v < f.Min {
+			return fmt.Errorf("job: protocol %q parameter %q = %d, want >= %d",
+				s.Name, name, *v, f.Min)
+		}
+	}
+	for _, name := range strFieldNames {
+		v := p.strField(name)
+		f, ok := schema[name]
+		if !ok {
+			if *v != "" {
+				return fmt.Errorf("job: protocol %q does not take parameter %q", s.Name, name)
+			}
+			continue
+		}
+		if *v == "" {
+			*v = f.DefaultStr
+		}
+		if f.Required && *v == "" {
+			return fmt.Errorf("job: protocol %q requires parameter %q", s.Name, name)
+		}
+	}
+	if f, ok := schema["shape"]; ok {
+		if f.Required && p.Shape == nil {
+			return fmt.Errorf("job: protocol %q requires parameter %q", s.Name, "shape")
+		}
+	} else if p.Shape != nil {
+		return fmt.Errorf("job: protocol %q does not take parameter %q", s.Name, "shape")
+	}
+	return nil
+}
+
+// Run executes j against the Default registry.
+func Run(ctx context.Context, j Job) (Result, error) {
+	return Default.Run(ctx, j)
+}
+
+// Run executes one Job: it resolves the Spec, selects the engine, applies
+// the default budget and parameter defaults, and wraps the protocol's
+// outcome in the Result envelope. A canceled context is reported through
+// Result.Reason == ReasonCanceled, not as an error; errors are reserved
+// for invalid jobs (unknown protocol or engine, bad parameters) and
+// configuration failures.
+func (r *Registry) Run(ctx context.Context, j Job) (Result, error) {
+	spec, ok := r.Get(j.Protocol)
+	if !ok {
+		return Result{}, fmt.Errorf("job: unknown protocol %q (have %s)",
+			j.Protocol, strings.Join(r.Names(), ", "))
+	}
+	if j.Engine == "" {
+		j.Engine = spec.Engines[0]
+	} else if !spec.Supports(j.Engine) {
+		return Result{}, fmt.Errorf("job: protocol %q does not run on engine %q (supported: %v)",
+			spec.Name, j.Engine, spec.Engines)
+	}
+	if j.MaxSteps < 0 {
+		return Result{}, fmt.Errorf("job: negative step budget %d", j.MaxSteps)
+	}
+	if j.MaxSteps == 0 {
+		j.MaxSteps = spec.BudgetFor(j.Engine)
+	}
+	if err := spec.normalize(&j.Params); err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	out, err := spec.Run(ctx, j)
+	res := Result{
+		Protocol: spec.Name,
+		Engine:   j.Engine,
+		Seed:     j.Seed,
+		Halted:   out.Halted,
+		Reason:   out.Reason,
+		Steps:    out.Steps,
+		WallTime: time.Since(start),
+		Payload:  out.Payload,
+	}
+	if err != nil {
+		return res, fmt.Errorf("job: %s: %w", spec.Name, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package job
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry maps protocol names to Specs. The zero value is not usable;
+// call NewRegistry. Registration happens at package-init time (or test
+// setup); lookups are read-only afterwards, so a Registry needs no lock as
+// long as that phase separation is respected.
+type Registry struct {
+	specs map[string]*Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]*Spec)}
+}
+
+// Default is the registry every construction of the paper registers into
+// at package init; Run (the package-level function) executes against it.
+var Default = NewRegistry()
+
+// Register installs a spec. It panics on a duplicate name, a missing
+// runner or an empty engine list — all programming errors of the
+// registration site, caught at init.
+func (r *Registry) Register(s Spec) {
+	switch {
+	case s.Name == "":
+		panic("job: Register: empty spec name")
+	case s.Run == nil:
+		panic(fmt.Sprintf("job: Register(%q): nil Run", s.Name))
+	case len(s.Engines) == 0:
+		panic(fmt.Sprintf("job: Register(%q): no engines", s.Name))
+	}
+	if _, dup := r.specs[s.Name]; dup {
+		panic(fmt.Sprintf("job: Register(%q): duplicate spec", s.Name))
+	}
+	r.specs[s.Name] = &s
+}
+
+// Get returns the spec registered under name.
+func (r *Registry) Get(name string) (*Spec, bool) {
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Names returns the registered protocol names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.specs))
+	for name := range r.specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Names returns the Default registry's protocol names in sorted order.
+func Names() []string { return Default.Names() }
+
+// Get returns a spec from the Default registry.
+func Get(name string) (*Spec, bool) { return Default.Get(name) }

@@ -1,0 +1,235 @@
+package job
+
+import (
+	"context"
+
+	"shapesol/internal/core"
+	"shapesol/internal/counting"
+	"shapesol/internal/pop"
+	"shapesol/internal/shapes"
+	"shapesol/internal/sim"
+)
+
+// This file registers every construction of the paper into the Default
+// registry: nine protocol specs — the Section 4 stabilizing tables
+// ("stabilize"), the Section 5 counting protocols (Theorems 1-3), the
+// Section 6 terminating constructions (Lemmas 1-2, Theorems 4-5) and the
+// Section 7 self-replication — plus the Conjecture 1 evidence harness
+// ("leaderless"). The per-protocol default budgets are the ones the
+// facade used to hardcode (100M for the counting protocols and the
+// stabilizing tables, 300M for Square-Knowing-n, 500M for the universal
+// constructor and replication); the urn engine's default is effectively
+// unbounded, since it skips ineffective steps in O(1).
+
+// popOutcome wraps a pop-engine protocol outcome in the envelope fields.
+func popOutcome(payload any, steps int64, reason pop.StopReason) Outcome {
+	return Outcome{
+		Steps:   steps,
+		Halted:  reason == pop.ReasonHalted,
+		Reason:  reason.String(),
+		Payload: payload,
+	}
+}
+
+// simOutcome wraps a sim-engine protocol outcome. halted is the
+// protocol's own terminal condition: ReasonHalted for halting-leader
+// protocols, ReasonPredicate for predicate-terminated ones.
+func simOutcome(payload any, steps int64, reason sim.StopReason, halted bool) Outcome {
+	return Outcome{Steps: steps, Halted: halted, Reason: reason.String(), Payload: payload}
+}
+
+func init() {
+	Default.Register(Spec{
+		Name:    "counting-upper-bound",
+		Title:   "Counting-Upper-Bound: terminating counting with a halting leader",
+		Paper:   "Theorem 1",
+		Engines: []Engine{EnginePop, EngineUrn},
+		Budget:  100_000_000,
+		Budgets: map[Engine]int64{EngineUrn: 1 << 62},
+		Params: []Field{
+			{Name: "n", Usage: "population size", Required: true, Min: 2},
+			{Name: "b", Usage: "leader head start", Default: 5, Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			if j.Engine == EngineUrn {
+				out, reason := counting.RunUpperBoundUrnCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
+				return popOutcome(out, out.Steps, reason), nil
+			}
+			out, reason := counting.RunUpperBoundCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
+			return popOutcome(out, out.Steps, reason), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "simple-uid",
+		Title:   "Simple UID counting: exact count w.h.p. in Theta(n^b) time",
+		Paper:   "Theorem 2",
+		Engines: []Engine{EnginePop},
+		Budget:  500_000_000,
+		Params: []Field{
+			{Name: "n", Usage: "population size", Required: true, Min: 2},
+			{Name: "b", Usage: "repeated-window length", Default: 2, Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			out, reason := counting.RunSimpleUIDCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
+			return popOutcome(out, out.Steps, reason), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "uid",
+		Title:   "UID counting (Protocol 3): unique ids, no leader",
+		Paper:   "Theorem 3",
+		Engines: []Engine{EnginePop},
+		Budget:  100_000_000,
+		Params: []Field{
+			{Name: "n", Usage: "population size", Required: true, Min: 2},
+			{Name: "b", Usage: "count1 threshold before second marks", Default: 4, Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			out, reason := counting.RunUIDCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
+			return popOutcome(out, out.Steps, reason), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "leaderless",
+		Title:   "Conjecture 1 evidence: observation-driven early termination",
+		Paper:   "Conjecture 1",
+		Engines: []Engine{EnginePop},
+		Budget:  100_000_000,
+		Params: []Field{
+			{Name: "n", Usage: "population size", Required: true, Min: 2},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			out, reason := counting.RunLeaderlessCtx(ctx, counting.TwoZerosProtocol(), j.Params.N, j.Seed, j.MaxSteps, j.Progress)
+			return popOutcome(out, out.Steps, reason), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "count-line",
+		Title:   "Counting-on-a-Line: the count assembled in binary on a self-built line",
+		Paper:   "Lemma 1",
+		Engines: []Engine{EngineSim},
+		Budget:  100_000_000,
+		Params: []Field{
+			{Name: "n", Usage: "population size", Required: true, Min: 2},
+			{Name: "b", Usage: "leader head start", Default: 3, Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			out, reason := core.RunCountLineCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "square-knowing-n",
+		Title:   "Square-Knowing-n: terminating d x d square from a leader that knows d",
+		Paper:   "Lemma 2",
+		Engines: []Engine{EngineSim},
+		Budget:  300_000_000,
+		Params: []Field{
+			{Name: "d", Usage: "square side length", Required: true, Min: 1},
+			{Name: "n", Usage: "population size (default d*d)", Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			n := j.Params.N
+			if n == 0 {
+				n = j.Params.D * j.Params.D
+			}
+			out, reason := core.RunSquareKnowingNCtx(ctx, n, j.Params.D, j.Seed, j.MaxSteps, j.Progress)
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "universal",
+		Title:   "Universal constructor: TM-decided pixels on the square, waste released",
+		Paper:   "Theorem 4",
+		Engines: []Engine{EngineSim},
+		Budget:  500_000_000,
+		Params: []Field{
+			{Name: "d", Usage: "square side length", Required: true, Min: 1},
+			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			lang, err := shapes.ByName(j.Params.Lang)
+			if err != nil {
+				return Outcome{}, err
+			}
+			out, reason, err := core.RunUniversalOnSquareCtx(ctx, lang, j.Params.D, j.Seed, j.MaxSteps, j.Progress)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "parallel-3d",
+		Title:   "Parallel constructor: per-pixel TM simulations on 3D memory columns",
+		Paper:   "Theorem 5",
+		Engines: []Engine{EngineSim},
+		Budget:  300_000_000,
+		Params: []Field{
+			{Name: "d", Usage: "square side length", Required: true, Min: 1},
+			{Name: "k", Usage: "memory column height", Default: 3, Min: 2},
+			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			lang, err := shapes.ByName(j.Params.Lang)
+			if err != nil {
+				return Outcome{}, err
+			}
+			out, reason, err := core.RunParallel3DCtx(ctx, lang, j.Params.D, j.Params.K, j.Seed, j.MaxSteps, j.Progress)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "replication",
+		Title:   "Shape self-replication: square, copy out, split, de-square",
+		Paper:   "Section 7",
+		Engines: []Engine{EngineSim},
+		Budget:  500_000_000,
+		Params: []Field{
+			{Name: "shape", Usage: "the shape to replicate", Required: true},
+			{Name: "free", Usage: "free nodes (default the paper's 2|R_G|-|G|)"},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			g := j.Params.Shape
+			free := j.Params.Free
+			if free == 0 {
+				free = 2*g.EnclosingRect().Size() - g.Size()
+			}
+			out, reason, err := core.RunReplicationCtx(ctx, g, free, j.Seed, j.MaxSteps, j.Progress)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
+		},
+	})
+
+	Default.Register(Spec{
+		Name:    "stabilize",
+		Title:   "Section 4 stabilizing tables: spanning line and squares",
+		Paper:   "Section 4",
+		Engines: []Engine{EngineSim},
+		Budget:  100_000_000,
+		Params: []Field{
+			{Name: "table", Usage: "rule table: line, square or square2", Required: true},
+			{Name: "n", Usage: "population size", Required: true, Min: 1},
+		},
+		Run: func(ctx context.Context, j Job) (Outcome, error) {
+			out, reason, err := core.RunStabilizeCtx(ctx, j.Params.Table, j.Params.N, j.Seed, j.MaxSteps, j.Progress)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
+		},
+	})
+}

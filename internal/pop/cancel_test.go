@@ -1,0 +1,55 @@
+package pop
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunContextCanceledAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := New(10, pairCounter{}, Options{Seed: 1, MaxSteps: 1 << 40})
+	res := w.RunContext(ctx)
+	if res.Reason != ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, ReasonCanceled)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("steps = %d, want 0 (no stepping under a canceled context)", res.Steps)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// pairCounter never halts, so without cancellation the run would only
+	// stop at the (absurd) MaxSteps budget. Cancel from the first Progress
+	// callback; the run must stop within one further CheckEvery window.
+	const checkEvery = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := New(10, pairCounter{}, Options{
+		Seed: 1, MaxSteps: 1 << 40, CheckEvery: checkEvery,
+		Progress: func(int64) { cancel() },
+	})
+	res := w.RunContext(ctx)
+	if res.Reason != ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, ReasonCanceled)
+	}
+	if res.Steps > 2*checkEvery {
+		t.Fatalf("steps = %d, want <= %d (cancel observed within one window)", res.Steps, 2*checkEvery)
+	}
+}
+
+func TestRunProgressCadence(t *testing.T) {
+	var calls []int64
+	w := New(4, halter{}, Options{
+		Seed: 1, MaxSteps: 10_000, CheckEvery: 100, StopWhenAllHalted: true,
+		Progress: func(steps int64) { calls = append(calls, steps) },
+	})
+	w.Run()
+	// halter halts everyone quickly; the run may stop before any window
+	// elapses, but any recorded call must land on the window boundary.
+	for _, s := range calls {
+		if s%100 != 0 {
+			t.Fatalf("progress at step %d, want multiples of 100", s)
+		}
+	}
+}

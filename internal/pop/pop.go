@@ -15,6 +15,7 @@
 package pop
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -37,11 +38,22 @@ type Options struct {
 	StopWhenAnyHalted bool
 	// StopWhenAllHalted stops Run when every agent halted.
 	StopWhenAllHalted bool
+	// CheckEvery is the cadence (in scheduler steps) of the RunContext
+	// cancellation check and the Progress callback. The urn engine applies
+	// the same cadence to effective interactions instead, since its skipped
+	// steps cost no work. Defaults to 256.
+	CheckEvery int64
+	// Progress, when non-nil, is invoked by Run every CheckEvery steps with
+	// the current (simulated) step count. It must not mutate the world.
+	Progress func(steps int64)
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 100_000_000
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 256
 	}
 	return o
 }
@@ -53,6 +65,7 @@ type StopReason int
 const (
 	ReasonMaxSteps StopReason = iota + 1
 	ReasonHalted
+	ReasonCanceled
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +75,8 @@ func (r StopReason) String() string {
 		return "max-steps"
 	case ReasonHalted:
 		return "halted"
+	case ReasonCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("StopReason(%d)", int(r))
 }
@@ -198,19 +213,44 @@ func (w *World[S]) stopped() bool {
 
 // Run executes steps until a stop condition fires. Stop conditions already
 // true at entry (for example a protocol whose initial configuration
-// contains a halted agent) return immediately without stepping.
+// contains a halted agent) return immediately without stepping. It is
+// RunContext under a background context.
 func (w *World[S]) Run() Result {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancelable context: cancellation (or deadline
+// expiry) is observed every Options.CheckEvery steps and stops the run
+// with ReasonCanceled. The per-step hot path is untouched and stays
+// allocation-free.
+func (w *World[S]) RunContext(ctx context.Context) Result {
 	reason := ReasonMaxSteps
-	if w.stopped() {
+	switch {
+	case ctx.Err() != nil:
+		reason = ReasonCanceled
+		return Result{Steps: w.steps, Effective: w.effective,
+			Reason: reason, FirstHalted: w.firstHalted}
+	case w.stopped():
 		reason = ReasonHalted
 		return Result{Steps: w.steps, Effective: w.effective,
 			Reason: reason, FirstHalted: w.firstHalted}
 	}
+	nextCheck := w.steps + w.opts.CheckEvery
 	for w.steps < w.opts.MaxSteps {
 		w.Step()
 		if w.stopped() {
 			reason = ReasonHalted
 			break
+		}
+		if w.steps >= nextCheck {
+			nextCheck = w.steps + w.opts.CheckEvery
+			if ctx.Err() != nil {
+				reason = ReasonCanceled
+				break
+			}
+			if w.opts.Progress != nil {
+				w.opts.Progress(w.steps)
+			}
 		}
 	}
 	return Result{

@@ -1,0 +1,43 @@
+package urn
+
+import (
+	"context"
+	"testing"
+
+	"shapesol/internal/pop"
+)
+
+func TestRunContextCanceledAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := New(100, colorProto{ones: 50}, pop.Options{Seed: 1, MaxSteps: 1 << 62})
+	res := w.RunContext(ctx)
+	if res.Reason != pop.ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, pop.ReasonCanceled)
+	}
+	if res.Effective != 0 {
+		t.Fatalf("effective = %d, want 0 (no stepping under a canceled context)", res.Effective)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// colorProto never halts and always keeps responsive cross pairs, so
+	// only the (absurd) budget or the context can stop the run. Cancel from
+	// the first Progress callback; the run must stop within one further
+	// CheckEvery window of effective interactions.
+	const checkEvery = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := New(100, colorProto{ones: 50}, pop.Options{
+		Seed: 1, MaxSteps: 1 << 62, CheckEvery: checkEvery,
+		Progress: func(int64) { cancel() },
+	})
+	res := w.RunContext(ctx)
+	if res.Reason != pop.ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, pop.ReasonCanceled)
+	}
+	if res.Effective > 2*checkEvery {
+		t.Fatalf("effective = %d, want <= %d (cancel observed within one window)",
+			res.Effective, 2*checkEvery)
+	}
+}

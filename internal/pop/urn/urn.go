@@ -30,6 +30,7 @@
 package urn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,6 +104,9 @@ func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
 	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 100_000_000
+	}
+	if opts.CheckEvery == 0 {
+		opts.CheckEvery = 256
 	}
 	w := &World[S]{
 		n:          n,
@@ -397,8 +401,21 @@ func (w *World[S]) stopped() bool {
 // conditions already true at entry return immediately without stepping.
 // Skipped steps are all ineffective and cannot change any agent's halting
 // status, so checking stop conditions only after effective interactions is
-// exact.
+// exact. It is RunContext under a background context.
 func (w *World[S]) Run() Result {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancelable context. Cancellation is observed
+// every Options.CheckEvery *effective* interactions — skipped ineffective
+// runs cost no work, so the exact scheduler's step-count cadence would be
+// meaningless here — and stops the run with pop.ReasonCanceled. The
+// Progress callback fires on the same cadence with the simulated step
+// count.
+func (w *World[S]) RunContext(ctx context.Context) Result {
+	if ctx.Err() != nil {
+		return w.result(pop.ReasonCanceled)
+	}
 	if w.stopped() {
 		return w.result(pop.ReasonHalted)
 	}
@@ -408,6 +425,14 @@ func (w *World[S]) Run() Result {
 		}
 		if w.stopped() {
 			return w.result(pop.ReasonHalted)
+		}
+		if w.effective%w.opts.CheckEvery == 0 {
+			if ctx.Err() != nil {
+				return w.result(pop.ReasonCanceled)
+			}
+			if w.opts.Progress != nil {
+				w.opts.Progress(w.steps)
+			}
 		}
 	}
 	return w.result(pop.ReasonMaxSteps)

@@ -11,11 +11,13 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"shapesol/internal/job"
 	"shapesol/internal/stats"
 )
 
@@ -71,6 +73,37 @@ func Map[T any](workers int, seeds []int64, fn func(seed int64) T) []T {
 	}
 	wg.Wait()
 	return out
+}
+
+// RunMany executes the same Job once per seed across the worker pool and
+// returns the Result envelopes in seed order. Every run shares ctx:
+// canceling it makes the in-flight and remaining runs return promptly
+// with Reason == job.ReasonCanceled (not an error). The returned error is
+// the first per-seed error in seed order — job errors are deterministic
+// properties of the Job (unknown protocol, bad params, invalid
+// configuration), so one seed failing means they all do. A non-nil
+// j.Progress is shared by every run and must therefore be safe for
+// concurrent use when workers > 1.
+func RunMany(ctx context.Context, workers int, j job.Job, seeds []int64) ([]job.Result, error) {
+	type runOut struct {
+		res job.Result
+		err error
+	}
+	outs := Map(workers, seeds, func(seed int64) runOut {
+		jj := j
+		jj.Seed = seed
+		res, err := job.Run(ctx, jj)
+		return runOut{res: res, err: err}
+	})
+	results := make([]job.Result, len(outs))
+	var firstErr error
+	for i, o := range outs {
+		results[i] = o.res
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	return results, firstErr
 }
 
 // Trial is one measured execution of a protocol under one scheduler seed.
@@ -154,10 +187,4 @@ func keyUnion[V any](trials []Trial, get func(Trial) map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-// Collect is the common fan-out-then-fold pipeline: run one trial per seed
-// across the pool and summarize the ordered results.
-func Collect(workers int, seeds []int64, fn func(seed int64) Trial) Aggregate {
-	return Summarize(Run(workers, seeds, fn))
 }

@@ -1,13 +1,16 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"shapesol/internal/counting"
+	"shapesol/internal/job"
 )
 
 func TestSeeds(t *testing.T) {
@@ -54,7 +57,7 @@ func TestSummarizeDeterministicAcrossWorkerCounts(t *testing.T) {
 	seeds := Seeds(1, 97) // odd count to leave a ragged tail per worker
 	var want []byte
 	for _, workers := range []int{1, 2, 3, 8, 32} {
-		agg := Collect(workers, seeds, fakeTrial)
+		agg := Summarize(Run(workers, seeds, fakeTrial))
 		got, err := json.Marshal(agg)
 		if err != nil {
 			t.Fatal(err)
@@ -83,8 +86,8 @@ func TestRealWorkloadDeterministic(t *testing.T) {
 		}
 	}
 	seeds := Seeds(0, 20)
-	serial := Collect(1, seeds, run)
-	parallel := Collect(8, seeds, run)
+	serial := Summarize(Run(1, seeds, run))
+	parallel := Summarize(Run(8, seeds, run))
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("aggregates differ:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
@@ -112,6 +115,56 @@ func TestSummarizeRatesAndMeans(t *testing.T) {
 	// recorded it, not diluted by the others.
 	if agg.Means["y"] != 8 {
 		t.Fatalf("mean y = %v, want 8", agg.Means["y"])
+	}
+}
+
+// TestRunManySeedOrderAndDeterminism fans one Job across the pool: the
+// envelopes must come back in seed order with the job's seed overridden
+// per trial, and (wall time aside) be identical at any worker count.
+func TestRunManySeedOrderAndDeterminism(t *testing.T) {
+	j := job.Job{Protocol: "counting-upper-bound", Params: job.Params{N: 50, B: 4}}
+	seeds := Seeds(0, 9)
+	var want []job.Result
+	for _, workers := range []int{1, 4, 16} {
+		got, err := RunMany(context.Background(), workers, j, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			got[i].WallTime = 0 // the one legitimately varying field
+			if got[i].Seed != seeds[i] {
+				t.Fatalf("workers=%d slot %d: seed %d, want %d", workers, i, got[i].Seed, seeds[i])
+			}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from serial run", workers)
+		}
+	}
+}
+
+func TestRunManyPropagatesJobErrors(t *testing.T) {
+	_, err := RunMany(context.Background(), 4, job.Job{Protocol: "nope"}, Seeds(0, 3))
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v, want unknown-protocol error", err)
+	}
+}
+
+func TestRunManyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunMany(ctx, 4,
+		job.Job{Protocol: "counting-upper-bound", Params: job.Params{N: 100}}, Seeds(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Reason != job.ReasonCanceled {
+			t.Fatalf("slot %d: reason %q, want %q", i, res.Reason, job.ReasonCanceled)
+		}
 	}
 }
 

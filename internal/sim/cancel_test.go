@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunContextCanceledAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := New(8, inertProtocol{}, Options{Seed: 1, MaxSteps: 1 << 40})
+	res := w.RunContext(ctx)
+	if res.Reason != ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, ReasonCanceled)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("steps = %d, want 0 (no stepping under a canceled context)", res.Steps)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// inertProtocol never halts and never changes the configuration, so
+	// only the budget or the context can stop the run. Cancel from the
+	// first Progress callback; the run must stop within one further
+	// CheckEvery window.
+	const checkEvery = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := New(8, inertProtocol{}, Options{
+		Seed: 1, MaxSteps: 1 << 40, CheckEvery: checkEvery,
+		Progress: func(int64) { cancel() },
+	})
+	res := w.RunContext(ctx)
+	if res.Reason != ReasonCanceled {
+		t.Fatalf("reason = %v, want %v", res.Reason, ReasonCanceled)
+	}
+	if res.Steps > 2*checkEvery {
+		t.Fatalf("steps = %d, want <= %d (cancel observed within one window)", res.Steps, 2*checkEvery)
+	}
+}

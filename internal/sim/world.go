@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -70,9 +71,13 @@ type Options struct {
 	// ineffective interactions (a stabilization heuristic for the paper's
 	// stabilizing-but-not-terminating protocols).
 	MaxIneffective int64
-	// CheckEvery is the evaluation period of the SetHaltWhen predicate.
-	// Defaults to 256.
+	// CheckEvery is the evaluation period of the SetHaltWhen predicate, the
+	// RunContext cancellation check and the Progress callback. Defaults to
+	// 256.
 	CheckEvery int64
+	// Progress, when non-nil, is invoked by Run every CheckEvery steps with
+	// the current step count. It must not mutate the world.
+	Progress func(steps int64)
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +104,7 @@ const (
 	ReasonNoInteraction
 	ReasonIneffective
 	ReasonPredicate
+	ReasonCanceled
 )
 
 // String implements fmt.Stringer.
@@ -114,6 +120,8 @@ func (r StopReason) String() string {
 		return "ineffective-window"
 	case ReasonPredicate:
 		return "predicate"
+	case ReasonCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("StopReason(%d)", int(r))
 }
@@ -445,10 +453,23 @@ func (w *World[S]) CountStates(key func(S) string) map[string]int {
 
 // Run executes scheduler steps until a stop condition fires. Stop
 // conditions already true at entry (for example a protocol whose initial
-// configuration is terminal) return immediately.
+// configuration is terminal) return immediately. It is RunContext under a
+// background context.
 func (w *World[S]) Run() Result {
+	return w.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancelable context: cancellation (or deadline
+// expiry) is observed on the Options.CheckEvery cadence — the same window
+// as the SetHaltWhen predicate — and stops the run with ReasonCanceled.
+// The per-step hot path is untouched and stays allocation-free.
+func (w *World[S]) RunContext(ctx context.Context) Result {
 	reason := ReasonMaxSteps
 	switch {
+	case ctx.Err() != nil:
+		reason = ReasonCanceled
+		return Result{Steps: w.steps, Effective: w.effective,
+			Merges: w.merges, Splits: w.splits, Reason: reason}
 	case w.opts.StopWhenAnyHalted && w.haltedCount > 0,
 		w.opts.StopWhenAllHalted && w.haltedCount == w.n:
 		reason = ReasonHalted
@@ -489,9 +510,18 @@ func (w *World[S]) Run() Result {
 			reason = ReasonHalted
 			break
 		}
-		if w.haltWhen != nil && w.steps%w.opts.CheckEvery == 0 && w.haltWhen(w) {
-			reason = ReasonPredicate
-			break
+		if w.steps%w.opts.CheckEvery == 0 {
+			if ctx.Err() != nil {
+				reason = ReasonCanceled
+				break
+			}
+			if w.opts.Progress != nil {
+				w.opts.Progress(w.steps)
+			}
+			if w.haltWhen != nil && w.haltWhen(w) {
+				reason = ReasonPredicate
+				break
+			}
 		}
 	}
 	return Result{
