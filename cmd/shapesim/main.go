@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -156,7 +157,7 @@ func run() int {
 // parseShape decodes a "x,y;x,y;..." cell list into a shape.
 func parseShape(s string) (*grid.Shape, error) {
 	if s == "" {
-		return nil, fmt.Errorf("-shape: empty cell list")
+		return nil, errors.New("-shape: empty cell list")
 	}
 	var cells []grid.Pos
 	for _, cell := range strings.Split(s, ";") {

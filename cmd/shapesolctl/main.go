@@ -1,0 +1,274 @@
+// Command shapesolctl is the client of the shapesold job service daemon:
+// submit a registry job, poll its status, fetch the golden-pinned Result
+// envelope, stream progress, or cancel.
+//
+// Usage:
+//
+//	shapesolctl [-addr http://127.0.0.1:8080] <command> [flags]
+//
+//	shapesolctl submit -protocol counting-upper-bound -engine urn -n 1000000
+//	shapesolctl submit -job '{"protocol": "uid", "params": {"n": 30}, "seed": 1}'
+//	shapesolctl status j1
+//	shapesolctl result [-zero-wall] j1
+//	shapesolctl watch j1
+//	shapesolctl cancel j1
+//	shapesolctl list
+//	shapesolctl protocols
+//
+// submit prints the created job's Status JSON (-id-only prints just the
+// id, for scripts); watch streams the NDJSON frames through to stdout
+// and exits 0 only if the job finished as done. result serves the bare
+// Result envelope byte-identically to the daemon; -zero-wall rewrites
+// the one non-deterministic field (wall_ns) to 0 so the output can be
+// diffed against the internal/job golden files.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+
+	"shapesol/internal/job"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr,
+		"usage: shapesolctl [-addr URL] submit|status|result|watch|cancel|list|protocols [flags] [id]")
+	return 2
+}
+
+func run(args []string) int {
+	global := flag.NewFlagSet("shapesolctl", flag.ContinueOnError)
+	addr := global.String("addr", envOr("SHAPESOLD_ADDR", "http://127.0.0.1:8080"),
+		"daemon base URL (also $SHAPESOLD_ADDR)")
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return usage()
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "status":
+		return c.oneID(rest, func(id string) (int, []byte, error) {
+			return c.get("/v1/jobs/" + id)
+		})
+	case "result":
+		return c.result(rest)
+	case "watch":
+		return c.watch(rest)
+	case "cancel":
+		return c.oneID(rest, func(id string) (int, []byte, error) {
+			return c.do("DELETE", "/v1/jobs/"+id, nil)
+		})
+	case "list":
+		return c.plain("/v1/jobs")
+	case "protocols":
+		return c.plain("/v1/protocols")
+	default:
+		return usage()
+	}
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+type client struct {
+	base string
+}
+
+func (c *client) do(method, path string, body io.Reader) (int, []byte, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+func (c *client) get(path string) (int, []byte, error) {
+	return c.do("GET", path, nil)
+}
+
+// report prints the response body and maps the HTTP code to an exit
+// code: 2xx is success, everything else (including transport errors)
+// fails with the server's error JSON on stderr.
+func report(code int, body []byte, err error) int {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		return 1
+	}
+	if code >= 300 {
+		fmt.Fprintf(os.Stderr, "shapesolctl: HTTP %d: %s", code, body)
+		return 1
+	}
+	os.Stdout.Write(body)
+	return 0
+}
+
+func (c *client) plain(path string) int {
+	code, body, err := c.get(path)
+	return report(code, body, err)
+}
+
+// oneID runs a request that takes exactly one job-id argument.
+func (c *client) oneID(args []string, fn func(id string) (int, []byte, error)) int {
+	if len(args) != 1 {
+		return usage()
+	}
+	code, body, err := fn(args[0])
+	return report(code, body, err)
+}
+
+func (c *client) submit(args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var (
+		raw      = fs.String("job", "", "raw Job JSON (overrides the field flags)")
+		protocol = fs.String("protocol", "", "protocol spec name (see shapesolctl protocols)")
+		engine   = fs.String("engine", "", "engine override: sim, pop or urn")
+		budget   = fs.Int64("budget", 0, "step budget override")
+		seed     = fs.Int64("seed", 1, "scheduler seed")
+		n        = fs.Int("n", 0, "population size")
+		b        = fs.Int("b", 0, "head start / window length")
+		d        = fs.Int("d", 0, "square side length")
+		k        = fs.Int("k", 0, "memory column height")
+		free     = fs.Int("free", 0, "free nodes")
+		lang     = fs.String("lang", "", "shape language")
+		table    = fs.String("table", "", "stabilizing rule table")
+		idOnly   = fs.Bool("id-only", false, "print just the job id")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var body []byte
+	if *raw != "" {
+		body = []byte(*raw)
+	} else {
+		if *protocol == "" {
+			fmt.Fprintln(os.Stderr, "shapesolctl: submit needs -protocol or -job")
+			return 2
+		}
+		j := job.Job{
+			Protocol: *protocol,
+			Engine:   job.Engine(*engine),
+			MaxSteps: *budget,
+			Seed:     *seed,
+			Params: job.Params{
+				N: *n, B: *b, D: *d, K: *k, Free: *free, Lang: *lang, Table: *table,
+			},
+		}
+		var err error
+		if body, err = json.Marshal(j); err != nil {
+			fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+			return 1
+		}
+	}
+	code, resp, err := c.do("POST", "/v1/jobs", bytes.NewReader(body))
+	if err != nil || code >= 300 {
+		return report(code, resp, err)
+	}
+	if *idOnly {
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(resp, &st); err != nil {
+			fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+			return 1
+		}
+		fmt.Println(st.ID)
+		return 0
+	}
+	os.Stdout.Write(resp)
+	return 0
+}
+
+var wallRe = regexp.MustCompile(`"wall_ns": \d+`)
+
+func (c *client) result(args []string) int {
+	fs := flag.NewFlagSet("result", flag.ContinueOnError)
+	zeroWall := fs.Bool("zero-wall", false,
+		"rewrite wall_ns to 0 (diffable against the golden envelopes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	code, body, err := c.get("/v1/jobs/" + fs.Arg(0) + "/result")
+	if err != nil || code >= 300 {
+		return report(code, body, err)
+	}
+	if *zeroWall {
+		body = wallRe.ReplaceAll(body, []byte(`"wall_ns": 0`))
+	}
+	os.Stdout.Write(body)
+	return 0
+}
+
+// watch streams the job's NDJSON frames to stdout. Exit 0 only when the
+// final frame reports state "done".
+func (c *client) watch(args []string) int {
+	if len(args) != 1 {
+		return usage()
+	}
+	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "shapesolctl: HTTP %d: %s", resp.StatusCode, body)
+		return 1
+	}
+	var finalState string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		var f struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &f); err == nil && f.Type == "result" {
+			finalState = f.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		return 1
+	}
+	if finalState != "done" {
+		fmt.Fprintf(os.Stderr, "shapesolctl: job finished %q\n", finalState)
+		return 1
+	}
+	return 0
+}

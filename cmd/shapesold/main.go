@@ -1,0 +1,85 @@
+// Command shapesold is the job service daemon: it fronts the
+// internal/job registry over HTTP (see internal/server for the API),
+// executing submissions on a bounded worker pool with an LRU result
+// cache for repeated deterministic jobs.
+//
+// Usage:
+//
+//	shapesold [-addr :8080] [-workers 0] [-queue 64] [-cache 256]
+//
+// -workers 0 means one worker per core. SIGINT/SIGTERM drain
+// gracefully: new and queued submissions are rejected, in-flight jobs
+// are canceled through their contexts (their Results carry Reason ==
+// "canceled"), and the process exits once every job has settled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"shapesol/internal/job"
+	"shapesol/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = one per core)")
+		queue   = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		cache   = flag.Int("cache", 256, "result cache capacity (-1 disables)")
+		maxJobs = flag.Int("max-jobs", 4096, "retained job records (oldest settled evicted beyond it)")
+		timeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Workers:   *workers,
+		Queue:     *queue,
+		CacheSize: *cache,
+		MaxJobs:   *maxJobs,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("shapesold: serving %d protocols on %s", len(job.Names()), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "shapesold:", err)
+		return 1
+	case sig := <-sigc:
+		log.Printf("shapesold: %v, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	// Settle the jobs first: draining flips immediately (new submissions
+	// get 503), in-flight jobs cancel and their event streams close —
+	// which is what lets the HTTP server then drain its connections.
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("shapesold: drain: %v", err)
+		return 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shapesold: http shutdown: %v", err)
+	}
+	log.Printf("shapesold: drained")
+	return 0
+}

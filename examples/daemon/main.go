@@ -1,0 +1,104 @@
+// Daemon example: the job service end to end, in one process. It starts
+// the internal/server HTTP service on a loopback listener, then plays
+// the client side the way shapesolctl does over the wire: submit a
+// Theorem 1 counting job on the urn engine, stream its NDJSON progress
+// frames, fetch the typed Result envelope — and then submit the
+// identical job again to watch the LRU result cache answer it without
+// re-simulation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"shapesol/internal/server"
+)
+
+func main() {
+	svc := server.New(server.Config{Workers: 2, FrameInterval: 50 * time.Millisecond})
+	defer svc.Shutdown(context.Background())
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+	fmt.Printf("shapesold serving on %s\n\n", srv.URL)
+
+	jobJSON := `{"protocol": "counting-upper-bound", "engine": "urn", "params": {"n": 1000000}, "seed": 1}`
+
+	// Submit: 202 Accepted with the job's id.
+	id, code := submit(srv.URL, jobJSON)
+	fmt.Printf("POST /v1/jobs -> %d, id %s\n", code, id)
+
+	// Stream: progress frames on the engines' cadence, then the result.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frames := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f struct {
+			Type  string `json:"type"`
+			Steps int64  `json:"steps"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			log.Fatal(err)
+		}
+		if f.Type == "progress" {
+			frames++
+			continue
+		}
+		fmt.Printf("watched %d progress frames; job %s after %d simulated steps\n",
+			frames, f.State, f.Steps)
+	}
+	resp.Body.Close()
+
+	// The typed envelope (the same golden-pinned JSON form job.Run
+	// returns).
+	var status server.Status
+	getJSON(srv.URL+"/v1/jobs/"+id, &status)
+	fmt.Printf("result: halted=%v reason=%s steps=%d wall=%s\n\n",
+		status.Result.Halted, status.Result.Reason, status.Result.Steps, status.Result.WallTime)
+
+	// Resubmit the identical job: the canonical cache key matches, so the
+	// daemon answers complete (200, cached) without re-running ~10^13
+	// scheduler steps.
+	start := time.Now()
+	id2, code := submit(srv.URL, jobJSON)
+	var cached server.Status
+	getJSON(srv.URL+"/v1/jobs/"+id2, &cached)
+	fmt.Printf("identical resubmit -> %d, id %s: state=%s cached=%v in %s\n",
+		code, id2, cached.State, cached.Cached, time.Since(start).Round(time.Microsecond))
+}
+
+func submit(base, jobJSON string) (id string, code int) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		bytes.NewReader([]byte(jobJSON)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st.ID, resp.StatusCode
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -274,6 +274,71 @@ func Run(ctx context.Context, j Job) (Result, error) {
 	return Default.Run(ctx, j)
 }
 
+// Normalize resolves j against the registry without executing it: it
+// checks the protocol name, selects the engine (the Spec's default when
+// empty), applies the default step budget and the Spec's parameter
+// defaults, and validates the parameters against the Spec's schema. The
+// returned Job is fully resolved — two Jobs that normalize to the same
+// value describe the same deterministic execution, which is what
+// CacheKey captures. Errors are validation errors: unknown protocol,
+// unsupported engine, negative budget, or parameters outside the schema.
+func (r *Registry) Normalize(j Job) (Job, *Spec, error) {
+	spec, ok := r.Get(j.Protocol)
+	if !ok {
+		return j, nil, fmt.Errorf("job: unknown protocol %q (have %s)",
+			j.Protocol, strings.Join(r.Names(), ", "))
+	}
+	if j.Engine == "" {
+		j.Engine = spec.Engines[0]
+	} else if !spec.Supports(j.Engine) {
+		return j, nil, fmt.Errorf("job: protocol %q does not run on engine %q (supported: %v)",
+			spec.Name, j.Engine, spec.Engines)
+	}
+	if j.MaxSteps < 0 {
+		return j, nil, fmt.Errorf("job: negative step budget %d", j.MaxSteps)
+	}
+	if j.MaxSteps == 0 {
+		j.MaxSteps = spec.BudgetFor(j.Engine)
+	}
+	if err := spec.normalize(&j.Params); err != nil {
+		return j, nil, err
+	}
+	return j, spec, nil
+}
+
+// Normalize resolves j against the Default registry.
+func Normalize(j Job) (Job, *Spec, error) {
+	return Default.Normalize(j)
+}
+
+// CacheKey returns the canonical identity of a normalized Job: every
+// field that determines the deterministic outcome of the run — protocol,
+// engine, seed, step budget and the full parameter set (including the
+// cells of a by-reference Shape) — folded into one string. Two Jobs with
+// equal keys produce byte-identical Result envelopes up to WallTime, so
+// the key is safe to use for result caching and deduplication. Call it on
+// the Job returned by Normalize: pre-normalization Jobs may differ only
+// in fields a default would fill in.
+func (j Job) CacheKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|seed=%d|budget=%d|n=%d|b=%d|d=%d|k=%d|free=%d|lang=%s|table=%s",
+		j.Protocol, j.Engine, j.Seed, j.MaxSteps,
+		j.Params.N, j.Params.B, j.Params.D, j.Params.K, j.Params.Free,
+		j.Params.Lang, j.Params.Table)
+	if j.Params.Shape != nil {
+		sb.WriteString("|shape=")
+		// Cells() is already in deterministic lexicographic order, so
+		// equal cell sets render equal key fragments.
+		for i, c := range j.Params.Shape.Cells() {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, "%d,%d,%d", c.X, c.Y, c.Z)
+		}
+	}
+	return sb.String()
+}
+
 // Run executes one Job: it resolves the Spec, selects the engine, applies
 // the default budget and parameter defaults, and wraps the protocol's
 // outcome in the Result envelope. A canceled context is reported through
@@ -281,26 +346,17 @@ func Run(ctx context.Context, j Job) (Result, error) {
 // for invalid jobs (unknown protocol or engine, bad parameters) and
 // configuration failures.
 func (r *Registry) Run(ctx context.Context, j Job) (Result, error) {
-	spec, ok := r.Get(j.Protocol)
-	if !ok {
-		return Result{}, fmt.Errorf("job: unknown protocol %q (have %s)",
-			j.Protocol, strings.Join(r.Names(), ", "))
-	}
-	if j.Engine == "" {
-		j.Engine = spec.Engines[0]
-	} else if !spec.Supports(j.Engine) {
-		return Result{}, fmt.Errorf("job: protocol %q does not run on engine %q (supported: %v)",
-			spec.Name, j.Engine, spec.Engines)
-	}
-	if j.MaxSteps < 0 {
-		return Result{}, fmt.Errorf("job: negative step budget %d", j.MaxSteps)
-	}
-	if j.MaxSteps == 0 {
-		j.MaxSteps = spec.BudgetFor(j.Engine)
-	}
-	if err := spec.normalize(&j.Params); err != nil {
+	j, spec, err := r.Normalize(j)
+	if err != nil {
 		return Result{}, err
 	}
+	return RunNormalized(ctx, j, spec)
+}
+
+// RunNormalized executes a Job that Normalize already resolved against
+// its Spec, skipping re-validation — the path for callers (the job
+// service's workers) that normalized at admission time.
+func RunNormalized(ctx context.Context, j Job, spec *Spec) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -209,6 +209,98 @@ func TestRunCancelStopsUrnAtScale(t *testing.T) {
 	}
 }
 
+func TestNormalizeResolvesDefaults(t *testing.T) {
+	j, spec, err := Normalize(Job{Protocol: "counting-upper-bound", Params: Params{N: 60}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec == nil || spec.Name != "counting-upper-bound" {
+		t.Fatalf("spec = %v, want counting-upper-bound", spec)
+	}
+	if j.Engine != EnginePop {
+		t.Fatalf("engine = %q, want the spec default %q", j.Engine, EnginePop)
+	}
+	if j.MaxSteps != 100_000_000 {
+		t.Fatalf("budget = %d, want the spec default 100M", j.MaxSteps)
+	}
+	if j.Params.B != 5 {
+		t.Fatalf("b = %d, want the spec default 5", j.Params.B)
+	}
+}
+
+func TestNormalizeRejectsWithoutRunning(t *testing.T) {
+	for name, j := range map[string]Job{
+		"unknown protocol": {Protocol: "nope"},
+		"bad engine":       {Protocol: "count-line", Engine: EngineUrn, Params: Params{N: 8}},
+		"missing n":        {Protocol: "counting-upper-bound"},
+		"extraneous d":     {Protocol: "counting-upper-bound", Params: Params{N: 60, D: 3}},
+		"negative budget":  {Protocol: "counting-upper-bound", Params: Params{N: 60}, MaxSteps: -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := Normalize(j); err == nil {
+				t.Fatal("Normalize accepted an invalid job")
+			}
+		})
+	}
+}
+
+// TestCacheKeyIdentity pins the contract the server's result cache relies
+// on: two submissions that normalize to the same execution share a key,
+// and every outcome-determining field separates keys.
+func TestCacheKeyIdentity(t *testing.T) {
+	norm := func(j Job) Job {
+		t.Helper()
+		nj, _, err := Normalize(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nj
+	}
+	base := Job{Protocol: "counting-upper-bound", Params: Params{N: 60}, Seed: 1}
+	explicit := Job{Protocol: "counting-upper-bound", Engine: EnginePop,
+		Params: Params{N: 60, B: 5}, Seed: 1, MaxSteps: 100_000_000}
+	if norm(base).CacheKey() != norm(explicit).CacheKey() {
+		t.Fatal("defaulted and explicit forms of the same job have different keys")
+	}
+	for name, other := range map[string]Job{
+		"seed":     {Protocol: "counting-upper-bound", Params: Params{N: 60}, Seed: 2},
+		"n":        {Protocol: "counting-upper-bound", Params: Params{N: 61}, Seed: 1},
+		"b":        {Protocol: "counting-upper-bound", Params: Params{N: 60, B: 6}, Seed: 1},
+		"engine":   {Protocol: "counting-upper-bound", Engine: EngineUrn, Params: Params{N: 60}, Seed: 1},
+		"budget":   {Protocol: "counting-upper-bound", Params: Params{N: 60}, Seed: 1, MaxSteps: 5000},
+		"protocol": {Protocol: "uid", Params: Params{N: 60}, Seed: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if norm(base).CacheKey() == norm(other).CacheKey() {
+				t.Fatalf("job differing in %s collides with the base key", name)
+			}
+		})
+	}
+}
+
+// TestCacheKeyShape checks that by-reference shapes participate in the
+// key: equal cell sets (in any insertion order) agree, different cell
+// sets differ.
+func TestCacheKeyShape(t *testing.T) {
+	mk := func(cells ...grid.Pos) Job {
+		j, _, err := Normalize(Job{Protocol: "replication",
+			Params: Params{Shape: grid.ShapeOf(cells...)}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a := mk(grid.Pos{}, grid.Pos{X: 1})
+	b := mk(grid.Pos{X: 1}, grid.Pos{})
+	c := mk(grid.Pos{}, grid.Pos{X: 1}, grid.Pos{X: 2})
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("cell insertion order changed the key")
+	}
+	if a.CacheKey() == c.CacheKey() {
+		t.Fatal("different shapes collide")
+	}
+}
+
 func TestRegistryRegisterValidation(t *testing.T) {
 	for name, spec := range map[string]Spec{
 		"empty name": {Run: func(context.Context, Job) (Outcome, error) { return Outcome{}, nil }, Engines: []Engine{EnginePop}},

@@ -12,10 +12,10 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"shapesol/internal/job"
 	"shapesol/internal/stats"
@@ -39,7 +39,97 @@ func Workers(requested int) int {
 	return requested
 }
 
-// Map runs fn once per seed on min(workers, len(seeds)) goroutines and
+// Pool errors. ErrQueueFull is the backpressure signal of TrySubmit — the
+// caller decides whether to block (Submit), retry, or reject upstream
+// (the job service answers it with 503).
+var (
+	ErrQueueFull  = errors.New("runner: queue full")
+	ErrPoolClosed = errors.New("runner: pool closed")
+)
+
+// Pool is a fixed set of workers draining a bounded task queue. It is the
+// executor behind Map/RunMany (batch: submit everything, Wait) and behind
+// the job service (streaming: TrySubmit with backpressure, Close to
+// drain). Tasks start in submission order; with more than one worker,
+// completion order is up to the scheduler, so tasks that need ordered
+// results must write into per-task slots the way Map does.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	// mu guards closed and fences submissions against close(tasks):
+	// submitters hold it shared (a blocked Submit parks on the channel
+	// send, not the lock, so TrySubmit stays non-blocking alongside it),
+	// Close takes it exclusively — by which point no send is in flight.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts workers goroutines (values < 1 mean "all cores") over a
+// task queue holding up to queue pending tasks beyond the ones being
+// executed. A zero queue makes submission rendezvous with a free worker.
+func NewPool(workers, queue int) *Pool {
+	workers = Workers(workers)
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues task without blocking. It returns ErrQueueFull when
+// the queue is at capacity and every worker is busy, and ErrPoolClosed
+// after Close.
+func (p *Pool) TrySubmit(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Submit enqueues task, blocking while the queue is full (concurrent
+// TrySubmits are not held up by it). It returns ErrPoolClosed after
+// Close; a Close racing a blocked Submit waits for the workers to free a
+// slot and accept the task first.
+func (p *Pool) Submit(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.tasks <- task
+	return nil
+}
+
+// Close stops accepting tasks and blocks until every queued and running
+// task has finished. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Map runs fn once per seed on min(workers, len(seeds)) pool workers and
 // returns the results in seed order. fn must be a pure function of its
 // seed (build the world, run it, return the measurement) so that the
 // result slice — and everything folded over it — is independent of worker
@@ -56,22 +146,14 @@ func Map[T any](workers int, seeds []int64, fn func(seed int64) T) []T {
 		}
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(seeds) {
-					return
-				}
-				out[i] = fn(seeds[i])
-			}
-		}()
+	pool := NewPool(workers, len(seeds))
+	for i, s := range seeds {
+		// The queue holds the whole batch, so submission cannot fail.
+		if err := pool.TrySubmit(func() { out[i] = fn(s) }); err != nil {
+			panic(err)
+		}
 	}
-	wg.Wait()
+	pool.Close()
 	return out
 }
 

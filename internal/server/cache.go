@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"shapesol/internal/job"
+)
+
+// Cache is a fixed-capacity LRU of Result envelopes keyed by the
+// canonical job identity (job.Job.CacheKey of the normalized job). Every
+// run here is a pure function of that identity — protocol, engine, seed,
+// budget, parameters — so a cached envelope is byte-identical (up to
+// WallTime, which the daemon reports as the original run's) to what
+// re-simulating would produce, and repeated submissions of a finished
+// deterministic job are answered without touching the worker pool.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheItem struct {
+	key string
+	res job.Result
+}
+
+// NewCache returns an LRU holding up to capacity results. A capacity
+// < 1 returns a disabled cache: Get always misses and Put is a no-op.
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		return &Cache{}
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached result under key, marking it most recently
+// used.
+func (c *Cache) Get(key string) (job.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		c.misses++
+		return job.Result{}, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return job.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry at
+// capacity. Re-putting an existing key refreshes its recency (the result
+// is deterministic, so the value cannot differ).
+func (c *Cache) Put(key string, res job.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,443 @@
+// Package server is the job service of the reproduction: an HTTP front
+// end over the internal/job registry that turns the one-shot Run API
+// into an asynchronous submit/poll/stream/cancel service. The paper's
+// protocols are long-running probabilistic computations (Theorem 1's
+// counting simulates ~10^13 scheduler steps at n = 10^6 on the urn
+// engine), which is exactly the workload shape that wants a daemon: a
+// client submits a Job, gets an id back immediately, and then polls the
+// typed Result envelope, streams NDJSON progress frames, or cancels —
+// all on the Job/Result/RunContext plumbing the engines already have.
+//
+//	POST   /v1/jobs             submit a Job (JSON), 202 + Status (200 on a cache hit)
+//	GET    /v1/jobs             list every submission's Status
+//	GET    /v1/jobs/{id}        one job's Status (Result once terminal)
+//	GET    /v1/jobs/{id}/result the bare Result envelope, golden-pinned bytes
+//	GET    /v1/jobs/{id}/events NDJSON progress frames, then one result frame
+//	DELETE /v1/jobs/{id}        cancel (queued or mid-run)
+//	GET    /v1/protocols        the registry's Spec schemas
+//	GET    /healthz             liveness + pool/cache counters
+//
+// Execution happens on a bounded runner.Pool: submissions beyond the
+// queue capacity are rejected with 503 (backpressure, not buffering),
+// and identical deterministic submissions — same canonical job identity
+// per job.Job.CacheKey — are answered from an LRU result cache without
+// re-simulation. Shutdown drains gracefully: in-flight jobs are canceled
+// through their contexts (their Results carry Reason == "canceled"),
+// queued jobs are rejected, and new submissions get 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"shapesol/internal/job"
+	"shapesol/internal/runner"
+)
+
+// Config parameterizes a Server. The zero value is usable: Default
+// registry, one worker per core, a 64-deep queue, a 256-entry cache and
+// a 100ms progress-frame throttle.
+type Config struct {
+	// Registry resolves protocol names; nil means job.Default.
+	Registry *job.Registry
+	// Workers is the pool size; values < 1 mean "all cores".
+	Workers int
+	// Queue bounds the number of accepted-but-not-started jobs; beyond
+	// it, POST /v1/jobs answers 503. Values < 1 mean 64.
+	Queue int
+	// CacheSize bounds the LRU result cache; 0 means 256, negative
+	// disables caching.
+	CacheSize int
+	// MaxJobs bounds the retained job records: beyond it, the oldest
+	// settled jobs are evicted as new submissions arrive (their ids then
+	// answer 404). Values < 1 mean 4096.
+	MaxJobs int
+	// FrameInterval throttles progress frames per job: at most one frame
+	// per interval is fanned out to stream subscribers (the engines call
+	// Progress every CheckEvery = 256 steps, far too often to serialize
+	// onto an HTTP stream). 0 means 100ms; negative publishes every
+	// callback (tests).
+	FrameInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = job.Default
+	}
+	if c.Queue < 1 {
+		c.Queue = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 4096
+	}
+	if c.FrameInterval == 0 {
+		c.FrameInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the HTTP job service. Create with New, serve via ServeHTTP
+// (it is an http.Handler), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *job.Registry
+	pool  *runner.Pool
+	store *store
+	cache *Cache
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		pool:  runner.NewPool(cfg.Workers, cfg.Queue),
+		store: newStore(cfg.MaxJobs),
+		cache: NewCache(cfg.CacheSize),
+		mux:   http.NewServeMux(),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: new submissions and queued jobs are
+// rejected, in-flight jobs are canceled through their contexts (each
+// finishes promptly — within one CheckEvery window — with Reason ==
+// "canceled"), and Shutdown returns once every worker has recorded its
+// job's terminal Status, or with ctx's error if that takes longer than
+// the caller allows.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for _, e := range s.store.all() {
+		e.cancelQueued("server draining")
+	}
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed response write
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// handleSubmit validates and enqueues one Job. Validation failures
+// (unknown protocol or engine, parameters outside the Spec's schema,
+// unknown JSON fields) are 400s; a full queue or a draining server is a
+// 503; a deterministic repeat of a cached run is answered 200 complete,
+// without touching the pool.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var j job.Job
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job JSON: "+err.Error())
+		return
+	}
+	nj, spec, err := s.reg.Normalize(j)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := nj.CacheKey()
+	if res, ok := s.cache.Get(key); ok {
+		e := s.store.add(nj, spec, key, StateDone)
+		e.setCached(&res)
+		writeJSON(w, http.StatusOK, e.status())
+		return
+	}
+	e := s.store.add(nj, spec, key, StateQueued)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	e.setCancel(cancel)
+	if err := s.pool.TrySubmit(func() { s.execute(ctx, e) }); err != nil {
+		cancel()
+		// Shed load without retaining state: the id was never exposed.
+		s.store.remove(e.id)
+		if errors.Is(err, runner.ErrQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, "queue full")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, e.status())
+}
+
+// execute is the worker-side of one submission: run the normalized job
+// with a progress publisher attached, record the terminal Status, and
+// feed the result cache.
+func (s *Server) execute(ctx context.Context, e *entry) {
+	// Release the per-job child context whichever way the run ends, so
+	// finished jobs do not accumulate in the base context's children.
+	defer e.cancelRun()
+	if !e.tryStart() {
+		return // canceled while queued
+	}
+	jj := e.job
+	var lastFrame time.Time
+	jj.Progress = func(steps int64) {
+		e.steps.Store(steps)
+		if s.cfg.FrameInterval > 0 {
+			now := time.Now()
+			if now.Sub(lastFrame) < s.cfg.FrameInterval {
+				return
+			}
+			lastFrame = now
+		}
+		e.publish(Frame{Type: "progress", ID: e.id, Steps: steps, State: StateRunning})
+	}
+	res, err := job.RunNormalized(ctx, jj, e.spec)
+	switch {
+	case err != nil:
+		e.finish(StateFailed, nil, err.Error())
+	case res.Reason == job.ReasonCanceled:
+		e.finish(StateCanceled, &res, "")
+	default:
+		// Feed the cache before finish publishes completion, so a watcher
+		// that resubmits the identical job the instant it sees the result
+		// frame cannot race past the cache into a re-simulation.
+		s.cache.Put(e.key, res)
+		e.finish(StateDone, &res, "")
+	}
+}
+
+func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	e, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+r.PathValue("id"))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.list())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.status())
+}
+
+// handleResult serves the bare Result envelope of a finished job,
+// byte-identical (MarshalIndent, two-space, trailing newline) to the
+// golden-pinned form internal/job's tests check — the payload is still
+// the typed outcome struct here, so field order matches the goldens,
+// which a decode-and-re-marshal through a generic map would not
+// preserve. 409 until the job is terminal; 404 when it settled without
+// ever running (canceled while queued, failed).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	st := e.status()
+	if !st.State.terminal() {
+		writeError(w, http.StatusConflict, "job "+st.ID+" not finished (state "+string(st.State)+")")
+		return
+	}
+	if st.Result == nil {
+		writeError(w, http.StatusNotFound, "job "+st.ID+" has no result: "+st.Error)
+		return
+	}
+	body, err := json.MarshalIndent(st.Result, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(body, '\n')) //nolint:errcheck // nothing to do about a failed response write
+}
+
+// handleCancel cancels a job. A queued job is settled to canceled
+// immediately; a running one has its context canceled and settles when
+// the engine observes it (poll or stream to see the final Status, whose
+// Result carries Reason == "canceled"). Canceling a terminal job is an
+// idempotent no-op.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	e.cancelQueued("canceled")
+	e.cancelRun()
+	st := e.status()
+	code := http.StatusOK
+	if !st.State.terminal() {
+		code = http.StatusAccepted // mid-run: the engine will settle it shortly
+	}
+	writeJSON(w, code, st)
+}
+
+// handleEvents streams a job's progress as NDJSON: one frame per
+// publisher tick (see Config.FrameInterval), then exactly one "result"
+// frame with the terminal Status, then EOF. Subscribing to a finished
+// job yields the result frame immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(f Frame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	ch := e.subscribe()
+	// An initial snapshot frame, so a watcher sees the job's state
+	// without waiting out a long quiet stretch of the engine.
+	if st := e.status(); !st.State.terminal() {
+		if !emit(Frame{Type: "progress", ID: e.id, Steps: st.Steps, State: st.State}) {
+			e.unsubscribe(ch)
+			return
+		}
+	}
+	for {
+		select {
+		case f, open := <-ch:
+			if !open {
+				emit(e.resultFrame())
+				return
+			}
+			if !emit(f) {
+				e.unsubscribe(ch)
+				return
+			}
+		case <-r.Context().Done():
+			e.unsubscribe(ch)
+			return
+		}
+	}
+}
+
+// protocolInfo is the wire projection of a registered Spec.
+type protocolInfo struct {
+	Name    string       `json:"name"`
+	Title   string       `json:"title"`
+	Paper   string       `json:"paper"`
+	Engines []job.Engine `json:"engines"`
+	Budget  int64        `json:"budget"`
+	Params  []paramInfo  `json:"params,omitempty"`
+}
+
+type paramInfo struct {
+	Name     string `json:"name"`
+	Usage    string `json:"usage"`
+	Required bool   `json:"required,omitempty"`
+	Default  any    `json:"default,omitempty"`
+	Min      int    `json:"min,omitempty"`
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := make([]protocolInfo, 0, len(names))
+	for _, name := range names {
+		spec, _ := s.reg.Get(name)
+		info := protocolInfo{
+			Name:    spec.Name,
+			Title:   spec.Title,
+			Paper:   spec.Paper,
+			Engines: spec.Engines,
+			Budget:  spec.Budget,
+		}
+		for _, f := range spec.Params {
+			p := paramInfo{Name: f.Name, Usage: f.Usage, Required: f.Required, Min: f.Min}
+			if f.DefaultStr != "" {
+				p.Default = f.DefaultStr
+			} else if f.Default != 0 {
+				p.Default = f.Default
+			}
+			info.Params = append(info.Params, p)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// health is the /healthz body.
+type health struct {
+	Status      string `json:"status"`
+	Draining    bool   `json:"draining,omitempty"`
+	Jobs        int    `json:"jobs"`
+	CacheLen    int    `json:"cache_len"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Protocols   string `json:"protocols"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, http.StatusOK, health{
+		Status:      "ok",
+		Draining:    s.draining.Load(),
+		Jobs:        s.store.len(),
+		CacheLen:    s.cache.Len(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Protocols:   strings.Join(s.reg.Names(), ","),
+	})
+}

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shapesol/internal/job"
+)
+
+// State is the lifecycle phase of a submitted job.
+type State string
+
+// The job lifecycle: queued -> running -> done | failed, with canceled
+// reachable from queued (DELETE or drain before a worker picks the job
+// up) and from running (DELETE or drain mid-run, via the engines'
+// context plumbing — the Result then carries Reason == "canceled").
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Status is the wire form of one job's current state: the envelope the
+// daemon wraps around the (unchanged, golden-pinned) job.Result. Result
+// is set once the job is terminal; Steps tracks live progress before
+// that.
+type Status struct {
+	ID       string      `json:"id"`
+	Protocol string      `json:"protocol"`
+	Engine   job.Engine  `json:"engine"`
+	Seed     int64       `json:"seed"`
+	State    State       `json:"state"`
+	Cached   bool        `json:"cached,omitempty"`
+	Steps    int64       `json:"steps,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Result   *job.Result `json:"result,omitempty"`
+}
+
+// Frame is one line of the NDJSON event stream of GET
+// /v1/jobs/{id}/events: progress frames while the job runs (on the
+// engines' Progress cadence, throttled by the server's FrameInterval),
+// then exactly one result frame carrying the terminal Status fields.
+type Frame struct {
+	Type   string      `json:"type"` // "progress" or "result"
+	ID     string      `json:"id"`
+	Steps  int64       `json:"steps"`
+	State  State       `json:"state,omitempty"`
+	Cached bool        `json:"cached,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	Result *job.Result `json:"result,omitempty"`
+}
+
+// entry is the store's record of one submitted job.
+type entry struct {
+	id   string
+	job  job.Job   // normalized: engine, budget and param defaults resolved
+	spec *job.Spec // resolved at admission, so workers skip re-validation
+	key  string    // canonical cache key of the normalized job
+
+	steps atomic.Int64 // latest progress, written on the Progress cadence
+
+	mu     sync.Mutex
+	state  State
+	cached bool
+	errMsg string
+	result *job.Result
+	cancel context.CancelFunc
+	subs   map[chan Frame]struct{}
+}
+
+// status snapshots the entry as its wire form.
+func (e *entry) status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statusLocked()
+}
+
+func (e *entry) statusLocked() Status {
+	st := Status{
+		ID:       e.id,
+		Protocol: e.job.Protocol,
+		Engine:   e.job.Engine,
+		Seed:     e.job.Seed,
+		State:    e.state,
+		Cached:   e.cached,
+		Steps:    e.steps.Load(),
+		Error:    e.errMsg,
+		Result:   e.result,
+	}
+	if e.result != nil {
+		st.Steps = e.result.Steps
+	}
+	return st
+}
+
+// resultFrame renders the terminal Status as the stream's final frame.
+// Call only after the entry is terminal.
+func (e *entry) resultFrame() Frame {
+	st := e.status()
+	return Frame{
+		Type:   "result",
+		ID:     st.ID,
+		Steps:  st.Steps,
+		State:  st.State,
+		Cached: st.Cached,
+		Error:  st.Error,
+		Result: st.Result,
+	}
+}
+
+// setCached records a cache-served result on a just-created entry.
+func (e *entry) setCached(res *job.Result) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cached = true
+	e.result = res
+}
+
+// setCancel attaches the run context's cancel function.
+func (e *entry) setCancel(cancel context.CancelFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cancel = cancel
+}
+
+// tryStart is the worker's queued -> running transition. It fails when a
+// DELETE (or drain) settled the entry while it waited in the queue, in
+// which case the worker must not run it.
+func (e *entry) tryStart() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != StateQueued {
+		return false
+	}
+	e.state = StateRunning
+	return true
+}
+
+// cancelQueued settles a still-queued entry to canceled (no Result: the
+// engine never ran). The check and transition are one critical section,
+// so it cannot race the worker's tryStart.
+func (e *entry) cancelQueued(msg string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != StateQueued {
+		return
+	}
+	e.state = StateCanceled
+	e.errMsg = msg
+	for ch := range e.subs {
+		close(ch)
+	}
+	e.subs = nil
+}
+
+// cancelRun cancels the run context (a no-op before setCancel or after
+// the run finished — contexts tolerate double cancel).
+func (e *entry) cancelRun() {
+	e.mu.Lock()
+	cancel := e.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// subscribe registers a progress listener. The returned channel carries
+// progress frames and is closed when the job reaches a terminal state
+// (subscribing to a finished job returns an already-closed channel); the
+// subscriber then reads the final Status itself via resultFrame, so a
+// slow consumer can drop progress frames but never the outcome.
+func (e *entry) subscribe() chan Frame {
+	ch := make(chan Frame, 16)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state.terminal() {
+		close(ch)
+		return ch
+	}
+	if e.subs == nil {
+		e.subs = make(map[chan Frame]struct{})
+	}
+	e.subs[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe removes a listener that is going away before the job
+// finished (client disconnect).
+func (e *entry) unsubscribe(ch chan Frame) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.subs[ch]; ok {
+		delete(e.subs, ch)
+		close(ch)
+	}
+}
+
+// publish fans a progress frame out to the live subscribers. Sends are
+// non-blocking: a subscriber that is not draining (stalled HTTP write)
+// misses frames instead of stalling the engine's progress callback.
+func (e *entry) publish(f Frame) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for ch := range e.subs {
+		select {
+		case ch <- f:
+		default:
+		}
+	}
+}
+
+// finish moves the entry to a terminal state and closes every
+// subscription channel (the subscribers then read the final Status).
+// It is a no-op if the entry is already terminal, so a DELETE racing the
+// worker's own completion settles on whoever locked first.
+func (e *entry) finish(state State, res *job.Result, errMsg string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state.terminal() {
+		return
+	}
+	e.state = state
+	e.result = res
+	e.errMsg = errMsg
+	for ch := range e.subs {
+		close(ch)
+	}
+	e.subs = nil
+}
+
+// store is the in-memory job table. Retention is bounded: once the
+// table exceeds maxJobs, the oldest *terminal* entries are evicted as
+// new submissions arrive (live jobs are never dropped), so a
+// long-running daemon's memory is capped — an evicted id answers 404,
+// like an id that never existed.
+type store struct {
+	mu      sync.Mutex
+	seq     int64
+	maxJobs int
+	entries map[string]*entry
+	order   []string // insertion order, for listing and eviction
+}
+
+func newStore(maxJobs int) *store {
+	return &store{maxJobs: maxJobs, entries: make(map[string]*entry)}
+}
+
+// add registers a new entry under a fresh id and returns it, evicting
+// the oldest settled entries beyond the retention bound.
+func (st *store) add(j job.Job, spec *job.Spec, key string, state State) *entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	e := &entry{
+		id:    fmt.Sprintf("j%d", st.seq),
+		job:   j,
+		spec:  spec,
+		key:   key,
+		state: state,
+	}
+	st.entries[e.id] = e
+	st.order = append(st.order, e.id)
+	st.pruneLocked()
+	return e
+}
+
+// pruneLocked evicts oldest-first terminal entries while the table is
+// over its bound. An entry's state is read under its own lock; a live
+// (queued/running) entry blocks nothing — eviction just skips past it.
+func (st *store) pruneLocked() {
+	if st.maxJobs < 1 || len(st.entries) <= st.maxJobs {
+		return
+	}
+	kept := st.order[:0]
+	for i, id := range st.order {
+		e := st.entries[id]
+		if len(st.entries) > st.maxJobs && e.status().State.terminal() {
+			delete(st.entries, id)
+			continue
+		}
+		if len(st.entries) <= st.maxJobs {
+			kept = append(kept, st.order[i:]...)
+			break
+		}
+		kept = append(kept, id)
+	}
+	st.order = kept
+}
+
+// remove forgets an entry that was never exposed as accepted (the
+// queue-full rejection path), so shed load does not grow the table.
+func (st *store) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[id]; !ok {
+		return
+	}
+	delete(st.entries, id)
+	for i, have := range st.order {
+		if have == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks an entry up by id.
+func (st *store) get(id string) (*entry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[id]
+	return e, ok
+}
+
+// len returns the number of retained entries.
+func (st *store) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// list snapshots every entry's Status in submission order.
+func (st *store) list() []Status {
+	st.mu.Lock()
+	ids := append([]string(nil), st.order...)
+	entries := make([]*entry, len(ids))
+	for i, id := range ids {
+		entries[i] = st.entries[id]
+	}
+	st.mu.Unlock()
+	out := make([]Status, len(entries))
+	for i, e := range entries {
+		out[i] = e.status()
+	}
+	return out
+}
+
+// all snapshots the entries themselves (drain walks them).
+func (st *store) all() []*entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*entry, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.entries[id])
+	}
+	return out
+}

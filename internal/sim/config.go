@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"shapesol/internal/grid"
@@ -53,7 +54,7 @@ func NewFromConfig[S any](cfg Config[S], proto Protocol[S], opts Options) (*Worl
 
 func (w *World[S]) addComponentSpec(cs ComponentSpec[S], firstID int) error {
 	if len(cs.Cells) == 0 {
-		return fmt.Errorf("empty component")
+		return errors.New("empty component")
 	}
 	c := w.newComponent()
 	for i, cell := range cs.Cells {

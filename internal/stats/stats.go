@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -113,7 +114,7 @@ func LogLogSlope(xs, ys []float64) (slope float64, err error) {
 	var sx, sy, sxx, sxy float64
 	for i := range xs {
 		if xs[i] <= 0 || ys[i] <= 0 {
-			return 0, fmt.Errorf("stats: log-log fit needs positive values")
+			return 0, errors.New("stats: log-log fit needs positive values")
 		}
 		lx, ly := math.Log(xs[i]), math.Log(ys[i])
 		sx += lx
@@ -124,7 +125,7 @@ func LogLogSlope(xs, ys []float64) (slope float64, err error) {
 	n := float64(len(xs))
 	denom := n*sxx - sx*sx
 	if denom == 0 {
-		return 0, fmt.Errorf("stats: degenerate x values")
+		return 0, errors.New("stats: degenerate x values")
 	}
 	return (n*sxy - sx*sy) / denom, nil
 }

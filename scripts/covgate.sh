@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Race-enabled coverage gate: writes coverage.out at the repo root and
+# fails when total statement coverage drops below the checked-in
+# threshold (scripts/coverage_threshold.txt). CI uploads coverage.out as
+# an artifact; bump the threshold when coverage durably improves.
+#
+# Usage: scripts/covgate.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -race -covermode=atomic -coverprofile=coverage.out ./...
+total="$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+threshold="$(cat scripts/coverage_threshold.txt)"
+echo "total statement coverage: ${total}% (threshold: ${threshold}%)"
+if ! awk -v t="$total" -v min="$threshold" 'BEGIN { exit !(t + 0 >= min + 0) }'; then
+  echo "FAIL: coverage ${total}% is below the ${threshold}% gate" >&2
+  exit 1
+fi

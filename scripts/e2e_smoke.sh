@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the job service daemon: build shapesold and
+# shapesolctl, start the daemon, submit the golden Theorem 1 job
+# (counting-upper-bound, urn engine, n=1000, seed 1), watch the NDJSON
+# stream to completion, diff the served Result envelope byte-for-byte
+# against the checked-in golden file (wall_ns zeroed — the one
+# non-deterministic field), check that the identical resubmission is
+# answered from the result cache, and drain the daemon with SIGTERM.
+#
+# Run from anywhere: scripts/e2e_smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-18321}"
+addr="127.0.0.1:$port"
+base="http://$addr"
+bin="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+go build -o "$bin/shapesold" ./cmd/shapesold
+go build -o "$bin/shapesolctl" ./cmd/shapesolctl
+ctl() { "$bin/shapesolctl" -addr "$base" "$@"; }
+
+"$bin/shapesold" -addr "$addr" &
+daemon_pid=$!
+
+ok=""
+for _ in $(seq 1 100); do
+  if ctl protocols >/dev/null 2>&1; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: daemon never came up on $addr"; exit 1; }
+
+id="$(ctl submit -id-only -protocol counting-upper-bound -engine urn -n 1000 -seed 1)"
+echo "submitted $id"
+
+# watch exits 0 only when the stream's final frame reports state done.
+ctl watch "$id"
+echo "stream reached the result frame"
+
+ctl result -zero-wall "$id" \
+  | diff -u internal/job/testdata/counting-upper-bound.urn.golden.json - \
+  || { echo "FAIL: served result drifted from the golden envelope"; exit 1; }
+echo "result is byte-identical to the golden envelope"
+
+second="$(ctl submit -protocol counting-upper-bound -engine urn -n 1000 -seed 1)"
+echo "$second" | grep -q '"cached": true' \
+  || { echo "FAIL: identical resubmit was not served from the cache: $second"; exit 1; }
+echo "$second" | grep -q '"state": "done"' \
+  || { echo "FAIL: cached resubmit did not come back complete: $second"; exit 1; }
+echo "identical resubmission answered from the cache"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+echo "daemon drained cleanly"
+echo "e2e smoke OK"
