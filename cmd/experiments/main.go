@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"shapesol/internal/buildinfo"
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
@@ -45,8 +46,7 @@ import (
 // function receives that name and builds its Jobs from it — the spec
 // column (which EXPERIMENTS.md renders as the id-to-spec map) is the
 // single source of which protocol an experiment runs. Gaps in the numbering are intentional
-// — see EXPERIMENTS.md (E5/E6 are bench-only stabilization measurements,
-// E11 is unassigned).
+// — see EXPERIMENTS.md (E5/E6 are bench-only stabilization measurements).
 var registry = []struct {
 	id   string
 	spec string // protocol spec name in the internal/job registry
@@ -60,6 +60,7 @@ var registry = []struct {
 	{"E8", "square-knowing-n", e8},
 	{"E9", "universal", e9},
 	{"E10", "parallel-3d", e10},
+	{"E11", "parallel-3d", e11},
 	{"E12", "replication", e12},
 	{"E13", "leaderless", e13},
 	{"E14", "counting-upper-bound", e14},
@@ -145,8 +146,13 @@ func run() int {
 		seed     = flag.Int64("seed", 0, "first seed of each configuration's seed set")
 		asJSON   = flag.Bool("json", false, "emit the reports as JSON")
 		figures  = flag.Bool("figures", false, "render figure configurations instead")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("experiments", buildinfo.Version())
+		return 0
+	}
 
 	if err := checkSpecs(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -374,6 +380,39 @@ func e10(cfg config, spec string) Report {
 			})
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("d=%d", d),
 			Params: map[string]int{"d": d, "k": 3}, Agg: agg})
+	}
+	return r
+}
+
+// e11 measures the Theorem 5 speed-vs-k trade-off: the memory column
+// height k buys each pixel's TM more tape but costs the constructor more
+// assembly work per column (k-1 free nodes recruited, bonded and walked
+// per pixel), so total steps to an all-pixels decision grow with k at
+// fixed d. The derived ratio pins how steep that price is across the
+// measured range.
+func e11(cfg config, spec string) Report {
+	r := Report{ID: "E11", Title: "Theorem 5 trade-off: decision time vs memory column height k",
+		Note: "taller columns = more per-pixel tape, paid for in assembly steps"}
+	const d = 3
+	means := map[int]float64{}
+	ks := []int{2, 3, 4, 5}
+	for _, k := range ks {
+		agg := cfg.collect(job.Job{Protocol: spec, Params: job.Params{Lang: "star", D: d, K: k},
+			MaxSteps: 300_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(core.Parallel3DOutcome)
+				return runner.Trial{
+					Flags: map[string]bool{"decided": out.Decided, "correct": out.Correct}}
+			})
+		means[k] = agg.Steps.Mean
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("k=%d", k),
+			Params: map[string]int{"d": d, "k": k}, Agg: agg})
+	}
+	first, last := ks[0], ks[len(ks)-1]
+	if means[first] > 0 {
+		r.Derived = map[string]float64{
+			fmt.Sprintf("steps_k%d_over_k%d", last, first): means[last] / means[first],
+		}
 	}
 	return r
 }

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"shapesol"
+	"shapesol/internal/buildinfo"
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
@@ -55,20 +56,25 @@ func run() int {
 		protocol = flag.String("protocol", "line",
 			fmt.Sprintf("protocol spec (one of %s) or a legacy alias (line, square, square2, count, countline, squaren)",
 				strings.Join(job.Names(), ", ")))
-		engine = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
-		budget = flag.Int64("budget", 0, "step budget override (default: the spec's)")
-		n      = flag.Int("n", 16, "population size")
-		b      = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
-		d      = flag.Int("d", 4, "side length for square-knowing-n/universal/parallel-3d")
-		k      = flag.Int("k", 0, "memory column height for parallel-3d (default: the spec's)")
-		lang   = flag.String("lang", "", "shape language for universal/parallel-3d (default: the spec's)")
-		table  = flag.String("table", "", "rule table for stabilize: line, square or square2")
-		shape  = flag.String("shape", "", `replication target as "x,y;x,y;..." cells`)
-		free   = flag.Int("free", 0, "free nodes for replication (default: the paper's 2|R_G|-|G|)")
-		seed   = flag.Int64("seed", 1, "scheduler seed")
-		asJSON = flag.Bool("json", false, "print the raw Result envelope as JSON")
+		engine  = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
+		budget  = flag.Int64("budget", 0, "step budget override (default: the spec's)")
+		n       = flag.Int("n", 16, "population size")
+		b       = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
+		d       = flag.Int("d", 4, "side length for square-knowing-n/universal/parallel-3d")
+		k       = flag.Int("k", 0, "memory column height for parallel-3d (default: the spec's)")
+		lang    = flag.String("lang", "", "shape language for universal/parallel-3d (default: the spec's)")
+		table   = flag.String("table", "", "rule table for stabilize: line, square or square2")
+		shape   = flag.String("shape", "", `replication target as "x,y;x,y;..." cells`)
+		free    = flag.Int("free", 0, "free nodes for replication (default: the paper's 2|R_G|-|G|)")
+		seed    = flag.Int64("seed", 1, "scheduler seed")
+		asJSON  = flag.Bool("json", false, "print the raw Result envelope as JSON")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("shapesim", buildinfo.Version())
+		return 0
+	}
 
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })

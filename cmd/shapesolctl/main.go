@@ -1,6 +1,7 @@
 // Command shapesolctl is the client of the shapesold job service daemon:
 // submit a registry job, poll its status, fetch the golden-pinned Result
-// envelope, stream progress, or cancel.
+// envelope, stream progress, download a running job's snapshot, resume a
+// snapshot, or cancel.
 //
 // Usage:
 //
@@ -11,6 +12,8 @@
 //	shapesolctl status j1
 //	shapesolctl result [-zero-wall] j1
 //	shapesolctl watch j1
+//	shapesolctl snapshot [-o run.snap] j1
+//	shapesolctl resume [-f run.snap]
 //	shapesolctl cancel j1
 //	shapesolctl list
 //	shapesolctl protocols
@@ -21,6 +24,12 @@
 // Result envelope byte-identically to the daemon; -zero-wall rewrites
 // the one non-deterministic field (wall_ns) to 0 so the output can be
 // diffed against the internal/job golden files.
+//
+// snapshot downloads the job's latest checkpoint (a daemon started with
+// -data-dir checkpoints running jobs on their progress cadence) to -o or
+// stdout; resume uploads a snapshot file (-f, or stdin) and admits it as
+// a new job that continues the frozen run — on the same daemon, a later
+// one, or a different machine entirely.
 package main
 
 import (
@@ -35,31 +44,34 @@ import (
 	"regexp"
 	"strings"
 
+	"shapesol/internal/buildinfo"
 	"shapesol/internal/job"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() int {
-	fmt.Fprintln(os.Stderr,
-		"usage: shapesolctl [-addr URL] submit|status|result|watch|cancel|list|protocols [flags] [id]")
-	return 2
-}
-
-func run(args []string) int {
+// run executes one command against the daemon. Output goes to the
+// injected writers so tests can drive the full command surface.
+func run(args []string, stdout, stderr io.Writer) int {
 	global := flag.NewFlagSet("shapesolctl", flag.ContinueOnError)
+	global.SetOutput(stderr)
 	addr := global.String("addr", envOr("SHAPESOLD_ADDR", "http://127.0.0.1:8080"),
 		"daemon base URL (also $SHAPESOLD_ADDR)")
+	version := global.Bool("version", false, "print version and exit")
 	if err := global.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintln(stdout, "shapesolctl", buildinfo.Version())
+		return 0
+	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return usage()
+		return usage(stderr)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &client{base: strings.TrimRight(*addr, "/"), out: stdout, errW: stderr}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
 	case "submit":
@@ -72,17 +84,27 @@ func run(args []string) int {
 		return c.result(rest)
 	case "watch":
 		return c.watch(rest)
+	case "snapshot":
+		return c.snapshot(rest)
+	case "resume":
+		return c.resume(rest)
 	case "cancel":
 		return c.oneID(rest, func(id string) (int, []byte, error) {
-			return c.do("DELETE", "/v1/jobs/"+id, nil)
+			return c.do("DELETE", "/v1/jobs/"+id, nil, "")
 		})
 	case "list":
 		return c.plain("/v1/jobs")
 	case "protocols":
 		return c.plain("/v1/protocols")
 	default:
-		return usage()
+		return usage(c.errW)
 	}
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr,
+		"usage: shapesolctl [-addr URL] submit|status|result|watch|snapshot|resume|cancel|list|protocols [flags] [id]")
+	return 2
 }
 
 func envOr(key, fallback string) string {
@@ -94,15 +116,20 @@ func envOr(key, fallback string) string {
 
 type client struct {
 	base string
+	out  io.Writer
+	errW io.Writer
 }
 
-func (c *client) do(method, path string, body io.Reader) (int, []byte, error) {
+func (c *client) do(method, path string, body io.Reader, contentType string) (int, []byte, error) {
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return 0, nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if contentType == "" {
+			contentType = "application/json"
+		}
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -114,41 +141,42 @@ func (c *client) do(method, path string, body io.Reader) (int, []byte, error) {
 }
 
 func (c *client) get(path string) (int, []byte, error) {
-	return c.do("GET", path, nil)
+	return c.do("GET", path, nil, "")
 }
 
 // report prints the response body and maps the HTTP code to an exit
 // code: 2xx is success, everything else (including transport errors)
 // fails with the server's error JSON on stderr.
-func report(code int, body []byte, err error) int {
+func (c *client) report(code int, body []byte, err error) int {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		fmt.Fprintln(c.errW, "shapesolctl:", err)
 		return 1
 	}
 	if code >= 300 {
-		fmt.Fprintf(os.Stderr, "shapesolctl: HTTP %d: %s", code, body)
+		fmt.Fprintf(c.errW, "shapesolctl: HTTP %d: %s", code, body)
 		return 1
 	}
-	os.Stdout.Write(body)
+	c.out.Write(body) //nolint:errcheck // best-effort output stream
 	return 0
 }
 
 func (c *client) plain(path string) int {
 	code, body, err := c.get(path)
-	return report(code, body, err)
+	return c.report(code, body, err)
 }
 
 // oneID runs a request that takes exactly one job-id argument.
 func (c *client) oneID(args []string, fn func(id string) (int, []byte, error)) int {
 	if len(args) != 1 {
-		return usage()
+		return usage(c.errW)
 	}
 	code, body, err := fn(args[0])
-	return report(code, body, err)
+	return c.report(code, body, err)
 }
 
 func (c *client) submit(args []string) int {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	fs.SetOutput(c.errW)
 	var (
 		raw      = fs.String("job", "", "raw Job JSON (overrides the field flags)")
 		protocol = fs.String("protocol", "", "protocol spec name (see shapesolctl protocols)")
@@ -172,7 +200,7 @@ func (c *client) submit(args []string) int {
 		body = []byte(*raw)
 	} else {
 		if *protocol == "" {
-			fmt.Fprintln(os.Stderr, "shapesolctl: submit needs -protocol or -job")
+			fmt.Fprintln(c.errW, "shapesolctl: submit needs -protocol or -job")
 			return 2
 		}
 		j := job.Job{
@@ -186,26 +214,26 @@ func (c *client) submit(args []string) int {
 		}
 		var err error
 		if body, err = json.Marshal(j); err != nil {
-			fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+			fmt.Fprintln(c.errW, "shapesolctl:", err)
 			return 1
 		}
 	}
-	code, resp, err := c.do("POST", "/v1/jobs", bytes.NewReader(body))
+	code, resp, err := c.do("POST", "/v1/jobs", bytes.NewReader(body), "")
 	if err != nil || code >= 300 {
-		return report(code, resp, err)
+		return c.report(code, resp, err)
 	}
 	if *idOnly {
 		var st struct {
 			ID string `json:"id"`
 		}
 		if err := json.Unmarshal(resp, &st); err != nil {
-			fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+			fmt.Fprintln(c.errW, "shapesolctl:", err)
 			return 1
 		}
-		fmt.Println(st.ID)
+		fmt.Fprintln(c.out, st.ID)
 		return 0
 	}
-	os.Stdout.Write(resp)
+	c.out.Write(resp) //nolint:errcheck // best-effort output stream
 	return 0
 }
 
@@ -213,22 +241,90 @@ var wallRe = regexp.MustCompile(`"wall_ns": \d+`)
 
 func (c *client) result(args []string) int {
 	fs := flag.NewFlagSet("result", flag.ContinueOnError)
+	fs.SetOutput(c.errW)
 	zeroWall := fs.Bool("zero-wall", false,
 		"rewrite wall_ns to 0 (diffable against the golden envelopes)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		return usage()
+		return usage(c.errW)
 	}
 	code, body, err := c.get("/v1/jobs/" + fs.Arg(0) + "/result")
 	if err != nil || code >= 300 {
-		return report(code, body, err)
+		return c.report(code, body, err)
 	}
 	if *zeroWall {
 		body = wallRe.ReplaceAll(body, []byte(`"wall_ns": 0`))
 	}
-	os.Stdout.Write(body)
+	c.out.Write(body) //nolint:errcheck // best-effort output stream
+	return 0
+}
+
+// snapshot downloads the job's latest persisted checkpoint.
+func (c *client) snapshot(args []string) int {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	fs.SetOutput(c.errW)
+	out := fs.String("o", "", "write the snapshot to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return usage(c.errW)
+	}
+	code, body, err := c.get("/v1/jobs/" + fs.Arg(0) + "/snapshot")
+	if err != nil || code >= 300 {
+		return c.report(code, body, err)
+	}
+	if *out == "" {
+		c.out.Write(body) //nolint:errcheck // best-effort output stream
+		return 0
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintln(c.errW, "shapesolctl:", err)
+		return 1
+	}
+	fmt.Fprintf(c.out, "wrote %d snapshot bytes to %s\n", len(body), *out)
+	return 0
+}
+
+// resume uploads a snapshot and admits it as a new job continuing the
+// frozen run.
+func (c *client) resume(args []string) int {
+	fs := flag.NewFlagSet("resume", flag.ContinueOnError)
+	fs.SetOutput(c.errW)
+	file := fs.String("f", "-", "snapshot file to resume (- reads stdin)")
+	idOnly := fs.Bool("id-only", false, "print just the new job id")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var data []byte
+	var err error
+	if *file == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintln(c.errW, "shapesolctl:", err)
+		return 1
+	}
+	code, resp, err := c.do("POST", "/v1/jobs/resume", bytes.NewReader(data), "application/octet-stream")
+	if err != nil || code >= 300 {
+		return c.report(code, resp, err)
+	}
+	if *idOnly {
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(resp, &st); err != nil {
+			fmt.Fprintln(c.errW, "shapesolctl:", err)
+			return 1
+		}
+		fmt.Fprintln(c.out, st.ID)
+		return 0
+	}
+	c.out.Write(resp) //nolint:errcheck // best-effort output stream
 	return 0
 }
 
@@ -236,24 +332,24 @@ func (c *client) result(args []string) int {
 // final frame reports state "done".
 func (c *client) watch(args []string) int {
 	if len(args) != 1 {
-		return usage()
+		return usage(c.errW)
 	}
 	resp, err := http.Get(c.base + "/v1/jobs/" + args[0] + "/events")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		fmt.Fprintln(c.errW, "shapesolctl:", err)
 		return 1
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(resp.Body)
-		fmt.Fprintf(os.Stderr, "shapesolctl: HTTP %d: %s", resp.StatusCode, body)
+		fmt.Fprintf(c.errW, "shapesolctl: HTTP %d: %s", resp.StatusCode, body)
 		return 1
 	}
 	var finalState string
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		fmt.Println(sc.Text())
+		fmt.Fprintln(c.out, sc.Text())
 		var f struct {
 			Type  string `json:"type"`
 			State string `json:"state"`
@@ -263,11 +359,11 @@ func (c *client) watch(args []string) int {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "shapesolctl:", err)
+		fmt.Fprintln(c.errW, "shapesolctl:", err)
 		return 1
 	}
 	if finalState != "done" {
-		fmt.Fprintf(os.Stderr, "shapesolctl: job finished %q\n", finalState)
+		fmt.Fprintf(c.errW, "shapesolctl: job finished %q\n", finalState)
 		return 1
 	}
 	return 0

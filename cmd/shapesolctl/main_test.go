@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"shapesol/internal/server"
+)
+
+// startDaemon serves a real job service over httptest; the client talks
+// to it exactly as it would to shapesold.
+func startDaemon(t *testing.T, cfg server.Config) (*httptest.Server, *server.Server) {
+	t.Helper()
+	svc, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+// ctl runs one shapesolctl invocation with captured output.
+func ctl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageAndParsing(t *testing.T) {
+	if code, _, errOut := ctl(t); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("no-args: code %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := ctl(t, "frobnicate"); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("unknown command: code %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := ctl(t, "status"); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("status without id: code %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := ctl(t, "submit"); code != 2 || !strings.Contains(errOut, "-protocol or -job") {
+		t.Fatalf("submit without protocol: code %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := ctl(t, "-badflag"); code != 2 {
+		t.Fatalf("bad global flag: code %d", code)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := ctl(t, "-version")
+	if code != 0 || !strings.HasPrefix(out, "shapesolctl ") {
+		t.Fatalf("-version: code %d, out %q", code, out)
+	}
+}
+
+func TestSubmitWatchResultAgainstDaemon(t *testing.T) {
+	ts, _ := startDaemon(t, server.Config{Workers: 1, FrameInterval: -1})
+
+	code, out, errOut := ctl(t, "-addr", ts.URL, "submit", "-id-only",
+		"-protocol", "counting-upper-bound", "-engine", "urn", "-n", "1000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("submit: code %d, stderr %q", code, errOut)
+	}
+	id := strings.TrimSpace(out)
+	if id == "" {
+		t.Fatal("submit -id-only printed nothing")
+	}
+
+	// watch streams NDJSON to the result frame and exits 0 on done.
+	code, out, errOut = ctl(t, "-addr", ts.URL, "watch", id)
+	if code != 0 {
+		t.Fatalf("watch: code %d, stderr %q", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var last struct {
+		Type  string `json:"type"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("final frame not JSON: %q", lines[len(lines)-1])
+	}
+	if last.Type != "result" || last.State != "done" {
+		t.Fatalf("final frame %+v, want result/done", last)
+	}
+
+	// result -zero-wall is byte-identical to the checked-in golden.
+	code, out, errOut = ctl(t, "-addr", ts.URL, "result", "-zero-wall", id)
+	if code != 0 {
+		t.Fatalf("result: code %d, stderr %q", code, errOut)
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "job", "testdata",
+		"counting-upper-bound.urn.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("-zero-wall output drifted from the golden envelope:\ngot:\n%s\nwant:\n%s", out, golden)
+	}
+
+	// status round-trips the id.
+	code, out, _ = ctl(t, "-addr", ts.URL, "status", id)
+	if code != 0 || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status: code %d, out %q", code, out)
+	}
+
+	// list and protocols are plain passthroughs.
+	if code, out, _ = ctl(t, "-addr", ts.URL, "list"); code != 0 || !strings.Contains(out, id) {
+		t.Fatalf("list: code %d, out %q", code, out)
+	}
+	if code, out, _ = ctl(t, "-addr", ts.URL, "protocols"); code != 0 || !strings.Contains(out, "counting-upper-bound") {
+		t.Fatalf("protocols: code %d, out %q", code, out)
+	}
+}
+
+func TestWatchCancelExitsNonZero(t *testing.T) {
+	ts, _ := startDaemon(t, server.Config{Workers: 1, FrameInterval: -1})
+
+	code, out, errOut := ctl(t, "-addr", ts.URL, "submit", "-id-only",
+		"-protocol", "counting-upper-bound", "-engine", "urn", "-n", "1000000", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("submit: code %d, stderr %q", code, errOut)
+	}
+	id := strings.TrimSpace(out)
+
+	// Cancel mid-run, then watch must surface the non-done terminal state.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, out, _ = ctl(t, "-addr", ts.URL, "cancel", id)
+		if code != 0 {
+			t.Fatalf("cancel: code %d, out %q", code, out)
+		}
+		if strings.Contains(out, `"state": "canceled"`) || strings.Contains(out, `"state": "running"`) ||
+			strings.Contains(out, `"state": "queued"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never took: %q", out)
+		}
+	}
+	code, _, errOut = ctl(t, "-addr", ts.URL, "watch", id)
+	if code == 0 {
+		t.Fatal("watch of a canceled job exited 0")
+	}
+	if !strings.Contains(errOut, `"canceled"`) {
+		t.Fatalf("watch stderr %q does not name the canceled state", errOut)
+	}
+}
+
+func TestSnapshotAndResumeCommands(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := startDaemon(t, server.Config{
+		Workers: 1, FrameInterval: -1, DataDir: dir, CheckpointEvery: -1,
+	})
+
+	code, out, errOut := ctl(t, "-addr", ts.URL, "submit", "-id-only",
+		"-protocol", "counting-upper-bound", "-engine", "urn", "-n", "1000000", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("submit: code %d, stderr %q", code, errOut)
+	}
+	id := strings.TrimSpace(out)
+
+	// Download the checkpoint once it exists.
+	snapFile := filepath.Join(t.TempDir(), "run.snap")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, out, errOut = ctl(t, "-addr", ts.URL, "snapshot", "-o", snapFile, id)
+		if code == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never became available: %q", errOut)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out, "snapshot bytes") {
+		t.Fatalf("snapshot -o output %q", out)
+	}
+	data, err := os.ReadFile(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("SHSNAP")) {
+		t.Fatalf("snapshot file starts %q", data[:12])
+	}
+
+	if code, _, errOut = ctl(t, "-addr", ts.URL, "cancel", id); code != 0 {
+		t.Fatalf("cancel: code %d, stderr %q", code, errOut)
+	}
+
+	code, out, errOut = ctl(t, "-addr", ts.URL, "resume", "-id-only", "-f", snapFile)
+	if code != 0 {
+		t.Fatalf("resume: code %d, stderr %q", code, errOut)
+	}
+	newID := strings.TrimSpace(out)
+	if newID == "" || newID == id {
+		t.Fatalf("resume produced id %q (original %q)", newID, id)
+	}
+	if code, _, errOut = ctl(t, "-addr", ts.URL, "watch", newID); code != 0 {
+		t.Fatalf("watch of resumed job: code %d, stderr %q", code, errOut)
+	}
+	code, out, _ = ctl(t, "-addr", ts.URL, "status", newID)
+	if code != 0 || !strings.Contains(out, `"resumed": true`) {
+		t.Fatalf("resumed status: code %d, out %q", code, out)
+	}
+}
+
+func TestErrorsSurfaceServerJSON(t *testing.T) {
+	ts, _ := startDaemon(t, server.Config{Workers: 1})
+	code, _, errOut := ctl(t, "-addr", ts.URL, "status", "j999")
+	if code != 1 || !strings.Contains(errOut, "HTTP 404") {
+		t.Fatalf("missing job: code %d, stderr %q", code, errOut)
+	}
+	code, _, errOut = ctl(t, "-addr", ts.URL, "submit", "-job", `{"protocol": "nope"}`)
+	if code != 1 || !strings.Contains(errOut, "HTTP 400") {
+		t.Fatalf("bad submit: code %d, stderr %q", code, errOut)
+	}
+	code, _, errOut = ctl(t, "-addr", "http://127.0.0.1:1", "list")
+	if code != 1 || errOut == "" {
+		t.Fatalf("transport error: code %d, stderr %q", code, errOut)
+	}
+}

@@ -6,11 +6,18 @@
 // Usage:
 //
 //	shapesold [-addr :8080] [-workers 0] [-queue 64] [-cache 256]
+//	          [-data-dir /var/lib/shapesold] [-checkpoint-every 2s]
 //
 // -workers 0 means one worker per core. SIGINT/SIGTERM drain
 // gracefully: new and queued submissions are rejected, in-flight jobs
 // are canceled through their contexts (their Results carry Reason ==
 // "canceled"), and the process exits once every job has settled.
+//
+// With -data-dir the daemon is durable: settled results are journaled
+// (and reloaded into the store and result cache at the next boot), and
+// running jobs are checkpointed on their progress cadence — after a
+// crash (even kill -9) or a drain, interrupted jobs are re-enqueued at
+// boot and resume from their latest checkpoint instead of restarting.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"shapesol/internal/buildinfo"
 	"shapesol/internal/job"
 	"shapesol/internal/server"
 )
@@ -41,15 +49,28 @@ func run() int {
 		cache   = flag.Int("cache", 256, "result cache capacity (-1 disables)")
 		maxJobs = flag.Int("max-jobs", 4096, "retained job records (oldest settled evicted beyond it)")
 		timeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+		dataDir = flag.String("data-dir", "", "durability directory: journal of settled results + running-job checkpoints; interrupted jobs resume at boot (empty = in-memory only)")
+		cpEvery = flag.Duration("checkpoint-every", 2*time.Second, "min interval between running-job checkpoint writes (needs -data-dir)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("shapesold", buildinfo.Version())
+		return 0
+	}
 
-	svc := server.New(server.Config{
-		Workers:   *workers,
-		Queue:     *queue,
-		CacheSize: *cache,
-		MaxJobs:   *maxJobs,
+	svc, err := server.New(server.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheSize:       *cache,
+		MaxJobs:         *maxJobs,
+		DataDir:         *dataDir,
+		CheckpointEvery: *cpEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapesold:", err)
+		return 1
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 
 	errc := make(chan error, 1)

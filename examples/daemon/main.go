@@ -22,7 +22,10 @@ import (
 )
 
 func main() {
-	svc := server.New(server.Config{Workers: 2, FrameInterval: 50 * time.Millisecond})
+	svc, err := server.New(server.Config{Workers: 2, FrameInterval: 50 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer svc.Shutdown(context.Background())
 	srv := httptest.NewServer(svc)
 	defer srv.Close()

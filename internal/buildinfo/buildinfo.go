@@ -1,0 +1,50 @@
+// Package buildinfo reports the build identity of the binaries: module
+// version plus the VCS revision stamped by the Go toolchain. All four
+// commands expose it behind a -version flag, so a deployed daemon (or a
+// snapshot file's producer) can be matched to a commit.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders a one-line build identity, e.g.
+//
+//	v0.0.0-dev go1.24.0 commit=1a2b3c4d (dirty)
+//
+// Fields degrade gracefully: binaries built without module or VCS
+// metadata (go run, test binaries) report what is available.
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown (built without module support)"
+	}
+	parts := []string{moduleVersion(info), info.GoVersion}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		parts = append(parts, "commit="+revision)
+	}
+	if modified == "true" {
+		parts = append(parts, "(dirty)")
+	}
+	return strings.Join(parts, " ")
+}
+
+func moduleVersion(info *debug.BuildInfo) string {
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "v0.0.0-dev"
+}

@@ -1,0 +1,22 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVersionShape pins the report's basic shape: a version token and
+// the Go toolchain version are always present (test binaries carry
+// module metadata but usually no VCS stamp).
+func TestVersionShape(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("empty version")
+	}
+	if !strings.Contains(v, "go1") {
+		t.Errorf("version %q lacks the Go toolchain version", v)
+	}
+	if !strings.HasPrefix(v, "v") {
+		t.Errorf("version %q lacks a module version token", v)
+	}
+}

@@ -44,6 +44,11 @@ const (
 	clKindLeader
 )
 
+// CountLineState is the exported alias of the protocol's state type: the job
+// layer's generic snapshot codec must name the concrete type to
+// instantiate the engine memento it encodes and restores.
+type CountLineState = clState
+
 // clState is the single state type of the protocol: a tagged union over
 // the free-node phase, the tape cell, and the leader. Keeping the three
 // roles in one flat value type lets the generic engine store states
@@ -403,22 +408,32 @@ func RunCountLine(n, b int, seed, maxSteps int64) CountLineOutcome {
 // RunCountLineCtx is RunCountLine under a cancelable context with an
 // optional progress callback.
 func RunCountLineCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (CountLineOutcome, sim.StopReason) {
-	proto := &CountLine{B: b}
-	w := sim.New(n, proto, sim.Options{
+	w := NewCountLineWorld(n, b, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return CountLineOutcomeOf(b, w, res), res.Reason
+}
+
+// NewCountLineWorld builds the Lemma 1 world, ready to Run or to restore
+// a snapshot into.
+func NewCountLineWorld(n, b int, seed, maxSteps int64, progress func(int64)) *sim.World[clState] {
+	return sim.New(n, &CountLine{B: b}, sim.Options{
 		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
 	})
-	res := w.RunContext(ctx)
-	out := CountLineOutcome{N: n, B: b, Steps: res.Steps}
+}
+
+// CountLineOutcomeOf reads the measured outcome off a finished world.
+func CountLineOutcomeOf(b int, w *sim.World[clState], res sim.Result) CountLineOutcome {
+	out := CountLineOutcome{N: w.N(), B: b, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out, res.Reason
+		return out
 	}
 	out.Halted = true
 	r0, _, r2, length := ReadCounters(w, FindLeader(w))
 	out.R0 = r0
 	out.LineLength = length
-	out.Success = 2*r0 >= int64(n)
+	out.Success = 2*r0 >= int64(w.N())
 	out.DebtRepaid = r2 == 0
-	return out, res.Reason
+	return out
 }
 
 // ExpectedLineLength returns floor(lg r0) + 1, the tape length Lemma 1

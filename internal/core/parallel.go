@@ -30,6 +30,11 @@ const (
 	p3Orphan
 )
 
+// Parallel3DState is the exported alias of the protocol's state type: the job
+// layer's generic snapshot codec must name the concrete type to
+// instantiate the engine memento it encodes and restores.
+type Parallel3DState = p3State
+
 // p3State is the per-node state of the parallel constructor.
 type p3State struct {
 	Kind      int
@@ -160,22 +165,38 @@ func RunParallel3D(lang shapes.Language, d, k int, seed, maxSteps int64) (Parall
 // RunParallel3DCtx is RunParallel3D under a cancelable context with an
 // optional progress callback.
 func RunParallel3DCtx(ctx context.Context, lang shapes.Language, d, k int, seed, maxSteps int64, progress func(int64)) (Parallel3DOutcome, sim.StopReason, error) {
+	w, err := NewParallel3DWorld(lang, d, k, seed, maxSteps, progress)
+	if err != nil {
+		return Parallel3DOutcome{}, 0, err
+	}
+	res := w.RunContext(ctx)
+	return Parallel3DOutcomeOf(lang, d, k, w, res), res.Reason, nil
+}
+
+// NewParallel3DWorld builds the Theorem 5 world with its all-pixels-
+// decided predicate installed, ready to Run or to restore a snapshot
+// into.
+func NewParallel3DWorld(lang shapes.Language, d, k int, seed, maxSteps int64, progress func(int64)) (*sim.World[p3State], error) {
 	proto := &Parallel3D{D: d, K: k, Lang: lang}
 	w, err := sim.NewFromConfig(proto.SquareConfig3D(), proto, sim.Options{
 		Dim: 3, Seed: seed, MaxSteps: maxSteps, CheckEvery: 64, Progress: progress,
 	})
 	if err != nil {
-		return Parallel3DOutcome{}, 0, err
+		return nil, err
 	}
 	w.SetHaltWhen(func(w *sim.World[p3State]) bool {
 		return w.CountNodes(func(s p3State) bool {
 			return s.Kind == p3Pixel && s.Decided
 		}) == d*d
 	})
-	res := w.RunContext(ctx)
+	return w, nil
+}
+
+// Parallel3DOutcomeOf reads the measured outcome off a finished world.
+func Parallel3DOutcomeOf(lang shapes.Language, d, k int, w *sim.World[p3State], res sim.Result) Parallel3DOutcome {
 	out := Parallel3DOutcome{D: d, K: k, Steps: res.Steps}
 	if res.Reason != sim.ReasonPredicate {
-		return out, res.Reason, nil
+		return out
 	}
 	out.Decided = true
 	out.Correct = true
@@ -185,5 +206,5 @@ func RunParallel3DCtx(ctx context.Context, lang shapes.Language, d, k int, seed,
 			out.Correct = false
 		}
 	}
-	return out, res.Reason, nil
+	return out
 }

@@ -73,6 +73,11 @@ type rpToken struct {
 	Rounds     int  // shifting rounds left
 }
 
+// ReplicationState is the exported alias of the protocol's state type: the job
+// layer's generic snapshot codec must name the concrete type to
+// instantiate the engine memento it encodes and restores.
+type ReplicationState = rpState
+
 // rpState is the per-node state.
 type rpState struct {
 	Kind     int // rpKindFree / rpKindCell
@@ -506,22 +511,39 @@ func RunReplication(g *grid.Shape, free int, seed, maxSteps int64) (ReplicationO
 // optional progress callback. A canceled run skips the settling phase and
 // reports Done=false.
 func RunReplicationCtx(ctx context.Context, g *grid.Shape, free int, seed, maxSteps int64, progress func(int64)) (ReplicationOutcome, sim.StopReason, error) {
-	proto := Replicator{}
-	w, err := sim.NewFromConfig(ShapeConfig(g, free), proto, sim.Options{
+	w, err := NewReplicationWorld(g, free, seed, maxSteps, progress)
+	if err != nil {
+		return ReplicationOutcome{}, 0, err
+	}
+	res := w.RunContext(ctx)
+	return ReplicationOutcomeOf(ctx, g, w, res), res.Reason, nil
+}
+
+// NewReplicationWorld builds the Section 7 replication world (the seed
+// shape plus free nodes) with its two-leaders-done predicate installed,
+// ready to Run or to restore a snapshot into.
+func NewReplicationWorld(g *grid.Shape, free int, seed, maxSteps int64, progress func(int64)) (*sim.World[rpState], error) {
+	w, err := sim.NewFromConfig(ShapeConfig(g, free), Replicator{}, sim.Options{
 		Seed: seed, MaxSteps: maxSteps, CheckEvery: 64, Progress: progress,
 	})
 	if err != nil {
-		return ReplicationOutcome{}, 0, err
+		return nil, err
 	}
 	w.SetHaltWhen(func(w *sim.World[rpState]) bool {
 		return w.CountNodes(func(s rpState) bool {
 			return s.HasToken && s.T.Phase == rpDone
 		}) >= 2
 	})
-	res := w.RunContext(ctx)
+	return w, nil
+}
+
+// ReplicationOutcomeOf reads the measured outcome off a finished world,
+// running the settling phase first (cleanup waves and dummy shedding; the
+// context is observed so a late cancel is not absorbed here).
+func ReplicationOutcomeOf(ctx context.Context, g *grid.Shape, w *sim.World[rpState], res sim.Result) ReplicationOutcome {
 	out := ReplicationOutcome{Steps: res.Steps, RGSize: g.EnclosingRect().Size()}
 	if res.Reason != sim.ReasonPredicate {
-		return out, res.Reason, nil
+		return out
 	}
 	out.Done = true
 	// Settle: let the cleanup waves finish labeling and the dummies shed.
@@ -556,7 +578,7 @@ func RunReplicationCtx(ctx context.Context, g *grid.Shape, free int, seed, maxSt
 		}
 	}
 	out.Exact = out.Copies == 2
-	return out, res.Reason, nil
+	return out
 }
 
 // settled reports whether every cell has received a cleanup wave and no

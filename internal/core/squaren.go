@@ -65,6 +65,11 @@ const (
 	lineReplica
 )
 
+// SquareKnowingNState is the exported alias of the protocol's state type: the job
+// layer's generic snapshot codec must name the concrete type to
+// instantiate the engine memento it encodes and restores.
+type SquareKnowingNState = skState
+
 // skState is the single state struct of the protocol; Kind selects the
 // meaningful fields.
 type skState struct {
@@ -432,18 +437,30 @@ func RunSquareKnowingN(n, d int, seed, maxSteps int64) SquareKnowingNOutcome {
 // with an optional progress callback. A canceled run skips the settling
 // phase and reports Halted=false.
 func RunSquareKnowingNCtx(ctx context.Context, n, d int, seed, maxSteps int64, progress func(int64)) (SquareKnowingNOutcome, sim.StopReason) {
-	proto := &SquareKnowingN{D: d}
-	w := sim.New(n, proto, sim.Options{
+	w := NewSquareKnowingNWorld(n, d, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return SquareKnowingNOutcomeOf(ctx, d, w, res), res.Reason
+}
+
+// NewSquareKnowingNWorld builds the Lemma 2 world, ready to Run or to
+// restore a snapshot into.
+func NewSquareKnowingNWorld(n, d int, seed, maxSteps int64, progress func(int64)) *sim.World[skState] {
+	return sim.New(n, &SquareKnowingN{D: d}, sim.Options{
 		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
 	})
-	res := w.RunContext(ctx)
+}
+
+// SquareKnowingNOutcomeOf reads the measured outcome off a finished
+// world, running the brief post-halt settling phase first (in-flight
+// conversion and shed rules; the context is observed so a late cancel is
+// not absorbed here).
+func SquareKnowingNOutcomeOf(ctx context.Context, d int, w *sim.World[skState], res sim.Result) SquareKnowingNOutcome {
+	n := w.N()
 	out := SquareKnowingNOutcome{N: n, D: d, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out, res.Reason
+		return out
 	}
 	out.Halted = true
-	// The settle loop observes the context too: a cancel arriving after
-	// the halt must not be absorbed by up to n*2000 further steps.
 	settle := w.Steps() + int64(n)*2000
 	for w.Steps() < settle && ctx.Err() == nil {
 		if _, err := w.Step(); err != nil {
@@ -455,5 +472,5 @@ func RunSquareKnowingNCtx(ctx context.Context, n, d int, seed, maxSteps int64, p
 	out.Spanned = shape.Size()
 	h, v, _ := shape.Dims()
 	out.Square = h == d && v == d && shape.Size() == d*d
-	return out, res.Reason
+	return out
 }

@@ -45,9 +45,20 @@ type StabilizeOutcome struct {
 // condition is a SetHaltWhen predicate over sim.World.Run, so the stop
 // reason is sim.ReasonPredicate on success.
 func RunStabilizeCtx(ctx context.Context, table string, n int, seed, maxSteps int64, progress func(int64)) (StabilizeOutcome, sim.StopReason, error) {
-	t, err := StabilizeTable(table)
+	w, err := NewStabilizeWorld(table, n, seed, maxSteps, progress)
 	if err != nil {
 		return StabilizeOutcome{}, 0, err
+	}
+	res := w.RunContext(ctx)
+	return StabilizeOutcomeOf(table, w, res), res.Reason, nil
+}
+
+// NewStabilizeWorld builds a Section 4 rule-table world with its spanning
+// predicate installed, ready to Run or to restore a snapshot into.
+func NewStabilizeWorld(table string, n int, seed, maxSteps int64, progress func(int64)) (*sim.World[rules.State], error) {
+	t, err := StabilizeTable(table)
+	if err != nil {
+		return nil, err
 	}
 	w := sim.New(n, sim.NewTableProtocol(t), sim.Options{
 		Seed: seed, MaxSteps: maxSteps, Progress: progress,
@@ -56,15 +67,18 @@ func RunStabilizeCtx(ctx context.Context, table string, n int, seed, maxSteps in
 		_, size := w.LargestComponent()
 		return size == n
 	})
-	res := w.RunContext(ctx)
+	return w, nil
+}
+
+// StabilizeOutcomeOf reads the measured outcome off a finished world.
+func StabilizeOutcomeOf(table string, w *sim.World[rules.State], res sim.Result) StabilizeOutcome {
 	slot, size := w.LargestComponent()
-	out := StabilizeOutcome{
+	return StabilizeOutcome{
 		Table:    table,
-		N:        n,
+		N:        w.N(),
 		Steps:    res.Steps,
 		Spanned:  size,
-		Spanning: size == n,
+		Spanning: size == w.N(),
 		Shape:    w.ComponentShape(slot),
 	}
-	return out, res.Reason, nil
 }

@@ -45,6 +45,11 @@ const (
 	uphDone
 )
 
+// UniversalState is the exported alias of the protocol's state type: the job
+// layer's generic snapshot codec must name the concrete type to
+// instantiate the engine memento it encodes and restores.
+type UniversalState = uniCell
+
 // uniCell is one square cell.
 type uniCell struct {
 	Decided  bool
@@ -390,26 +395,49 @@ func RunUniversalMicroStep(machine *tm.PixelMachine, d int, seed, maxSteps int64
 }
 
 func runUniversal(ctx context.Context, proto *Universal, lang shapes.Language, d int, seed, maxSteps int64, progress func(int64)) (UniversalOutcome, sim.StopReason, error) {
-	want := shapes.Render(lang, d).Shape()
 	if d == 1 {
 		// A 1x1 square has no bonded pair to act on; the result is trivial.
 		return UniversalOutcome{D: 1, Halted: true, Match: lang.Pixel(0, 1)}, sim.ReasonHalted, nil
 	}
-	w, err := sim.NewFromConfig(proto.SquareConfig(0), proto, sim.Options{
-		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
-	})
+	w, err := NewUniversalWorldFor(proto, seed, maxSteps, progress)
 	if err != nil {
 		return UniversalOutcome{}, 0, err
 	}
 	res := w.RunContext(ctx)
+	return UniversalOutcomeOf(ctx, lang, d, w, res), res.Reason, nil
+}
+
+// NewUniversalWorld builds the Theorem 4 world (pre-built d x d square,
+// oracle pixel decisions from lang), ready to Run or to restore a
+// snapshot into. d must be at least 2 — the d == 1 square is trivial and
+// has no interaction to schedule (RunUniversalOnSquareCtx short-circuits
+// it).
+func NewUniversalWorld(lang shapes.Language, d int, seed, maxSteps int64, progress func(int64)) (*sim.World[uniCell], error) {
+	if d < 2 {
+		return nil, fmt.Errorf("core: universal world needs d >= 2, got %d", d)
+	}
+	return NewUniversalWorldFor(&Universal{D: d, Lang: lang}, seed, maxSteps, progress)
+}
+
+// NewUniversalWorldFor is NewUniversalWorld for a caller-built protocol
+// value (the microstep TM variant sets Machine instead of Lang).
+func NewUniversalWorldFor(proto *Universal, seed, maxSteps int64, progress func(int64)) (*sim.World[uniCell], error) {
+	return sim.NewFromConfig(proto.SquareConfig(0), proto, sim.Options{
+		Seed: seed, MaxSteps: maxSteps, StopWhenAnyHalted: true, Progress: progress,
+	})
+}
+
+// UniversalOutcomeOf reads the measured outcome off a finished world,
+// first letting the released off pixels finish detaching (bounded budget;
+// the context is observed so a late cancel is not absorbed by the
+// settling).
+func UniversalOutcomeOf(ctx context.Context, lang shapes.Language, d int, w *sim.World[uniCell], res sim.Result) UniversalOutcome {
+	want := shapes.Render(lang, d).Shape()
 	out := UniversalOutcome{D: d, Steps: res.Steps}
 	if res.Reason != sim.ReasonHalted {
-		return out, res.Reason, nil
+		return out
 	}
 	out.Halted = true
-	// Let the released off pixels finish detaching: run until no off cell
-	// keeps a bond (bounded budget, and the context is observed so a late
-	// cancel is not absorbed by the settling).
 	for settle := w.Steps() + int64(d*d)*5000; w.Steps() < settle && offStillBonded(w) && ctx.Err() == nil; {
 		if _, err := w.Step(); err != nil {
 			break
@@ -418,7 +446,7 @@ func runUniversal(ctx context.Context, proto *Universal, lang shapes.Language, d
 	got := onShape(w)
 	out.Match = got.EqualUpToTranslation(want)
 	out.Waste = d*d - got.Size()
-	return out, res.Reason, nil
+	return out
 }
 
 // offStillBonded reports whether some released off cell retains a bond.

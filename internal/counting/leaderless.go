@@ -119,13 +119,29 @@ func RunLeaderless(proto *ObservationProtocol, n int, seed int64, maxSteps int64
 // RunLeaderlessCtx is RunLeaderless under a cancelable context with an
 // optional progress callback.
 func RunLeaderlessCtx(ctx context.Context, proto *ObservationProtocol, n int, seed, maxSteps int64, progress func(int64)) (LeaderlessOutcome, pop.StopReason) {
-	w := pop.New(n, proto, pop.Options{
-		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
-	})
+	w := NewLeaderlessWorld(proto, n, seed, maxSteps, progress)
 	res := w.RunContext(ctx)
-	out := LeaderlessOutcome{N: n, Steps: res.Steps}
+	return LeaderlessOutcomeOf(w, res), res.Reason
+}
+
+// NewLeaderlessWorld builds a Conjecture 1 evidence world, ready to Run
+// or to restore a snapshot into. Conjecture 1 runs terminate within tens
+// of steps (that early termination is the evidence), so the default
+// 256-step progress cadence would never fire; a per-few-steps cadence
+// keeps progress and checkpoints observable. Cadence ticks are passive —
+// the trajectory is identical at any CheckEvery.
+func NewLeaderlessWorld(proto *ObservationProtocol, n int, seed, maxSteps int64, progress func(int64)) *pop.World[ObsState] {
+	return pop.New(n, proto, pop.Options{
+		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
+		CheckEvery: 4,
+	})
+}
+
+// LeaderlessOutcomeOf reads the measured outcome off a finished world.
+func LeaderlessOutcomeOf(w *pop.World[ObsState], res pop.Result) LeaderlessOutcome {
+	out := LeaderlessOutcome{N: w.N(), Steps: res.Steps}
 	if res.FirstHalted >= 0 {
 		out.EarlyTermination = true
 	}
-	return out, res.Reason
+	return out
 }

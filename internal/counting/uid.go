@@ -109,18 +109,28 @@ func RunSimpleUID(n, b int, seed int64, maxSteps int64) SimpleUIDOutcome {
 // RunSimpleUIDCtx is RunSimpleUID under a cancelable context with an
 // optional progress callback.
 func RunSimpleUIDCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (SimpleUIDOutcome, pop.StopReason) {
-	proto := &SimpleUID{B: b}
-	w := pop.New(n, proto, pop.Options{
+	w := NewSimpleUIDWorld(n, b, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return SimpleUIDOutcomeOf(b, w, res), res.Reason
+}
+
+// NewSimpleUIDWorld builds the Theorem 2 world, ready to Run or to
+// restore a snapshot into.
+func NewSimpleUIDWorld(n, b int, seed, maxSteps int64, progress func(int64)) *pop.World[*SimpleUIDState] {
+	return pop.New(n, &SimpleUID{B: b}, pop.Options{
 		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
 	})
-	res := w.RunContext(ctx)
-	out := SimpleUIDOutcome{N: n, B: b, Steps: res.Steps}
+}
+
+// SimpleUIDOutcomeOf reads the measured outcome off a finished world.
+func SimpleUIDOutcomeOf(b int, w *pop.World[*SimpleUIDState], res pop.Result) SimpleUIDOutcome {
+	out := SimpleUIDOutcome{N: w.N(), B: b, Steps: res.Steps}
 	if res.FirstHalted >= 0 {
 		st := w.State(res.FirstHalted)
 		out.Output = st.Output
-		out.Exact = st.Output == n
+		out.Exact = st.Output == w.N()
 	}
-	return out, res.Reason
+	return out
 }
 
 // NoBelongs marks an agent not yet claimed by any counter (the paper's
@@ -239,18 +249,28 @@ func RunUID(n, b int, seed int64) UIDOutcome {
 // RunUIDCtx is RunUID under a cancelable context with an explicit step
 // budget (0 means the engine default) and an optional progress callback.
 func RunUIDCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UIDOutcome, pop.StopReason) {
-	proto := &UID{B: b}
-	w := pop.New(n, proto, pop.Options{
+	w := NewUIDWorld(n, b, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return UIDOutcomeOf(b, w, res), res.Reason
+}
+
+// NewUIDWorld builds the Theorem 3 world, ready to Run or to restore a
+// snapshot into.
+func NewUIDWorld(n, b int, seed, maxSteps int64, progress func(int64)) *pop.World[*UIDState] {
+	return pop.New(n, &UID{B: b}, pop.Options{
 		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
 	})
-	res := w.RunContext(ctx)
-	out := UIDOutcome{N: n, B: b, Steps: res.Steps}
+}
+
+// UIDOutcomeOf reads the measured outcome off a finished world.
+func UIDOutcomeOf(b int, w *pop.World[*UIDState], res pop.Result) UIDOutcome {
+	out := UIDOutcome{N: w.N(), B: b, Steps: res.Steps}
 	if res.FirstHalted < 0 {
-		return out, res.Reason
+		return out
 	}
 	st := w.State(res.FirstHalted)
-	out.WinnerIsMax = st.ID == n // default ids are 1..n
+	out.WinnerIsMax = st.ID == w.N() // default ids are 1..n
 	out.Output = st.Output
-	out.Success = st.Output >= int64(n)
-	return out, res.Reason
+	out.Success = st.Output >= int64(w.N())
+	return out
 }

@@ -167,20 +167,32 @@ func RunUpperBound(n, b int, seed int64) UpperBoundOutcome {
 // progress callback. The stop reason distinguishes a halt from a canceled
 // or exhausted run.
 func RunUpperBoundCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UpperBoundOutcome, pop.StopReason) {
-	proto := &UpperBound{B: b}
-	w := pop.New(n, proto, pop.Options{
+	w := NewUpperBoundWorld(n, b, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return UpperBoundOutcomeOf(b, w, res), res.Reason
+}
+
+// NewUpperBoundWorld builds the Theorem 1 world on the exact pair
+// scheduler, ready to Run (or to restore a snapshot into — the build /
+// run / read-out phases are separable so the job layer can checkpoint
+// and resume mid-flight).
+func NewUpperBoundWorld(n, b int, seed, maxSteps int64, progress func(int64)) *pop.World[UBState] {
+	return pop.New(n, &UpperBound{B: b}, pop.Options{
 		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
 	})
-	res := w.RunContext(ctx)
-	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
+}
+
+// UpperBoundOutcomeOf reads the measured outcome off a finished world.
+func UpperBoundOutcomeOf(b int, w *pop.World[UBState], res pop.Result) UpperBoundOutcome {
+	out := UpperBoundOutcome{N: w.N(), B: b, Steps: res.Steps}
 	if res.Reason != pop.ReasonHalted {
-		return out, res.Reason
+		return out
 	}
 	l := w.State(0).L
 	out.R0 = l.R0
-	out.Estimate = float64(l.R0) / float64(n)
-	out.Success = 2*l.R0 >= int64(n)
-	return out, res.Reason
+	out.Estimate = float64(l.R0) / float64(w.N())
+	out.Success = 2*l.R0 >= int64(w.N())
+	return out
 }
 
 // RunUpperBoundUrn executes Counting-Upper-Bound on the urn-compressed
@@ -202,24 +214,36 @@ func RunUpperBoundUrn(n, b int, seed int64) UpperBoundOutcome {
 // an explicit simulated-step budget (0 means effectively unbounded) and an
 // optional progress callback.
 func RunUpperBoundUrnCtx(ctx context.Context, n, b int, seed, maxSteps int64, progress func(int64)) (UpperBoundOutcome, pop.StopReason) {
+	w := NewUpperBoundUrnWorld(n, b, seed, maxSteps, progress)
+	res := w.RunContext(ctx)
+	return UpperBoundUrnOutcomeOf(b, w, res), res.Reason
+}
+
+// NewUpperBoundUrnWorld builds the Theorem 1 world on the urn-compressed
+// scheduler (maxSteps 0 means effectively unbounded), ready to Run or to
+// restore a snapshot into.
+func NewUpperBoundUrnWorld(n, b int, seed, maxSteps int64, progress func(int64)) *urn.World[UBState] {
 	if maxSteps == 0 {
 		maxSteps = 1 << 62
 	}
-	proto := &UpperBound{B: b}
-	w := urn.New(n, proto, pop.Options{
+	return urn.New(n, &UpperBound{B: b}, pop.Options{
 		Seed: seed, StopWhenAnyHalted: true, MaxSteps: maxSteps, Progress: progress,
 	})
-	res := w.RunContext(ctx)
-	out := UpperBoundOutcome{N: n, B: b, Steps: res.Steps}
+}
+
+// UpperBoundUrnOutcomeOf reads the measured outcome off a finished urn
+// world.
+func UpperBoundUrnOutcomeOf(b int, w *urn.World[UBState], res urn.Result) UpperBoundOutcome {
+	out := UpperBoundOutcome{N: w.N(), B: b, Steps: res.Steps}
 	if res.Reason != pop.ReasonHalted {
-		return out, res.Reason
+		return out
 	}
 	l, ok := w.FindState(func(s UBState) bool { return s.IsLeader })
 	if !ok {
-		return out, res.Reason
+		return out
 	}
 	out.R0 = l.L.R0
-	out.Estimate = float64(l.L.R0) / float64(n)
-	out.Success = 2*l.L.R0 >= int64(n)
-	return out, res.Reason
+	out.Estimate = float64(l.L.R0) / float64(w.N())
+	out.Success = 2*l.L.R0 >= int64(w.N())
+	return out
 }

@@ -1,0 +1,147 @@
+package job
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"shapesol/internal/pop"
+	"shapesol/internal/pop/urn"
+	"shapesol/internal/sim"
+	"shapesol/internal/snap"
+)
+
+// This file is the snapshot plumbing between the Spec registry and the
+// engines: one generic runner adapter per engine. An adapter instantiated
+// with a protocol's concrete state type S *is* that protocol's state
+// codec — its closure is the only place in the system that knows which
+// Memento[S] to gob-encode on capture and decode on restore, so generic
+// engine state round-trips without a global registry of state types.
+//
+// Each adapter factors a spec's Run into build (construct the world, with
+// the checkpoint-aware progress callback attached), an optional restore
+// (install the snapshot's memento over the initial configuration), the
+// engine's RunContext, and read (extract the protocol outcome). The
+// capture function handed to Job.Checkpoint freezes the world *and* the
+// normalized job into one snap.Snapshot, so a snapshot is self-contained:
+// Resume needs nothing but the container bytes.
+
+// encodeSnapshot freezes a quiescent world memento plus the job identity
+// into a self-contained snapshot.
+func encodeSnapshot(j Job, memento any, steps int64) (*snap.Snapshot, error) {
+	jobJSON, err := json.Marshal(j)
+	if err != nil {
+		return nil, fmt.Errorf("job: encode job for snapshot: %w", err)
+	}
+	state, err := snap.EncodeState(memento)
+	if err != nil {
+		return nil, err
+	}
+	return &snap.Snapshot{
+		Protocol: j.Protocol,
+		Engine:   string(j.Engine),
+		Seed:     j.Seed,
+		Steps:    steps,
+		Job:      jobJSON,
+		State:    state,
+	}, nil
+}
+
+// progressFn wires the job's Progress and Checkpoint callbacks into one
+// engine progress function. capture must freeze the world at call time.
+func progressFn(j Job, capture func(steps int64) (*snap.Snapshot, error)) func(int64) {
+	if j.Checkpoint == nil {
+		return j.Progress
+	}
+	return func(steps int64) {
+		if j.Progress != nil {
+			j.Progress(steps)
+		}
+		j.Checkpoint(steps, func() (*snap.Snapshot, error) { return capture(steps) })
+	}
+}
+
+// popRunner adapts a pop-engine protocol (build + read-out) into a
+// snapshot-capable Spec.Run.
+func popRunner[S any](
+	build func(j Job, progress func(int64)) (*pop.World[S], error),
+	read func(ctx context.Context, j Job, w *pop.World[S], res pop.Result) (Outcome, error),
+) func(context.Context, Job) (Outcome, error) {
+	return func(ctx context.Context, j Job) (Outcome, error) {
+		var w *pop.World[S]
+		capture := func(steps int64) (*snap.Snapshot, error) {
+			return encodeSnapshot(j, w.Memento(), steps)
+		}
+		w, err := build(j, progressFn(j, capture))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if j.Restore != nil {
+			var m pop.Memento[S]
+			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
+				return Outcome{}, err
+			}
+			if err := w.RestoreMemento(&m); err != nil {
+				return Outcome{}, err
+			}
+		}
+		res := w.RunContext(ctx)
+		return read(ctx, j, w, res)
+	}
+}
+
+// urnRunner is popRunner for the urn-compressed engine.
+func urnRunner[S comparable](
+	build func(j Job, progress func(int64)) (*urn.World[S], error),
+	read func(ctx context.Context, j Job, w *urn.World[S], res urn.Result) (Outcome, error),
+) func(context.Context, Job) (Outcome, error) {
+	return func(ctx context.Context, j Job) (Outcome, error) {
+		var w *urn.World[S]
+		capture := func(steps int64) (*snap.Snapshot, error) {
+			return encodeSnapshot(j, w.Memento(), steps)
+		}
+		w, err := build(j, progressFn(j, capture))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if j.Restore != nil {
+			var m urn.Memento[S]
+			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
+				return Outcome{}, err
+			}
+			if err := w.RestoreMemento(&m); err != nil {
+				return Outcome{}, err
+			}
+		}
+		res := w.RunContext(ctx)
+		return read(ctx, j, w, res)
+	}
+}
+
+// simRunner is popRunner for the geometric engine.
+func simRunner[S any](
+	build func(j Job, progress func(int64)) (*sim.World[S], error),
+	read func(ctx context.Context, j Job, w *sim.World[S], res sim.Result) (Outcome, error),
+) func(context.Context, Job) (Outcome, error) {
+	return func(ctx context.Context, j Job) (Outcome, error) {
+		var w *sim.World[S]
+		capture := func(steps int64) (*snap.Snapshot, error) {
+			return encodeSnapshot(j, w.Memento(), steps)
+		}
+		w, err := build(j, progressFn(j, capture))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if j.Restore != nil {
+			var m sim.Memento[S]
+			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
+				return Outcome{}, err
+			}
+			if err := w.RestoreMemento(&m); err != nil {
+				return Outcome{}, err
+			}
+		}
+		res := w.RunContext(ctx)
+		return read(ctx, j, w, res)
+	}
+}

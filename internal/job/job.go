@@ -21,15 +21,25 @@
 // stops any run — including an n = 10^6 urn run that is simulating
 // trillions of scheduler steps — promptly, with Result.Reason ==
 // ReasonCanceled. The engines' per-step hot paths stay allocation-free.
+//
+// Checkpointing: a Job's Checkpoint hook (same cadence as Progress) can
+// freeze the running world into a snap.Snapshot, and Resume(ctx, s)
+// drives a frozen run to completion. Resume-at-step-k yields a Result
+// byte-identical (up to WallTime) to the uninterrupted execution; the
+// per-spec engine adapters in checkpoint.go are the state codecs that
+// make this work for every registered protocol × engine pair.
 package job
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/snap"
 )
 
 // Engine selects the execution engine of a Job.
@@ -76,9 +86,81 @@ type Params struct {
 	Lang string `json:"lang,omitempty"`
 	// Table names a Section 4 stabilizing rule table.
 	Table string `json:"table,omitempty"`
-	// Shape is the replication target. It is carried by reference and not
-	// part of the JSON form.
+	// Shape is the replication target, carried by reference. Its JSON form
+	// (see MarshalJSON) is the cell list plus any non-full bond list, which
+	// is what lets shape-parameterized jobs travel over the daemon wire and
+	// ride inside snapshots.
 	Shape *grid.Shape `json:"-"`
+}
+
+// paramsWire is the JSON projection of Params: the scalar fields plus the
+// shape flattened to cells and (when not fully bonded) explicit bonds.
+type paramsWire struct {
+	N     int        `json:"n,omitempty"`
+	B     int        `json:"b,omitempty"`
+	D     int        `json:"d,omitempty"`
+	K     int        `json:"k,omitempty"`
+	Free  int        `json:"free,omitempty"`
+	Lang  string     `json:"lang,omitempty"`
+	Table string     `json:"table,omitempty"`
+	Shape []grid.Pos `json:"shape,omitempty"`
+	// ShapeBonds lists the shape's bonds when it is not fully bonded;
+	// absent means "every adjacent cell pair bonded" (grid.ShapeOf), the
+	// form every paper shape uses. A pointer, because an explicit empty
+	// list (a bond-less shape) must not be collapsed into the absent
+	// form by omitempty.
+	ShapeBonds *[][2]grid.Pos `json:"shape_bonds,omitempty"`
+}
+
+// MarshalJSON renders Params with the by-reference Shape flattened into
+// its cells (sorted, so equal shapes render equal bytes) and, if the
+// shape is not fully bonded, its explicit bond list.
+func (p Params) MarshalJSON() ([]byte, error) {
+	w := paramsWire{N: p.N, B: p.B, D: p.D, K: p.K, Free: p.Free, Lang: p.Lang, Table: p.Table}
+	if p.Shape != nil {
+		w.Shape = p.Shape.Cells()
+		if full := grid.ShapeOf(w.Shape...); full.NumBonds() != p.Shape.NumBonds() {
+			// Present even for a bond-less shape: omitting the (empty) list
+			// would decode as "fully bonded", silently changing the shape.
+			bonds := make([][2]grid.Pos, 0, p.Shape.NumBonds())
+			for _, e := range p.Shape.Edges() {
+				bonds = append(bonds, [2]grid.Pos{e.A, e.B})
+			}
+			w.ShapeBonds = &bonds
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the wire form strictly: unknown parameter fields
+// are rejected here (a nested DisallowUnknownFields does not traverse a
+// custom unmarshaler), which keeps the daemon's 400-on-unknown-parameter
+// contract.
+func (p *Params) UnmarshalJSON(data []byte) error {
+	var w paramsWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	*p = Params{N: w.N, B: w.B, D: w.D, K: w.K, Free: w.Free, Lang: w.Lang, Table: w.Table}
+	if len(w.Shape) > 0 {
+		if w.ShapeBonds == nil {
+			p.Shape = grid.ShapeOf(w.Shape...)
+		} else {
+			s := grid.NewShape()
+			for _, c := range w.Shape {
+				s.Add(c)
+			}
+			for _, b := range *w.ShapeBonds {
+				if err := s.Bond(b[0], b[1]); err != nil {
+					return fmt.Errorf("shape bond %v-%v: %w", b[0], b[1], err)
+				}
+			}
+			p.Shape = s
+		}
+	}
+	return nil
 }
 
 // intField and strField give schema-driven access to the named fields.
@@ -148,6 +230,19 @@ type Job struct {
 	// Progress, when non-nil, is invoked on the engine's CheckEvery
 	// cadence with the current step count. It must not mutate the run.
 	Progress func(steps int64) `json:"-"`
+	// Checkpoint, when non-nil, is invoked on the same cadence as
+	// Progress with the current step count and a capture function that
+	// freezes the running world into a restorable snapshot. Capture cost
+	// (memento copy + encode) is paid only when capture is called, so
+	// callers throttle snapshotting by simply not calling it; capture is
+	// valid only for the duration of the callback (the world moves on
+	// afterwards). Capturing does not perturb the run: the resulting
+	// Result is byte-identical to an unobserved execution.
+	Checkpoint func(steps int64, capture func() (*snap.Snapshot, error)) `json:"-"`
+	// Restore, when non-nil, initializes the run from a snapshot instead
+	// of the protocol's initial configuration; the run then continues the
+	// frozen trajectory exactly. Normally set through Resume.
+	Restore *snap.Snapshot `json:"-"`
 }
 
 // Outcome is what a Spec's runner reports back to Run: the envelope
@@ -329,11 +424,23 @@ func (j Job) CacheKey() string {
 		sb.WriteString("|shape=")
 		// Cells() is already in deterministic lexicographic order, so
 		// equal cell sets render equal key fragments.
-		for i, c := range j.Params.Shape.Cells() {
+		cells := j.Params.Shape.Cells()
+		for i, c := range cells {
 			if i > 0 {
 				sb.WriteByte(';')
 			}
 			fmt.Fprintf(&sb, "%d,%d,%d", c.X, c.Y, c.Z)
+		}
+		if full := grid.ShapeOf(cells...); full.NumBonds() != j.Params.Shape.NumBonds() {
+			// Same cells, different bond sets are different run identities;
+			// Edges() is canonically sorted, so the fragment is stable.
+			sb.WriteString("|bonds=")
+			for i, e := range j.Params.Shape.Edges() {
+				if i > 0 {
+					sb.WriteByte(';')
+				}
+				fmt.Fprintf(&sb, "%d,%d,%d-%d,%d,%d", e.A.X, e.A.Y, e.A.Z, e.B.X, e.B.Y, e.B.Z)
+			}
 		}
 	}
 	return sb.String()
@@ -351,6 +458,51 @@ func (r *Registry) Run(ctx context.Context, j Job) (Result, error) {
 		return Result{}, err
 	}
 	return RunNormalized(ctx, j, spec)
+}
+
+// ResumeJob decodes and normalizes the job frozen inside a snapshot and
+// returns it with Restore set, ready for RunNormalized. Callers that need
+// to attach live hooks (the daemon's Progress publisher and Checkpoint
+// writer) use this instead of Resume. The snapshot's identity fields must
+// match the decoded job — a mismatch means the container was assembled
+// inconsistently and the engine state cannot be trusted.
+func (r *Registry) ResumeJob(s *snap.Snapshot) (Job, *Spec, error) {
+	if s == nil || len(s.Job) == 0 {
+		return Job{}, nil, fmt.Errorf("job: snapshot carries no job")
+	}
+	var j Job
+	dec := json.NewDecoder(bytes.NewReader(s.Job))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Job{}, nil, fmt.Errorf("job: decode snapshot job: %w", err)
+	}
+	nj, spec, err := r.Normalize(j)
+	if err != nil {
+		return Job{}, nil, err
+	}
+	if nj.Protocol != s.Protocol || string(nj.Engine) != s.Engine || nj.Seed != s.Seed {
+		return Job{}, nil, fmt.Errorf("job: snapshot identity %s/%s/seed=%d does not match its job %s/%s/seed=%d",
+			s.Protocol, s.Engine, s.Seed, nj.Protocol, nj.Engine, nj.Seed)
+	}
+	nj.Restore = s
+	return nj, spec, nil
+}
+
+// Resume executes the run frozen in s to completion: the world is rebuilt
+// from the snapshot's engine state and driven to its terminal condition,
+// yielding a Result byte-identical (up to WallTime) to the uninterrupted
+// execution of the same job.
+func (r *Registry) Resume(ctx context.Context, s *snap.Snapshot) (Result, error) {
+	j, spec, err := r.ResumeJob(s)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunNormalized(ctx, j, spec)
+}
+
+// Resume executes a snapshot against the Default registry.
+func Resume(ctx context.Context, s *snap.Snapshot) (Result, error) {
+	return Default.Resume(ctx, s)
 }
 
 // RunNormalized executes a Job that Normalize already resolved against

@@ -6,6 +6,8 @@ import (
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/pop"
+	"shapesol/internal/pop/urn"
+	"shapesol/internal/rules"
 	"shapesol/internal/shapes"
 	"shapesol/internal/sim"
 )
@@ -20,6 +22,13 @@ import (
 // stabilizing tables, 300M for Square-Knowing-n, 500M for the universal
 // constructor and replication); the urn engine's default is effectively
 // unbounded, since it skips ineffective steps in O(1).
+//
+// Every spec's Run is built from an engine runner adapter (popRunner,
+// urnRunner, simRunner — see checkpoint.go), which factors the execution
+// into build / restore / run / read-out. The adapter instantiated with
+// the protocol's concrete state type doubles as the protocol's snapshot
+// state codec, so every protocol × engine pair below is checkpointable
+// and resumable.
 
 // popOutcome wraps a pop-engine protocol outcome in the envelope fields.
 func popOutcome(payload any, steps int64, reason pop.StopReason) Outcome {
@@ -39,6 +48,22 @@ func simOutcome(payload any, steps int64, reason sim.StopReason, halted bool) Ou
 }
 
 func init() {
+	runUpperBoundPop := popRunner(
+		func(j Job, progress func(int64)) (*pop.World[counting.UBState], error) {
+			return counting.NewUpperBoundWorld(j.Params.N, j.Params.B, j.Seed, j.MaxSteps, progress), nil
+		},
+		func(_ context.Context, j Job, w *pop.World[counting.UBState], res pop.Result) (Outcome, error) {
+			out := counting.UpperBoundOutcomeOf(j.Params.B, w, res)
+			return popOutcome(out, out.Steps, res.Reason), nil
+		})
+	runUpperBoundUrn := urnRunner(
+		func(j Job, progress func(int64)) (*urn.World[counting.UBState], error) {
+			return counting.NewUpperBoundUrnWorld(j.Params.N, j.Params.B, j.Seed, j.MaxSteps, progress), nil
+		},
+		func(_ context.Context, j Job, w *urn.World[counting.UBState], res urn.Result) (Outcome, error) {
+			out := counting.UpperBoundUrnOutcomeOf(j.Params.B, w, res)
+			return popOutcome(out, out.Steps, res.Reason), nil
+		})
 	Default.Register(Spec{
 		Name:    "counting-upper-bound",
 		Title:   "Counting-Upper-Bound: terminating counting with a halting leader",
@@ -52,11 +77,9 @@ func init() {
 		},
 		Run: func(ctx context.Context, j Job) (Outcome, error) {
 			if j.Engine == EngineUrn {
-				out, reason := counting.RunUpperBoundUrnCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
-				return popOutcome(out, out.Steps, reason), nil
+				return runUpperBoundUrn(ctx, j)
 			}
-			out, reason := counting.RunUpperBoundCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
-			return popOutcome(out, out.Steps, reason), nil
+			return runUpperBoundPop(ctx, j)
 		},
 	})
 
@@ -70,10 +93,14 @@ func init() {
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "repeated-window length", Default: 2, Min: 1},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			out, reason := counting.RunSimpleUIDCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
-			return popOutcome(out, out.Steps, reason), nil
-		},
+		Run: popRunner(
+			func(j Job, progress func(int64)) (*pop.World[*counting.SimpleUIDState], error) {
+				return counting.NewSimpleUIDWorld(j.Params.N, j.Params.B, j.Seed, j.MaxSteps, progress), nil
+			},
+			func(_ context.Context, j Job, w *pop.World[*counting.SimpleUIDState], res pop.Result) (Outcome, error) {
+				out := counting.SimpleUIDOutcomeOf(j.Params.B, w, res)
+				return popOutcome(out, out.Steps, res.Reason), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -86,10 +113,14 @@ func init() {
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "count1 threshold before second marks", Default: 4, Min: 1},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			out, reason := counting.RunUIDCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
-			return popOutcome(out, out.Steps, reason), nil
-		},
+		Run: popRunner(
+			func(j Job, progress func(int64)) (*pop.World[*counting.UIDState], error) {
+				return counting.NewUIDWorld(j.Params.N, j.Params.B, j.Seed, j.MaxSteps, progress), nil
+			},
+			func(_ context.Context, j Job, w *pop.World[*counting.UIDState], res pop.Result) (Outcome, error) {
+				out := counting.UIDOutcomeOf(j.Params.B, w, res)
+				return popOutcome(out, out.Steps, res.Reason), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -101,10 +132,14 @@ func init() {
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			out, reason := counting.RunLeaderlessCtx(ctx, counting.TwoZerosProtocol(), j.Params.N, j.Seed, j.MaxSteps, j.Progress)
-			return popOutcome(out, out.Steps, reason), nil
-		},
+		Run: popRunner(
+			func(j Job, progress func(int64)) (*pop.World[counting.ObsState], error) {
+				return counting.NewLeaderlessWorld(counting.TwoZerosProtocol(), j.Params.N, j.Seed, j.MaxSteps, progress), nil
+			},
+			func(_ context.Context, j Job, w *pop.World[counting.ObsState], res pop.Result) (Outcome, error) {
+				out := counting.LeaderlessOutcomeOf(w, res)
+				return popOutcome(out, out.Steps, res.Reason), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -117,10 +152,14 @@ func init() {
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "leader head start", Default: 3, Min: 1},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			out, reason := core.RunCountLineCtx(ctx, j.Params.N, j.Params.B, j.Seed, j.MaxSteps, j.Progress)
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
-		},
+		Run: simRunner(
+			func(j Job, progress func(int64)) (*sim.World[core.CountLineState], error) {
+				return core.NewCountLineWorld(j.Params.N, j.Params.B, j.Seed, j.MaxSteps, progress), nil
+			},
+			func(_ context.Context, j Job, w *sim.World[core.CountLineState], res sim.Result) (Outcome, error) {
+				out := core.CountLineOutcomeOf(j.Params.B, w, res)
+				return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonHalted), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -133,16 +172,36 @@ func init() {
 			{Name: "d", Usage: "square side length", Required: true, Min: 1},
 			{Name: "n", Usage: "population size (default d*d)", Min: 1},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			n := j.Params.N
-			if n == 0 {
-				n = j.Params.D * j.Params.D
-			}
-			out, reason := core.RunSquareKnowingNCtx(ctx, n, j.Params.D, j.Seed, j.MaxSteps, j.Progress)
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
-		},
+		Run: simRunner(
+			func(j Job, progress func(int64)) (*sim.World[core.SquareKnowingNState], error) {
+				n := j.Params.N
+				if n == 0 {
+					n = j.Params.D * j.Params.D
+				}
+				return core.NewSquareKnowingNWorld(n, j.Params.D, j.Seed, j.MaxSteps, progress), nil
+			},
+			func(ctx context.Context, j Job, w *sim.World[core.SquareKnowingNState], res sim.Result) (Outcome, error) {
+				out := core.SquareKnowingNOutcomeOf(ctx, j.Params.D, w, res)
+				return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonHalted), nil
+			}),
 	})
 
+	runUniversal := simRunner(
+		func(j Job, progress func(int64)) (*sim.World[core.UniversalState], error) {
+			lang, err := shapes.ByName(j.Params.Lang)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewUniversalWorld(lang, j.Params.D, j.Seed, j.MaxSteps, progress)
+		},
+		func(ctx context.Context, j Job, w *sim.World[core.UniversalState], res sim.Result) (Outcome, error) {
+			lang, err := shapes.ByName(j.Params.Lang)
+			if err != nil {
+				return Outcome{}, err
+			}
+			out := core.UniversalOutcomeOf(ctx, lang, j.Params.D, w, res)
+			return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonHalted), nil
+		})
 	Default.Register(Spec{
 		Name:    "universal",
 		Title:   "Universal constructor: TM-decided pixels on the square, waste released",
@@ -154,15 +213,20 @@ func init() {
 			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
 		},
 		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			lang, err := shapes.ByName(j.Params.Lang)
-			if err != nil {
-				return Outcome{}, err
+			if j.Params.D == 1 {
+				// The 1x1 square has no bonded pair to schedule; the run is
+				// trivial and needs no checkpoint path.
+				lang, err := shapes.ByName(j.Params.Lang)
+				if err != nil {
+					return Outcome{}, err
+				}
+				out, reason, err := core.RunUniversalOnSquareCtx(ctx, lang, 1, j.Seed, j.MaxSteps, j.Progress)
+				if err != nil {
+					return Outcome{}, err
+				}
+				return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
 			}
-			out, reason, err := core.RunUniversalOnSquareCtx(ctx, lang, j.Params.D, j.Seed, j.MaxSteps, j.Progress)
-			if err != nil {
-				return Outcome{}, err
-			}
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonHalted), nil
+			return runUniversal(ctx, j)
 		},
 	})
 
@@ -177,17 +241,22 @@ func init() {
 			{Name: "k", Usage: "memory column height", Default: 3, Min: 2},
 			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			lang, err := shapes.ByName(j.Params.Lang)
-			if err != nil {
-				return Outcome{}, err
-			}
-			out, reason, err := core.RunParallel3DCtx(ctx, lang, j.Params.D, j.Params.K, j.Seed, j.MaxSteps, j.Progress)
-			if err != nil {
-				return Outcome{}, err
-			}
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
-		},
+		Run: simRunner(
+			func(j Job, progress func(int64)) (*sim.World[core.Parallel3DState], error) {
+				lang, err := shapes.ByName(j.Params.Lang)
+				if err != nil {
+					return nil, err
+				}
+				return core.NewParallel3DWorld(lang, j.Params.D, j.Params.K, j.Seed, j.MaxSteps, progress)
+			},
+			func(_ context.Context, j Job, w *sim.World[core.Parallel3DState], res sim.Result) (Outcome, error) {
+				lang, err := shapes.ByName(j.Params.Lang)
+				if err != nil {
+					return Outcome{}, err
+				}
+				out := core.Parallel3DOutcomeOf(lang, j.Params.D, j.Params.K, w, res)
+				return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonPredicate), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -200,18 +269,19 @@ func init() {
 			{Name: "shape", Usage: "the shape to replicate", Required: true},
 			{Name: "free", Usage: "free nodes (default the paper's 2|R_G|-|G|)"},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			g := j.Params.Shape
-			free := j.Params.Free
-			if free == 0 {
-				free = 2*g.EnclosingRect().Size() - g.Size()
-			}
-			out, reason, err := core.RunReplicationCtx(ctx, g, free, j.Seed, j.MaxSteps, j.Progress)
-			if err != nil {
-				return Outcome{}, err
-			}
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
-		},
+		Run: simRunner(
+			func(j Job, progress func(int64)) (*sim.World[core.ReplicationState], error) {
+				g := j.Params.Shape
+				free := j.Params.Free
+				if free == 0 {
+					free = 2*g.EnclosingRect().Size() - g.Size()
+				}
+				return core.NewReplicationWorld(g, free, j.Seed, j.MaxSteps, progress)
+			},
+			func(ctx context.Context, j Job, w *sim.World[core.ReplicationState], res sim.Result) (Outcome, error) {
+				out := core.ReplicationOutcomeOf(ctx, j.Params.Shape, w, res)
+				return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonPredicate), nil
+			}),
 	})
 
 	Default.Register(Spec{
@@ -224,12 +294,13 @@ func init() {
 			{Name: "table", Usage: "rule table: line, square or square2", Required: true},
 			{Name: "n", Usage: "population size", Required: true, Min: 1},
 		},
-		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			out, reason, err := core.RunStabilizeCtx(ctx, j.Params.Table, j.Params.N, j.Seed, j.MaxSteps, j.Progress)
-			if err != nil {
-				return Outcome{}, err
-			}
-			return simOutcome(out, out.Steps, reason, reason == sim.ReasonPredicate), nil
-		},
+		Run: simRunner(
+			func(j Job, progress func(int64)) (*sim.World[rules.State], error) {
+				return core.NewStabilizeWorld(j.Params.Table, j.Params.N, j.Seed, j.MaxSteps, progress)
+			},
+			func(_ context.Context, j Job, w *sim.World[rules.State], res sim.Result) (Outcome, error) {
+				out := core.StabilizeOutcomeOf(j.Params.Table, w, res)
+				return simOutcome(out, out.Steps, res.Reason, res.Reason == sim.ReasonPredicate), nil
+			}),
 	})
 }

@@ -17,7 +17,8 @@ package pop
 import (
 	"context"
 	"fmt"
-	"math/rand"
+
+	"shapesol/internal/wrand"
 )
 
 // Protocol is the agent behavior, generic over the per-agent state type S.
@@ -95,7 +96,7 @@ type World[S any] struct {
 	n      int
 	opts   Options
 	proto  Protocol[S]
-	rng    *rand.Rand
+	rng    *wrand.RNG
 	states []S
 	halted []bool
 
@@ -114,7 +115,7 @@ func New[S any](n int, proto Protocol[S], opts Options) *World[S] {
 		n:           n,
 		opts:        opts.withDefaults(),
 		proto:       proto,
-		rng:         rand.New(rand.NewSource(opts.Seed)),
+		rng:         wrand.NewRNG(opts.Seed),
 		states:      make([]S, n),
 		halted:      make([]bool, n),
 		firstHalted: -1,

@@ -1,0 +1,75 @@
+package pop
+
+import (
+	"fmt"
+
+	"shapesol/internal/wrand"
+)
+
+// Memento is the complete serializable state of a World: everything a
+// fresh World of the same protocol and options needs to continue the
+// exact trajectory — the agent states, the step and effective-interaction
+// clocks, the first-halted record (historical, not derivable from the
+// configuration) and the scheduler RNG. Derived tallies (halted flags and
+// counts) are recomputed on restore via the protocol's Halted predicate.
+//
+// The state type S is generic here; the job layer's per-spec codecs
+// instantiate the concrete type so a Memento round-trips through gob.
+type Memento[S any] struct {
+	N           int
+	Steps       int64
+	Effective   int64
+	FirstHalted int
+	RNG         wrand.RNGState
+	States      []S
+}
+
+// Memento captures the World's current state. The returned value shares
+// nothing with the World (states are copied), so it stays valid while the
+// run continues. Capture it only between steps — e.g. from the Progress
+// callback, which the engine invokes with the world quiescent.
+func (w *World[S]) Memento() *Memento[S] {
+	states := make([]S, len(w.states))
+	copy(states, w.states)
+	return &Memento[S]{
+		N:           w.n,
+		Steps:       w.steps,
+		Effective:   w.effective,
+		FirstHalted: w.firstHalted,
+		RNG:         w.rng.State(),
+		States:      states,
+	}
+}
+
+// RestoreMemento rewinds (or fast-forwards) the World to a captured
+// state. The World must have been built with the same population size and
+// protocol; options (budget, progress, stop conditions) are the World's
+// own, so a resumed run can carry a different budget or callbacks without
+// touching the trajectory. After a successful restore the World continues
+// exactly as the captured one would have.
+func (w *World[S]) RestoreMemento(m *Memento[S]) error {
+	if m.N != w.n {
+		return fmt.Errorf("pop: snapshot population %d, world has %d", m.N, w.n)
+	}
+	if len(m.States) != w.n {
+		return fmt.Errorf("pop: snapshot carries %d states for population %d", len(m.States), m.N)
+	}
+	if m.FirstHalted < -1 || m.FirstHalted >= w.n {
+		return fmt.Errorf("pop: snapshot first-halted id %d out of range", m.FirstHalted)
+	}
+	if err := w.rng.SetState(m.RNG); err != nil {
+		return err
+	}
+	copy(w.states, m.States)
+	w.haltedCount = 0
+	for i := range w.states {
+		w.halted[i] = w.proto.Halted(w.states[i])
+		if w.halted[i] {
+			w.haltedCount++
+		}
+	}
+	w.steps = m.Steps
+	w.effective = m.Effective
+	w.firstHalted = m.FirstHalted
+	return nil
+}

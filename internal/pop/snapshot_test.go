@@ -1,0 +1,93 @@
+package pop
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotResumeIdentical is the engine-level determinism guarantee:
+// capture a memento mid-run, finish the run, then restore the memento
+// into a fresh world and finish that — both runs must agree on every
+// observable (Result and final states).
+func TestSnapshotResumeIdentical(t *testing.T) {
+	opts := Options{Seed: 5, MaxSteps: 20_000}
+	base := New(64, pairCounter{}, opts)
+	for i := 0; i < 7_000; i++ {
+		base.Step()
+	}
+	m := base.Memento()
+	baseRes := base.Run()
+
+	resumed := New(64, pairCounter{}, opts)
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Steps() != 7_000 {
+		t.Fatalf("restored steps = %d, want 7000", resumed.Steps())
+	}
+	resumedRes := resumed.Run()
+	if baseRes != resumedRes {
+		t.Fatalf("results diverged:\nbase    %+v\nresumed %+v", baseRes, resumedRes)
+	}
+	for id := 0; id < base.N(); id++ {
+		if base.State(id) != resumed.State(id) {
+			t.Fatalf("state %d diverged: %v vs %v", id, base.State(id), resumed.State(id))
+		}
+	}
+}
+
+// TestSnapshotCaptureIsPassive checks capturing a memento does not
+// perturb the trajectory.
+func TestSnapshotCaptureIsPassive(t *testing.T) {
+	opts := Options{Seed: 2, MaxSteps: 5_000}
+	plain := New(32, pairCounter{}, opts)
+	observed := New(32, pairCounter{}, opts)
+	for i := 0; i < 5_000; i++ {
+		plain.Step()
+		observed.Memento()
+		observed.Step()
+	}
+	if !reflect.DeepEqual(plain.Memento(), observed.Memento()) {
+		t.Fatal("capturing mementos changed the trajectory")
+	}
+}
+
+// TestSnapshotRestoresHaltTracking checks halted bookkeeping (including
+// FirstHalted, which is history, not state) survives the round trip.
+func TestSnapshotRestoresHaltTracking(t *testing.T) {
+	base := New(6, halter{}, Options{Seed: 3, MaxSteps: 100, StopWhenAllHalted: true})
+	base.Run()
+	if base.HaltedCount() == 0 {
+		t.Fatal("run produced no halted agents")
+	}
+	m := base.Memento()
+	resumed := New(6, halter{}, Options{Seed: 99, MaxSteps: 100, StopWhenAllHalted: true})
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.HaltedCount() != base.HaltedCount() {
+		t.Fatalf("halted count %d, want %d", resumed.HaltedCount(), base.HaltedCount())
+	}
+	if resumed.FirstHalted() != base.FirstHalted() {
+		t.Fatalf("first halted %d, want %d", resumed.FirstHalted(), base.FirstHalted())
+	}
+}
+
+// TestRestoreMementoRejectsMismatch covers the validation paths.
+func TestRestoreMementoRejectsMismatch(t *testing.T) {
+	m := New(8, pairCounter{}, Options{Seed: 1}).Memento()
+	if err := New(9, pairCounter{}, Options{Seed: 1}).RestoreMemento(m); err == nil {
+		t.Fatal("accepted a population-size mismatch")
+	}
+	bad := *m
+	bad.States = bad.States[:3]
+	bad.N = 8
+	if err := New(8, pairCounter{}, Options{Seed: 1}).RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted a truncated state vector")
+	}
+	bad = *m
+	bad.FirstHalted = 99
+	if err := New(8, pairCounter{}, Options{Seed: 1}).RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted an out-of-range first-halted id")
+	}
+}

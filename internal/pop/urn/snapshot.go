@@ -1,0 +1,151 @@
+package urn
+
+import (
+	"fmt"
+
+	"shapesol/internal/wrand"
+)
+
+// Memento is the complete serializable state of an urn World. Beyond the
+// logical configuration (the multiset of states) it preserves the exact
+// slot-table layout — slot assignment, live order, free-slot and
+// free-pair recycling stacks, and the responsive-pair table — because the
+// layout is part of the sampling state: Fenwick indices decide which slot
+// a given random draw lands on, so a canonically rebuilt urn would be
+// statistically equivalent but not trajectory-identical. The Fenwick
+// trees themselves are derived (a tree's array is a pure function of its
+// weight vector) and are rebuilt on restore, as are the state-to-slot
+// map and the halted tallies.
+type Memento[S comparable] struct {
+	N         int
+	Steps     int64
+	Effective int64
+	RNG       wrand.RNGState
+	States    []S // one per slot; freed slots hold the zero value
+	Counts    []int64
+	Live      []int32
+	FreeSlots []int
+	PairAB    [][2]int32
+	PairSlot  [][]int32
+	FreePairs []int
+}
+
+// Memento captures the World's current state. Everything is deep-copied,
+// so the capture stays valid while the run continues. Capture only
+// between effective steps — e.g. from the Progress callback.
+func (w *World[S]) Memento() *Memento[S] {
+	m := &Memento[S]{
+		N:         w.n,
+		Steps:     w.steps,
+		Effective: w.effective,
+		RNG:       w.rng.State(),
+		States:    append([]S(nil), w.states...),
+		Counts:    append([]int64(nil), w.counts...),
+		Live:      append([]int32(nil), w.live...),
+		FreeSlots: append([]int(nil), w.freeSlots...),
+		PairAB:    make([][2]int32, len(w.pairAB)),
+		PairSlot:  make([][]int32, len(w.pairSlot)),
+		FreePairs: append([]int(nil), w.freePairs...),
+	}
+	copy(m.PairAB, w.pairAB)
+	for i, row := range w.pairSlot {
+		m.PairSlot[i] = append([]int32(nil), row...)
+	}
+	return m
+}
+
+// RestoreMemento rewinds the World to a captured state. The World must
+// have been built with the same population size and protocol; its own
+// options stay in effect. The slot tables are installed verbatim and the
+// derived structures (state index, halted tallies, both Fenwick trees)
+// are rebuilt, after which the World continues the captured trajectory
+// exactly.
+func (w *World[S]) RestoreMemento(m *Memento[S]) error {
+	if m.N != w.n {
+		return fmt.Errorf("urn: snapshot population %d, world has %d", m.N, w.n)
+	}
+	nSlots := len(m.States)
+	if len(m.Counts) != nSlots || len(m.PairSlot) != nSlots {
+		return fmt.Errorf("urn: inconsistent snapshot slot tables (%d states, %d counts, %d pair rows)",
+			nSlots, len(m.Counts), len(m.PairSlot))
+	}
+	var total int64
+	for _, c := range m.Counts {
+		if c < 0 {
+			return fmt.Errorf("urn: snapshot carries negative count %d", c)
+		}
+		total += c
+	}
+	if total != int64(w.n) {
+		return fmt.Errorf("urn: snapshot counts sum to %d, want %d", total, w.n)
+	}
+	if err := w.rng.SetState(m.RNG); err != nil {
+		return err
+	}
+
+	w.states = append(w.states[:0], m.States...)
+	w.counts = append(w.counts[:0], m.Counts...)
+	w.live = append(w.live[:0], m.Live...)
+	w.freeSlots = append(w.freeSlots[:0], m.FreeSlots...)
+	w.pairAB = append(w.pairAB[:0], m.PairAB...)
+	w.freePairs = append(w.freePairs[:0], m.FreePairs...)
+	w.pairSlot = w.pairSlot[:0]
+	for _, row := range m.PairSlot {
+		if len(row) != nSlots {
+			return fmt.Errorf("urn: ragged snapshot pair table")
+		}
+		for _, ps := range row {
+			// -1 means unresponsive; anything else must index pairAB, or a
+			// later setCount would index the pair tree out of range.
+			if ps < -1 || int(ps) >= len(m.PairAB) {
+				return fmt.Errorf("urn: snapshot pair index %d out of range", ps)
+			}
+		}
+		w.pairSlot = append(w.pairSlot, append([]int32(nil), row...))
+	}
+
+	// Rebuild the derived structures: positions, the state index, halted
+	// tallies and both sampling trees.
+	w.haltedSlot = make([]bool, nSlots)
+	w.livePos = make([]int32, nSlots)
+	for i := range w.livePos {
+		w.livePos[i] = -1
+	}
+	clear(w.slotOf)
+	w.haltedCount = 0
+	w.countF = wrand.NewFenwick(nSlots)
+	for pos, slot := range w.live {
+		if slot < 0 || int(slot) >= nSlots {
+			return fmt.Errorf("urn: snapshot live slot %d out of range", slot)
+		}
+		w.livePos[slot] = int32(pos)
+		s := w.states[slot]
+		if _, dup := w.slotOf[s]; dup {
+			return fmt.Errorf("urn: snapshot holds state %v in two slots", s)
+		}
+		w.slotOf[s] = int(slot)
+		w.haltedSlot[slot] = w.proto.Halted(s)
+		if w.haltedSlot[slot] {
+			w.haltedCount += w.counts[slot]
+		}
+		w.countF.Set(int(slot), w.counts[slot])
+	}
+	free := make(map[int]bool, len(w.freePairs))
+	for _, ps := range w.freePairs {
+		free[ps] = true
+	}
+	w.pairF = wrand.NewFenwick(len(w.pairAB))
+	for ps, ab := range w.pairAB {
+		if free[ps] {
+			continue
+		}
+		i, j := int(ab[0]), int(ab[1])
+		if i < 0 || i >= nSlots || j < 0 || j >= nSlots {
+			return fmt.Errorf("urn: snapshot pair %d references slot out of range", ps)
+		}
+		w.pairF.Set(ps, w.pairWeight(i, j))
+	}
+	w.steps = m.Steps
+	w.effective = m.Effective
+	return nil
+}

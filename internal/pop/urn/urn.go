@@ -33,7 +33,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"shapesol/internal/pop"
 	"shapesol/internal/wrand"
@@ -65,7 +64,7 @@ type World[S comparable] struct {
 	totalPairs int64 // n(n-1)/2
 	opts       pop.Options
 	proto      Protocol[S]
-	rng        *rand.Rand
+	rng        *wrand.RNG
 
 	// Slot tables: one slot per distinct present state. Freed slots are
 	// recycled so steady-state churn (e.g. a leader whose counter state
@@ -113,7 +112,7 @@ func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
 		totalPairs: int64(n) * int64(n-1) / 2,
 		opts:       opts,
 		proto:      proto,
-		rng:        rand.New(rand.NewSource(opts.Seed)),
+		rng:        wrand.NewRNG(opts.Seed),
 		slotOf:     make(map[S]int),
 		countF:     wrand.NewFenwick(0),
 		pairF:      wrand.NewFenwick(0),

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"shapesol/internal/job"
+)
+
+// durableConfig is the fast-cadence durable test configuration: frames
+// and checkpoints on every engine tick.
+func durableConfig(dir string) Config {
+	return Config{Workers: 1, FrameInterval: -1, DataDir: dir, CheckpointEvery: -1}
+}
+
+// shutdown drains a server within the test deadline. For a durable
+// server this is also the "interrupt" primitive: in-flight jobs are
+// canceled but not settled in the journal, exactly like a crash, so the
+// next boot resumes them.
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// getBody performs a GET and returns code and body.
+func getBody(s http.Handler, path string) (int, []byte) {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+var wallRe = regexp.MustCompile(`"wall_ns": \d+`)
+
+func zeroWall(b []byte) []byte { return wallRe.ReplaceAll(b, []byte(`"wall_ns": 0`)) }
+
+// uninterruptedEnvelope runs the job in-process and renders the daemon's
+// /result byte form (MarshalIndent + newline) with wall_ns zeroed.
+func uninterruptedEnvelope(t *testing.T, j job.Job) []byte {
+	t.Helper()
+	res, err := job.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.WallTime = 0
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// TestJournalReplayServesSettledResults: results settled before a
+// restart survive it byte-for-byte, and the replayed result cache still
+// answers identical resubmissions without re-simulation.
+func TestJournalReplayServesSettledResults(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	submit := `{"protocol": "counting-upper-bound", "params": {"n": 60, "b": 4}, "seed": 1}`
+	code, st, body := postJob(t, s1, submit)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	waitState(t, s1, st.ID, StateDone)
+	_, firstResult := getBody(s1, "/v1/jobs/"+st.ID+"/result")
+	shutdown(t, s1)
+
+	s2 := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s2)
+	code, replayed := getBody(s2, "/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("replayed result = %d: %s", code, replayed)
+	}
+	if !bytes.Equal(firstResult, replayed) {
+		t.Fatalf("journaled result drifted through the restart:\nbefore:\n%s\nafter:\n%s", firstResult, replayed)
+	}
+	// The replayed cache answers the identical resubmission instantly.
+	code, st2, body := postJob(t, s2, submit)
+	if code != http.StatusOK || !st2.Cached || st2.State != StateDone {
+		t.Fatalf("resubmission after restart not cache-served: %d %s", code, body)
+	}
+}
+
+// TestIDSeq keeps the journal id parser honest: the rebooted store's
+// sequence must clear every recovered id.
+func TestIDSeq(t *testing.T) {
+	if n, ok := idSeq("j17"); !ok || n != 17 {
+		t.Fatalf("idSeq(j17) = %d, %v", n, ok)
+	}
+	for _, bad := range []string{"x17", "j", "j-1", "jabc", ""} {
+		if _, ok := idSeq(bad); ok {
+			t.Errorf("idSeq(%q) accepted", bad)
+		}
+	}
+}
+
+// longJob is the Theorem 1 urn configuration the recovery tests
+// interrupt: large enough that the daemon is reliably mid-run when the
+// test pulls the plug, and exactly the n = 10^6 scale the snapshot layer
+// exists for.
+const longJob = `{"protocol": "counting-upper-bound", "engine": "urn", "params": {"n": 1000000}, "seed": 42}`
+
+var longJobTyped = job.Job{Protocol: "counting-upper-bound", Engine: job.EngineUrn,
+	Params: job.Params{N: 1_000_000}, Seed: 42}
+
+// waitCheckpoint polls until the job's checkpoint file exists.
+func waitCheckpoint(t *testing.T, dir, id string) {
+	t.Helper()
+	path := filepath.Join(dir, "checkpoints", id+".snap")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no checkpoint for %s appeared", id)
+}
+
+// TestInterruptedJobResumesAtBoot is the crash-recovery guarantee: a job
+// interrupted mid-run (the in-process stand-in for kill -9 — the journal
+// records the admission but no settlement, and a checkpoint is on disk)
+// is re-enqueued at the next boot from its checkpoint, keeps its id, is
+// marked resumed, and settles with a Result byte-identical to an
+// uninterrupted execution.
+func TestInterruptedJobResumesAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	code, st, body := postJob(t, s1, longJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	waitCheckpoint(t, dir, st.ID)
+	shutdown(t, s1) // interrupt: in-flight canceled, journal left open
+
+	s2 := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s2)
+	final := waitState(t, s2, st.ID, StateDone)
+	if !final.Resumed {
+		t.Fatalf("recovered job not marked resumed: %+v", final)
+	}
+	code, got := getBody(s2, "/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, got)
+	}
+	want := uninterruptedEnvelope(t, longJobTyped)
+	if !bytes.Equal(zeroWall(got), want) {
+		t.Fatalf("resumed result drifted from the uninterrupted run:\ngot:\n%s\nwant:\n%s", zeroWall(got), want)
+	}
+	// The resumed completion fed the journal and the cache like any other.
+	code, st2, body := postJob(t, s2, longJob)
+	if code != http.StatusOK || !st2.Cached {
+		t.Fatalf("completed recovery not cache-served: %d %s", code, body)
+	}
+}
+
+// TestUserCanceledJobStaysCanceled: a DELETE settles a job for good — the
+// journal records the cancellation, so a restart must not resurrect it.
+func TestUserCanceledJobStaysCanceled(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	code, st, body := postJob(t, s1, longJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	waitCheckpoint(t, dir, st.ID)
+	rec := httptest.NewRecorder()
+	s1.ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/"+st.ID, nil))
+	canceled := waitState(t, s1, st.ID, StateCanceled)
+	if canceled.State != StateCanceled {
+		t.Fatalf("job not canceled: %+v", canceled)
+	}
+	shutdown(t, s1)
+
+	s2 := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s2)
+	after := getStatus(t, s2, st.ID)
+	if after.State != StateCanceled {
+		t.Fatalf("user-canceled job came back as %q after restart", after.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", st.ID+".snap")); err == nil {
+		t.Fatal("canceled job's checkpoint was not reaped")
+	}
+}
+
+// TestSnapshotAndResumeEndpoints: download a running job's checkpoint,
+// cancel the job, feed the snapshot back through POST /v1/jobs/resume,
+// and get the uninterrupted run's bytes out of the resumed id. The
+// second resume of the same snapshot is answered from the result cache.
+func TestSnapshotAndResumeEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s)
+	code, st, body := postJob(t, s, longJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	waitCheckpoint(t, dir, st.ID)
+	code, snapBytes := getBody(s, "/v1/jobs/"+st.ID+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot = %d: %s", code, snapBytes)
+	}
+	if !bytes.HasPrefix(snapBytes, []byte("SHSNAP")) {
+		t.Fatalf("snapshot endpoint served %q...", snapBytes[:12])
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/"+st.ID, nil))
+	waitState(t, s, st.ID, StateCanceled)
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs/resume", bytes.NewReader(snapBytes)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("resume = %d: %s", rec.Code, rec.Body.String())
+	}
+	var rst Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &rst); err != nil {
+		t.Fatal(err)
+	}
+	if !rst.Resumed || rst.ID == st.ID {
+		t.Fatalf("resume admission looks wrong: %+v", rst)
+	}
+	final := waitState(t, s, rst.ID, StateDone)
+	if final.Result == nil {
+		t.Fatalf("resumed job has no result: %+v", final)
+	}
+	code, got := getBody(s, "/v1/jobs/"+rst.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, got)
+	}
+	want := uninterruptedEnvelope(t, longJobTyped)
+	if !bytes.Equal(zeroWall(got), want) {
+		t.Fatalf("resumed result drifted from the uninterrupted run:\ngot:\n%s\nwant:\n%s", zeroWall(got), want)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs/resume", bytes.NewReader(snapBytes)))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"cached": true`) {
+		t.Fatalf("second resume not cache-served: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Garbage bytes are rejected before touching the registry.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs/resume", strings.NewReader("not a snapshot")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad snapshot = %d, want 400", rec.Code)
+	}
+}
+
+// TestReplayResultBeforeSubmit: the worker and the submit handler append
+// journal records without mutual ordering, so a fast job's result line
+// can precede its submit line. Replay must still settle the job.
+func TestReplayResultBeforeSubmit(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.ndjson")
+	lines := []string{
+		`{"type":"result","id":"j1","state":"done","result":{"protocol":"uid","engine":"pop","seed":1,"halted":true,"reason":"halted","steps":2671,"wall_ns":7,"payload":{"n":30,"b":4,"steps":2671,"winner_is_max":true,"output":44,"success":true}}}`,
+		`{"type":"submit","id":"j1","job":{"protocol":"uid","params":{"n":30,"b":4},"seed":1,"engine":"pop","max_steps":100000000}}`,
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s)
+	st := getStatus(t, s, "j1")
+	if st.State != StateDone || st.Result == nil || st.Result.Steps != 2671 {
+		t.Fatalf("out-of-order settlement lost: %+v", st)
+	}
+}
+
+// TestTornJournalTailIsSkipped: a kill -9 can tear the final journal
+// line; replay must keep everything before it.
+func TestTornJournalTailIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustNew(t, durableConfig(dir))
+	code, st, body := postJob(t, s1, `{"protocol": "uid", "params": {"n": 30}, "seed": 1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, body)
+	}
+	waitState(t, s1, st.ID, StateDone)
+	shutdown(t, s1)
+
+	f, err := os.OpenFile(filepath.Join(dir, "journal.ndjson"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"submit","id":"j99","job":{"proto`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustNew(t, durableConfig(dir))
+	defer shutdown(t, s2)
+	if got := getStatus(t, s2, st.ID); got.State != StateDone {
+		t.Fatalf("settled job lost behind a torn tail: %+v", got)
+	}
+	rec := httptest.NewRecorder()
+	s2.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j99", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("torn record materialized a job: %d", rec.Code)
+	}
+}

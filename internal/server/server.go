@@ -30,6 +30,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -37,6 +41,7 @@ import (
 
 	"shapesol/internal/job"
 	"shapesol/internal/runner"
+	"shapesol/internal/snap"
 )
 
 // Config parameterizes a Server. The zero value is usable: Default
@@ -63,6 +68,17 @@ type Config struct {
 	// onto an HTTP stream). 0 means 100ms; negative publishes every
 	// callback (tests).
 	FrameInterval time.Duration
+	// DataDir, when set, makes the daemon durable: an append-only journal
+	// of admissions and settlements (replayed into the store and result
+	// cache at boot) plus periodic snapshots of running jobs, from which
+	// interrupted work is re-enqueued at the next boot. Empty keeps the
+	// daemon fully in-memory.
+	DataDir string
+	// CheckpointEvery throttles the running-job snapshots: at most one
+	// checkpoint write per interval per job, on the engines' Progress
+	// cadence. 0 means 2s; negative checkpoints on every callback
+	// (tests). Ignored without a DataDir.
+	CheckpointEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,26 +97,34 @@ func (c Config) withDefaults() Config {
 	if c.FrameInterval == 0 {
 		c.FrameInterval = 100 * time.Millisecond
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
 	return c
 }
 
 // Server is the HTTP job service. Create with New, serve via ServeHTTP
 // (it is an http.Handler), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	reg   *job.Registry
-	pool  *runner.Pool
-	store *store
-	cache *Cache
-	mux   *http.ServeMux
+	cfg     Config
+	reg     *job.Registry
+	pool    *runner.Pool
+	store   *store
+	cache   *Cache
+	mux     *http.ServeMux
+	persist *persister // nil without a DataDir
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With a Config.DataDir
+// it first recovers the previous incarnation's state: journaled
+// settlements are reloaded into the store and the result cache, and jobs
+// that were interrupted mid-run (crash or drain) are re-enqueued — from
+// their latest checkpoint when one exists, from scratch otherwise.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -112,14 +136,90 @@ func New(cfg Config) *Server {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s
+	if cfg.DataDir != "" {
+		p, err := openPersister(cfg.DataDir)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.persist = p
+		if err := s.recover(); err != nil {
+			s.pool.Close()
+			p.close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recover replays the journal into the store and cache and re-enqueues
+// every interrupted job, preferring its latest checkpoint.
+func (s *Server) recover() error {
+	replayed, maxSeq, err := s.persist.replay()
+	if err != nil {
+		return err
+	}
+	// Keep the id sequence ahead of everything journaled, so fresh
+	// submissions never collide with recovered ids.
+	s.store.ensureSeq(maxSeq)
+	for _, r := range replayed {
+		nj, spec, err := s.reg.Normalize(r.job)
+		if err != nil {
+			// A journal from a build with different specs; surface the job
+			// as failed rather than dropping it silently.
+			e := s.store.addWithID(r.id, r.job, nil, "", StateFailed)
+			e.mu.Lock()
+			e.errMsg = "recovery: " + err.Error()
+			e.mu.Unlock()
+			s.persist.removeCheckpoint(r.id)
+			continue
+		}
+		key := nj.CacheKey()
+		if r.terminal {
+			e := s.store.addWithID(r.id, nj, spec, key, r.state)
+			e.mu.Lock()
+			e.errMsg = r.errMsg
+			e.result = r.result
+			e.mu.Unlock()
+			if r.state == StateDone && r.result != nil {
+				s.cache.Put(key, *r.result)
+			}
+			s.persist.removeCheckpoint(r.id)
+			continue
+		}
+		// Interrupted: re-enqueue, resuming from the checkpoint if there is
+		// a valid one.
+		e := s.store.addWithID(r.id, nj, spec, key, StateQueued)
+		if data, err := s.persist.readCheckpoint(r.id); err == nil {
+			if snapshot, err := snap.Decode(data); err != nil {
+				log.Printf("server: job %s checkpoint unusable (%v), restarting from scratch", r.id, err)
+			} else if rj, rspec, err := s.reg.ResumeJob(snapshot); err != nil {
+				log.Printf("server: job %s checkpoint rejected (%v), restarting from scratch", r.id, err)
+			} else {
+				e.job, e.spec = rj, rspec
+				e.markResumed()
+				e.steps.Store(snapshot.Steps)
+			}
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			log.Printf("server: job %s checkpoint unreadable (%v), restarting from scratch", r.id, err)
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		e.setCancel(cancel)
+		if err := s.pool.TrySubmit(func() { s.execute(ctx, e) }); err != nil {
+			cancel()
+			e.finish(StateFailed, nil, "recovery: queue full")
+		}
+	}
+	return nil
 }
 
 // ServeHTTP dispatches to the service's routes.
@@ -146,6 +246,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.persist.close()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -191,20 +292,50 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.admit(w, nj, spec, false, nil)
+}
+
+// admit runs the shared tail of submission and resume: cache lookup,
+// store entry, journal record, pool submission. A resumed admission
+// carries its snapshot so the durability layer can seed the new id's
+// checkpoint (a crash before the first fresh checkpoint then still
+// resumes from the uploaded state rather than from scratch).
+func (s *Server) admit(w http.ResponseWriter, nj job.Job, spec *job.Spec, resumed bool, snapshot []byte) {
 	key := nj.CacheKey()
 	if res, ok := s.cache.Get(key); ok {
 		e := s.store.add(nj, spec, key, StateDone)
+		if resumed {
+			e.markResumed()
+		}
 		e.setCached(&res)
+		s.journalSubmit(e)
+		s.journalResult(e.id, StateDone, "", &res)
 		writeJSON(w, http.StatusOK, e.status())
 		return
 	}
 	e := s.store.add(nj, spec, key, StateQueued)
+	if resumed {
+		e.markResumed()
+		e.steps.Store(nj.Restore.Steps)
+		// Seed the new id's checkpoint before the job can run (or settle):
+		// if the daemon dies before the first fresh checkpoint, boot
+		// recovery resumes from the uploaded state instead of scratch, and
+		// a settling job correctly reaps this file rather than racing it.
+		if s.persist != nil {
+			if err := s.persist.writeCheckpoint(e.id, snapshot); err != nil {
+				log.Printf("server: seed checkpoint for %s: %v", e.id, err)
+			}
+		}
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	e.setCancel(cancel)
 	if err := s.pool.TrySubmit(func() { s.execute(ctx, e) }); err != nil {
 		cancel()
 		// Shed load without retaining state: the id was never exposed.
 		s.store.remove(e.id)
+		if s.persist != nil {
+			s.persist.removeCheckpoint(e.id)
+		}
 		if errors.Is(err, runner.ErrQueueFull) {
 			writeError(w, http.StatusServiceUnavailable, "queue full")
 			return
@@ -212,7 +343,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
+	s.journalSubmit(e)
 	writeJSON(w, http.StatusAccepted, e.status())
+}
+
+// journalSubmit / journalResult append to the journal when the daemon is
+// durable; journal failures are logged, not fatal — the daemon keeps
+// serving from memory.
+func (s *Server) journalSubmit(e *entry) {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.appendSubmit(e.id, e.job); err != nil {
+		log.Printf("server: journal submit %s: %v", e.id, err)
+	}
+}
+
+func (s *Server) journalResult(id string, state State, errMsg string, res *job.Result) {
+	if s.persist == nil {
+		return
+	}
+	if err := s.persist.appendResult(id, state, errMsg, res); err != nil {
+		log.Printf("server: journal result %s: %v", id, err)
+	}
+	s.persist.removeCheckpoint(id)
 }
 
 // execute is the worker-side of one submission: run the normalized job
@@ -222,6 +376,17 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 	// Release the per-job child context whichever way the run ends, so
 	// finished jobs do not accumulate in the base context's children.
 	defer e.cancelRun()
+	// A panic must not take the daemon (and every other running job) down
+	// with it: the engines validate restored snapshots, but snapshots
+	// cross a trust boundary (POST /v1/jobs/resume, on-disk checkpoints),
+	// so any residual hole fails just this job.
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("panic: %v", r)
+			e.finish(StateFailed, nil, msg)
+			s.journalResult(e.id, StateFailed, msg, nil)
+		}
+	}()
 	if !e.tryStart() {
 		return // canceled while queued
 	}
@@ -238,18 +403,51 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 		}
 		e.publish(Frame{Type: "progress", ID: e.id, Steps: steps, State: StateRunning})
 	}
+	if s.persist != nil {
+		var lastCp time.Time
+		jj.Checkpoint = func(steps int64, capture func() (*snap.Snapshot, error)) {
+			if s.cfg.CheckpointEvery > 0 {
+				now := time.Now()
+				if now.Sub(lastCp) < s.cfg.CheckpointEvery {
+					return
+				}
+				lastCp = now
+			}
+			snapshot, err := capture()
+			if err != nil {
+				log.Printf("server: capture %s at step %d: %v", e.id, steps, err)
+				return
+			}
+			data, err := snapshot.Encode()
+			if err == nil {
+				err = s.persist.writeCheckpoint(e.id, data)
+			}
+			if err != nil {
+				log.Printf("server: checkpoint %s at step %d: %v", e.id, steps, err)
+			}
+		}
+	}
 	res, err := job.RunNormalized(ctx, jj, e.spec)
 	switch {
 	case err != nil:
 		e.finish(StateFailed, nil, err.Error())
+		s.journalResult(e.id, StateFailed, err.Error(), nil)
 	case res.Reason == job.ReasonCanceled:
 		e.finish(StateCanceled, &res, "")
+		// A user DELETE settles the job for good; a drain (or any other
+		// parent-context cancellation) is an interruption — the journal
+		// keeps the admission open and the checkpoint in place, so the
+		// next boot re-enqueues the job from where it stopped.
+		if e.userCanceled.Load() {
+			s.journalResult(e.id, StateCanceled, "", &res)
+		}
 	default:
 		// Feed the cache before finish publishes completion, so a watcher
 		// that resubmits the identical job the instant it sees the result
 		// frame cannot race past the cache into a re-simulation.
 		s.cache.Put(e.key, res)
 		e.finish(StateDone, &res, "")
+		s.journalResult(e.id, StateDone, "", &res)
 	}
 }
 
@@ -315,7 +513,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	e.cancelQueued("canceled")
+	e.userCanceled.Store(true)
+	wasQueued := e.cancelQueued("canceled")
+	if wasQueued {
+		s.journalResult(e.id, StateCanceled, "canceled", nil)
+	}
 	e.cancelRun()
 	st := e.status()
 	code := http.StatusOK
@@ -323,6 +525,57 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusAccepted // mid-run: the engine will settle it shortly
 	}
 	writeJSON(w, code, st)
+}
+
+// handleSnapshot serves the job's latest persisted checkpoint — the
+// durable snapshot a client can download, ship elsewhere, and feed back
+// through POST /v1/jobs/resume (or shapesolctl resume / job.Resume).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	if s.persist == nil {
+		writeError(w, http.StatusNotFound, "daemon runs without -data-dir; snapshots are not persisted")
+		return
+	}
+	data, err := s.persist.readCheckpoint(e.id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job "+e.id+" has no checkpoint (none captured yet, or it already settled)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data) //nolint:errcheck // nothing to do about a failed response write
+}
+
+// handleResume admits a snapshot (the raw bytes of a snapshot file) as a
+// new job that continues the frozen run. The snapshot is self-contained —
+// its embedded normalized job is validated like any submission — and the
+// admission goes through the same cache, journal and backpressure path,
+// so a snapshot of an already-cached deterministic run is answered
+// without re-simulation.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read snapshot: "+err.Error())
+		return
+	}
+	snapshot, err := snap.Decode(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	nj, spec, err := s.reg.ResumeJob(snapshot)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.admit(w, nj, spec, true, data)
 }
 
 // handleEvents streams a job's progress as NDJSON: one frame per

@@ -16,6 +16,16 @@ import (
 	"shapesol/internal/job"
 )
 
+// mustNew builds a server, failing the test on configuration errors.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // postJob submits body and decodes the response.
 func postJob(t *testing.T, s http.Handler, body string) (int, Status, string) {
 	t.Helper()
@@ -64,7 +74,7 @@ func waitState(t *testing.T, s http.Handler, id string, want State) Status {
 }
 
 func TestSubmitBadRequests(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 	for name, body := range map[string]string{
 		"invalid JSON":     `{"protocol": `,
@@ -90,7 +100,7 @@ func TestSubmitBadRequests(t *testing.T) {
 }
 
 func TestStatusNotFound(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Shutdown(context.Background())
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j999", nil))
@@ -100,7 +110,7 @@ func TestStatusNotFound(t *testing.T) {
 }
 
 func TestSubmitRunPoll(t *testing.T) {
-	s := New(Config{Workers: 2, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 2, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	code, st, body := postJob(t, s,
 		`{"protocol": "counting-upper-bound", "params": {"n": 60, "b": 4}, "seed": 1}`)
@@ -160,7 +170,7 @@ func blockingRegistry() (*job.Registry, chan struct{}) {
 // queue capacity get 503 backpressure.
 func TestQueueingBeyondPoolSize(t *testing.T) {
 	reg, release := blockingRegistry()
-	s := New(Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
+	s := mustNew(t, Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 
 	code, first, body := postJob(t, s, `{"protocol": "block", "seed": 1}`)
@@ -205,7 +215,7 @@ func TestQueueingBeyondPoolSize(t *testing.T) {
 // uncancelled) settles it to canceled with the engine-reported
 // Reason == "canceled" in the Result envelope.
 func TestCancelMidRun(t *testing.T) {
-	s := New(Config{Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	code, st, body := postJob(t, s,
 		`{"protocol": "counting-upper-bound", "engine": "urn", "params": {"n": 1000000}, "seed": 1}`)
@@ -231,7 +241,7 @@ func TestCancelMidRun(t *testing.T) {
 // immediately, and the worker later skips it.
 func TestCancelQueued(t *testing.T) {
 	reg, release := blockingRegistry()
-	s := New(Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
+	s := mustNew(t, Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	_, first, _ := postJob(t, s, `{"protocol": "block", "seed": 1}`)
 	waitState(t, s, first.ID, StateRunning)
@@ -257,7 +267,7 @@ func TestCancelQueued(t *testing.T) {
 // are evicted (404) while newer ones survive; rejected submissions
 // leave no record at all.
 func TestStoreRetentionBound(t *testing.T) {
-	s := New(Config{Workers: 1, MaxJobs: 2, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, MaxJobs: 2, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	var ids []string
 	for seed := 1; seed <= 3; seed++ {
@@ -285,7 +295,7 @@ func TestStoreRetentionBound(t *testing.T) {
 // answered complete (200, Cached) without re-simulation, and the served
 // envelope equals the original.
 func TestCacheHitOnResubmission(t *testing.T) {
-	s := New(Config{Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	body := `{"protocol": "counting-upper-bound", "params": {"n": 60}, "seed": 1}`
 	code, first, _ := postJob(t, s, body)
@@ -345,7 +355,7 @@ func TestEventsStream(t *testing.T) {
 			return job.Outcome{Steps: 300, Halted: true, Reason: "halted"}, nil
 		},
 	})
-	s := New(Config{Registry: reg, Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Registry: reg, Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -412,7 +422,7 @@ func TestEventsStream(t *testing.T) {
 // TestEventsOnFinishedJob: a late subscriber gets the result frame
 // immediately.
 func TestEventsOnFinishedJob(t *testing.T) {
-	s := New(Config{Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	_, st, _ := postJob(t, s, `{"protocol": "counting-upper-bound", "params": {"n": 60}, "seed": 1}`)
 	waitState(t, s, st.ID, StateDone)
@@ -436,7 +446,7 @@ func TestEventsOnFinishedJob(t *testing.T) {
 // zeroed (the one non-deterministic field; the e2e smoke applies the
 // same rewrite).
 func TestResultGoldenBytes(t *testing.T) {
-	s := New(Config{Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	_, st, _ := postJob(t, s,
 		`{"protocol": "counting-upper-bound", "engine": "urn", "params": {"n": 1000}, "seed": 1}`)
@@ -460,7 +470,7 @@ func TestResultGoldenBytes(t *testing.T) {
 // TestResultBeforeFinished: 409 while the job is queued or running.
 func TestResultBeforeFinished(t *testing.T) {
 	reg, release := blockingRegistry()
-	s := New(Config{Registry: reg, Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Registry: reg, Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	_, st, _ := postJob(t, s, `{"protocol": "block", "seed": 1}`)
 	waitState(t, s, st.ID, StateRunning)
@@ -477,7 +487,7 @@ func TestResultBeforeFinished(t *testing.T) {
 // rejects the queued one, and 503s new submissions.
 func TestDrain(t *testing.T) {
 	reg, _ := blockingRegistry() // never released: only ctx can stop it
-	s := New(Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
+	s := mustNew(t, Config{Registry: reg, Workers: 1, Queue: 2, FrameInterval: -1})
 	_, running, _ := postJob(t, s, `{"protocol": "block", "seed": 1}`)
 	waitState(t, s, running.ID, StateRunning)
 	_, queued, _ := postJob(t, s, `{"protocol": "block", "seed": 2}`)
@@ -503,7 +513,7 @@ func TestDrain(t *testing.T) {
 
 // TestListAndHealth exercises the observability endpoints.
 func TestListAndHealth(t *testing.T) {
-	s := New(Config{Workers: 1, FrameInterval: -1})
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
 	defer s.Shutdown(context.Background())
 	_, st, _ := postJob(t, s, `{"protocol": "counting-upper-bound", "params": {"n": 60}, "seed": 1}`)
 	waitState(t, s, st.ID, StateDone)

@@ -34,15 +34,18 @@ func (s State) terminal() bool {
 // is set once the job is terminal; Steps tracks live progress before
 // that.
 type Status struct {
-	ID       string      `json:"id"`
-	Protocol string      `json:"protocol"`
-	Engine   job.Engine  `json:"engine"`
-	Seed     int64       `json:"seed"`
-	State    State       `json:"state"`
-	Cached   bool        `json:"cached,omitempty"`
-	Steps    int64       `json:"steps,omitempty"`
-	Error    string      `json:"error,omitempty"`
-	Result   *job.Result `json:"result,omitempty"`
+	ID       string     `json:"id"`
+	Protocol string     `json:"protocol"`
+	Engine   job.Engine `json:"engine"`
+	Seed     int64      `json:"seed"`
+	State    State      `json:"state"`
+	Cached   bool       `json:"cached,omitempty"`
+	// Resumed marks a job whose execution continued from a snapshot: a
+	// checkpoint recovered at boot, or an explicit POST /v1/jobs/resume.
+	Resumed bool        `json:"resumed,omitempty"`
+	Steps   int64       `json:"steps,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Result  *job.Result `json:"result,omitempty"`
 }
 
 // Frame is one line of the NDJSON event stream of GET
@@ -67,14 +70,29 @@ type entry struct {
 	key  string    // canonical cache key of the normalized job
 
 	steps atomic.Int64 // latest progress, written on the Progress cadence
+	// userCanceled marks a DELETE-initiated cancellation, distinguishing
+	// it from a draining shutdown: a user cancel settles the job for good
+	// (journaled terminal), an interrupt leaves it resumable at next boot.
+	userCanceled atomic.Bool
 
 	mu     sync.Mutex
 	state  State
 	cached bool
-	errMsg string
-	result *job.Result
-	cancel context.CancelFunc
-	subs   map[chan Frame]struct{}
+	// resumed marks an execution continued from a snapshot.
+	resumed bool
+	errMsg  string
+	result  *job.Result
+	cancel  context.CancelFunc
+	subs    map[chan Frame]struct{}
+}
+
+// markResumed flags the entry as continuing from a snapshot. The entry
+// is already published in the store (listings may be reading it), so the
+// write takes the entry lock.
+func (e *entry) markResumed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.resumed = true
 }
 
 // status snapshots the entry as its wire form.
@@ -92,6 +110,7 @@ func (e *entry) statusLocked() Status {
 		Seed:     e.job.Seed,
 		State:    e.state,
 		Cached:   e.cached,
+		Resumed:  e.resumed,
 		Steps:    e.steps.Load(),
 		Error:    e.errMsg,
 		Result:   e.result,
@@ -146,13 +165,14 @@ func (e *entry) tryStart() bool {
 }
 
 // cancelQueued settles a still-queued entry to canceled (no Result: the
-// engine never ran). The check and transition are one critical section,
-// so it cannot race the worker's tryStart.
-func (e *entry) cancelQueued(msg string) {
+// engine never ran) and reports whether it made the transition. The check
+// and transition are one critical section, so it cannot race the worker's
+// tryStart.
+func (e *entry) cancelQueued(msg string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.state != StateQueued {
-		return
+		return false
 	}
 	e.state = StateCanceled
 	e.errMsg = msg
@@ -160,6 +180,7 @@ func (e *entry) cancelQueued(msg string) {
 		close(ch)
 	}
 	e.subs = nil
+	return true
 }
 
 // cancelRun cancels the run context (a no-op before setCancel or after
@@ -260,8 +281,29 @@ func (st *store) add(j job.Job, spec *job.Spec, key string, state State) *entry 
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.seq++
+	return st.addLocked(fmt.Sprintf("j%d", st.seq), j, spec, key, state)
+}
+
+// addWithID registers an entry under an id recovered from the journal
+// (the caller keeps the sequence ahead of recovered ids via ensureSeq).
+func (st *store) addWithID(id string, j job.Job, spec *job.Spec, key string, state State) *entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addLocked(id, j, spec, key, state)
+}
+
+// ensureSeq raises the id sequence to at least n.
+func (st *store) ensureSeq(n int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n > st.seq {
+		st.seq = n
+	}
+}
+
+func (st *store) addLocked(id string, j job.Job, spec *job.Spec, key string, state State) *entry {
 	e := &entry{
-		id:    fmt.Sprintf("j%d", st.seq),
+		id:    id,
 		job:   j,
 		spec:  spec,
 		key:   key,

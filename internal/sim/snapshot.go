@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+
+	"shapesol/internal/grid"
+	"shapesol/internal/wrand"
+)
+
+// NodeMemento is the serializable per-node record of a Memento.
+type NodeMemento[S any] struct {
+	State    S
+	Comp     int
+	Pos      grid.Pos
+	Rot      grid.Rot
+	BondedTo [grid.NumDirs]int32
+}
+
+// ComponentMemento is one rigid component: its slot, its node list and
+// its open-port set, both in engine order. The cell map is derived (each
+// node's position) and rebuilt on restore; the open-port *order* is not
+// derivable — wrand.Set samples by index, so the order is part of the
+// scheduler's sampling state and must round-trip verbatim.
+type ComponentMemento struct {
+	Slot  int
+	Nodes []int
+	Open  []PortRef
+}
+
+// Memento is the complete serializable state of a sim World: nodes,
+// components, the free-slot recycling stack, the bonded and latent pair
+// sets (order-sensitive, like the open-port sets) and the run counters
+// and RNG. The open-port Fenwick tree and its aggregates are derived from
+// the component data and rebuilt on restore.
+type Memento[S any] struct {
+	N              int
+	Dim            int
+	Steps          int64
+	Effective      int64
+	Merges         int64
+	Splits         int64
+	IneffectiveRun int64
+	RNG            wrand.RNGState
+	Nodes          []NodeMemento[S]
+	Comps          []ComponentMemento
+	NumSlots       int
+	FreeSlots      []int
+	Bonded         []PortPair
+	Latent         []PortPair
+}
+
+// Memento captures the World's current state. Everything is deep-copied,
+// so the capture stays valid while the run continues. Capture only
+// between steps — e.g. from the Progress callback, which fires with the
+// world quiescent.
+func (w *World[S]) Memento() *Memento[S] {
+	m := &Memento[S]{
+		N:              w.n,
+		Dim:            w.opts.Dim,
+		Steps:          w.steps,
+		Effective:      w.effective,
+		Merges:         w.merges,
+		Splits:         w.splits,
+		IneffectiveRun: w.ineffectiveRun,
+		RNG:            w.rng.State(),
+		Nodes:          make([]NodeMemento[S], w.n),
+		NumSlots:       len(w.comps),
+		FreeSlots:      append([]int(nil), w.freeSlots...),
+		Bonded:         append([]PortPair(nil), w.bonded.Items()...),
+		Latent:         append([]PortPair(nil), w.latent.Items()...),
+	}
+	for id := range w.nodes {
+		nd := &w.nodes[id]
+		m.Nodes[id] = NodeMemento[S]{
+			State: nd.state, Comp: nd.comp, Pos: nd.pos, Rot: nd.rot, BondedTo: nd.bondedTo,
+		}
+	}
+	for _, c := range w.comps {
+		if c == nil {
+			continue
+		}
+		m.Comps = append(m.Comps, ComponentMemento{
+			Slot:  c.slot,
+			Nodes: append([]int(nil), c.nodes...),
+			Open:  append([]PortRef(nil), c.open.Items()...),
+		})
+	}
+	return m
+}
+
+// RestoreMemento rewinds the World to a captured state. The World must
+// have been built with the same population size, dimension and protocol;
+// its own options (budget, callbacks, stop conditions) stay in effect.
+// Components, bonds and the order-sensitive sampling sets are installed
+// verbatim; the cell maps, halted tallies and the open-port weight tree
+// are rebuilt. After a successful restore the World continues the
+// captured trajectory exactly.
+func (w *World[S]) RestoreMemento(m *Memento[S]) error {
+	if m.N != w.n {
+		return fmt.Errorf("sim: snapshot population %d, world has %d", m.N, w.n)
+	}
+	if m.Dim != w.opts.Dim {
+		return fmt.Errorf("sim: snapshot dimension %d, world has %d", m.Dim, w.opts.Dim)
+	}
+	if len(m.Nodes) != w.n {
+		return fmt.Errorf("sim: snapshot carries %d nodes for population %d", len(m.Nodes), m.N)
+	}
+	for id := range m.Nodes {
+		nm := &m.Nodes[id]
+		for p, other := range nm.BondedTo {
+			if other < -1 || int(other) >= w.n {
+				return fmt.Errorf("sim: node %d port %d bonded to out-of-range node %d", id, p, other)
+			}
+		}
+	}
+	if err := validatePairs("bonded", m.Bonded, w.n); err != nil {
+		return err
+	}
+	if err := validatePairs("latent", m.Latent, w.n); err != nil {
+		return err
+	}
+	if err := w.rng.SetState(m.RNG); err != nil {
+		return err
+	}
+
+	w.haltedCount = 0
+	for id := range m.Nodes {
+		nm := &m.Nodes[id]
+		nd := &w.nodes[id]
+		nd.state = nm.State
+		nd.comp = nm.Comp
+		nd.pos = nm.Pos
+		nd.rot = nm.Rot
+		nd.bondedTo = nm.BondedTo
+		nd.halted = w.proto.Halted(nm.State)
+		if nd.halted {
+			w.haltedCount++
+		}
+	}
+
+	capSlots := m.NumSlots
+	if capSlots < w.n {
+		capSlots = w.n
+	}
+	w.comps = make([]*component, m.NumSlots)
+	w.weights = wrand.NewFenwick(capSlots)
+	w.openT, w.openS2 = 0, 0
+	for _, cm := range m.Comps {
+		if cm.Slot < 0 || cm.Slot >= m.NumSlots {
+			return fmt.Errorf("sim: snapshot component slot %d out of range [0,%d)", cm.Slot, m.NumSlots)
+		}
+		if w.comps[cm.Slot] != nil {
+			return fmt.Errorf("sim: snapshot reuses component slot %d", cm.Slot)
+		}
+		c := &component{
+			slot:  cm.Slot,
+			nodes: append([]int(nil), cm.Nodes...),
+			cells: make(map[grid.Pos]int, len(cm.Nodes)),
+			open:  wrand.NewSet[PortRef](),
+		}
+		for _, id := range c.nodes {
+			if id < 0 || id >= w.n {
+				return fmt.Errorf("sim: snapshot component %d references node %d out of range", cm.Slot, id)
+			}
+			if w.nodes[id].comp != cm.Slot {
+				return fmt.Errorf("sim: node %d claims component %d but is listed in %d",
+					id, w.nodes[id].comp, cm.Slot)
+			}
+			if prev, dup := c.cells[w.nodes[id].pos]; dup {
+				return fmt.Errorf("sim: nodes %d and %d share cell %v in component %d",
+					prev, id, w.nodes[id].pos, cm.Slot)
+			}
+			c.cells[w.nodes[id].pos] = id
+		}
+		seenPorts := make(map[PortRef]bool, len(cm.Open))
+		for _, ref := range cm.Open {
+			if ref.Node < 0 || ref.Node >= w.n || ref.Port >= grid.NumDirs {
+				return fmt.Errorf("sim: component %d open port %v out of range", cm.Slot, ref)
+			}
+			if seenPorts[ref] {
+				return fmt.Errorf("sim: component %d lists open port %v twice", cm.Slot, ref)
+			}
+			seenPorts[ref] = true
+		}
+		c.open.Replace(cm.Open)
+		w.comps[cm.Slot] = c
+		w.syncWeight(c)
+	}
+	w.freeSlots = append(w.freeSlots[:0], m.FreeSlots...)
+	w.bonded.Replace(m.Bonded)
+	w.latent.Replace(m.Latent)
+
+	w.steps = m.Steps
+	w.effective = m.Effective
+	w.merges = m.Merges
+	w.splits = m.Splits
+	w.ineffectiveRun = m.IneffectiveRun
+	return nil
+}
+
+// validatePairs rejects port pairs a corrupt (or crafted) snapshot could
+// use to break the engine: out-of-range nodes or ports would index past
+// the per-node arrays, and duplicates would panic the sampling set's
+// Replace. Restore must fail cleanly instead — snapshots cross trust
+// boundaries (the daemon accepts them over HTTP).
+func validatePairs(kind string, pairs []PortPair, n int) error {
+	seen := make(map[PortPair]bool, len(pairs))
+	for _, pp := range pairs {
+		for _, ref := range [2]PortRef{pp.A, pp.B} {
+			if ref.Node < 0 || ref.Node >= n || ref.Port >= grid.NumDirs {
+				return fmt.Errorf("sim: %s pair %v out of range", kind, pp)
+			}
+		}
+		if seen[pp] {
+			return fmt.Errorf("sim: %s pair %v listed twice", kind, pp)
+		}
+		seen[pp] = true
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"shapesol/internal/grid"
+)
+
+// stepN advances w by n scheduler steps, tolerating ErrNoInteraction.
+func stepN[S any](t *testing.T, w *World[S], n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotResumeIdentical: churnProtocol exercises merges, splits and
+// latent-bond churn, so the memento round-trips a nontrivial component
+// landscape. After restore, both worlds must walk the identical
+// trajectory to the end of the budget.
+func TestSnapshotResumeIdentical(t *testing.T) {
+	opts := Options{Seed: 13, MaxSteps: 60_000}
+	base := New(30, churnProtocol{}, opts)
+	stepN(t, base, 20_000)
+	m := base.Memento()
+	baseRes := base.Run()
+
+	resumed := New(30, churnProtocol{}, opts)
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Steps() != 20_000 {
+		t.Fatalf("restored clock %d, want 20000", resumed.Steps())
+	}
+	resumedRes := resumed.Run()
+	if baseRes != resumedRes {
+		t.Fatalf("results diverged:\nbase    %+v\nresumed %+v", baseRes, resumedRes)
+	}
+	for id := 0; id < base.N(); id++ {
+		if base.State(id) != resumed.State(id) {
+			t.Fatalf("node %d state diverged", id)
+		}
+		if base.Pos(id) != resumed.Pos(id) || base.Rot(id) != resumed.Rot(id) {
+			t.Fatalf("node %d placement diverged", id)
+		}
+		if base.ComponentOf(id) != resumed.ComponentOf(id) {
+			t.Fatalf("node %d component diverged", id)
+		}
+	}
+	bs, rs := base.ComponentSlots(), resumed.ComponentSlots()
+	if len(bs) != len(rs) {
+		t.Fatalf("component count diverged: %d vs %d", len(bs), len(rs))
+	}
+	for i := range bs {
+		if !base.ComponentShape(bs[i]).Equal(resumed.ComponentShape(rs[i])) {
+			t.Fatalf("component %d shape diverged", bs[i])
+		}
+	}
+}
+
+// TestSnapshotResumeFromConfig checks the round trip on a world built
+// from an explicit configuration (pre-assembled component plus free
+// nodes), the shape the replication and TM constructors start from.
+func TestSnapshotResumeFromConfig(t *testing.T) {
+	cfg := Config[int]{
+		Components: []ComponentSpec[int]{{Cells: []NodeSpec[int]{
+			{State: 0, Pos: grid.Pos{}}, {State: 1, Pos: grid.Pos{X: 1}}, {State: 2, Pos: grid.Pos{X: 1, Y: 1}},
+		}}},
+		Free: []int{10, 11, 12, 13, 14},
+	}
+	opts := Options{Seed: 21, MaxSteps: 30_000}
+	base, err := NewFromConfig(cfg, churnProtocol{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, base, 9_000)
+	m := base.Memento()
+	baseRes := base.Run()
+
+	resumed, err := NewFromConfig(cfg, churnProtocol{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Run(); got != baseRes {
+		t.Fatalf("results diverged:\nbase    %+v\nresumed %+v", baseRes, got)
+	}
+}
+
+// TestSnapshotCaptureIsPassive checks capture does not perturb the
+// trajectory.
+func TestSnapshotCaptureIsPassive(t *testing.T) {
+	opts := Options{Seed: 3, MaxSteps: 10_000}
+	plain := New(16, churnProtocol{}, opts)
+	observed := New(16, churnProtocol{}, opts)
+	for i := 0; i < 6_000; i++ {
+		if _, err := plain.Step(); err != nil {
+			t.Fatal(err)
+		}
+		observed.Memento()
+		if _, err := observed.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plain.Steps() != observed.Steps() || plain.Effective() != observed.Effective() {
+		t.Fatal("clocks diverged under observation")
+	}
+	for id := 0; id < plain.N(); id++ {
+		if plain.State(id) != observed.State(id) {
+			t.Fatalf("node %d diverged under observation", id)
+		}
+	}
+}
+
+// TestRestoreMementoRejectsCorrupt covers the validation paths.
+// Snapshots cross a trust boundary (the daemon resumes uploaded bytes),
+// so every corruption here must come back as an error, never a panic.
+func TestRestoreMementoRejectsCorrupt(t *testing.T) {
+	m := New(8, churnProtocol{}, Options{Seed: 1}).Memento()
+	fresh := func() *World[int] { return New(8, churnProtocol{}, Options{Seed: 1}) }
+	if err := New(9, churnProtocol{}, Options{Seed: 1}).RestoreMemento(m); err == nil {
+		t.Fatal("accepted a population-size mismatch")
+	}
+	if err := New(8, churnProtocol{}, Options{Seed: 1, Dim: 3}).RestoreMemento(m); err == nil {
+		t.Fatal("accepted a dimension mismatch")
+	}
+	bad := *m
+	bad.Comps = append([]ComponentMemento(nil), m.Comps...)
+	bad.Comps[0].Slot = bad.NumSlots + 5
+	if err := fresh().RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted an out-of-range component slot")
+	}
+	bad = *m
+	run20k := New(30, churnProtocol{}, Options{Seed: 13, MaxSteps: 60_000})
+	stepN(t, run20k, 5_000) // a memento with bonded pairs to duplicate
+	bm := run20k.Memento()
+	if len(bm.Bonded) == 0 {
+		t.Fatal("churn memento has no bonded pairs to corrupt")
+	}
+	bm.Bonded = append(bm.Bonded, bm.Bonded[0])
+	if err := New(30, churnProtocol{}, Options{Seed: 13, MaxSteps: 60_000}).RestoreMemento(bm); err == nil {
+		t.Fatal("accepted a duplicate bonded pair (would panic the sampling set)")
+	}
+	bad = *m
+	bad.Nodes = append([]NodeMemento[int](nil), m.Nodes...)
+	bad.Nodes[0].BondedTo[0] = 99
+	if err := fresh().RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted an out-of-range bond target")
+	}
+	bad = *m
+	bad.Comps = append([]ComponentMemento(nil), m.Comps...)
+	bad.Comps[0] = ComponentMemento{Slot: m.Comps[0].Slot, Nodes: m.Comps[0].Nodes,
+		Open: append(append([]PortRef(nil), m.Comps[0].Open...), m.Comps[0].Open[0])}
+	if err := fresh().RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted a duplicate open port (would panic the sampling set)")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"shapesol/internal/grid"
 	"shapesol/internal/wrand"
@@ -147,7 +146,7 @@ type World[S any] struct {
 	// compAware caches the one proto type assertion of the hot loop.
 	compAware   ComponentAware[S]
 	isCompAware bool
-	rng         *rand.Rand
+	rng         *wrand.RNG
 	haltWhen    func(*World[S]) bool
 
 	nodes     []nodeData[S]
@@ -190,7 +189,7 @@ func newEmpty[S any](n int, proto Protocol[S], opts Options) *World[S] {
 		n:       n,
 		opts:    opts,
 		proto:   proto,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		rng:     wrand.NewRNG(opts.Seed),
 		nodes:   make([]nodeData[S], n),
 		comps:   make([]*component, 0, n),
 		weights: wrand.NewFenwick(n),

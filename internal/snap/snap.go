@@ -1,0 +1,138 @@
+// Package snap defines the versioned, checksummed snapshot container of
+// the reproduction: the durable form of a protocol run frozen mid-flight.
+//
+// A Snapshot pairs the identity of the run (the normalized job, JSON
+// encoded, plus protocol/engine/seed fields for cheap inspection) with an
+// opaque engine-state payload — the gob-encoded Memento of the executing
+// world (internal/pop, internal/pop/urn or internal/sim), produced by the
+// per-spec codec that knows the protocol's concrete state type. The
+// wire layout is
+//
+//	magic "SHSNAP" | version uint16 | header length uint32 | header JSON
+//	| state bytes | SHA-256 over everything before the trailer
+//
+// so a decoder can reject foreign files (magic), future formats
+// (version) and torn or corrupted writes (checksum) before any engine
+// code touches the payload. The guarantee the rest of the system builds
+// on: restoring a Snapshot into a fresh process and finishing the run
+// yields a Result byte-identical to the uninterrupted execution.
+package snap
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Version is the current container format version.
+const Version = 1
+
+var magic = [6]byte{'S', 'H', 'S', 'N', 'A', 'P'}
+
+// ErrChecksum is returned by Decode when the trailer digest does not
+// match the content — a torn write or bit rot, not a format error.
+var ErrChecksum = errors.New("snap: checksum mismatch")
+
+// Snapshot is one checkpointed run.
+type Snapshot struct {
+	// Protocol, Engine and Seed identify the run without decoding Job.
+	Protocol string `json:"protocol"`
+	Engine   string `json:"engine"`
+	Seed     int64  `json:"seed"`
+	// Steps is the simulated step count at capture time.
+	Steps int64 `json:"steps"`
+	// Job is the normalized job.Job, JSON encoded (kept raw here to avoid
+	// an import cycle: the job layer imports snap).
+	Job json.RawMessage `json:"job"`
+	// State is the engine memento, encoded by the protocol's state codec
+	// (see EncodeState). It is not part of the header JSON.
+	State []byte `json:"-"`
+}
+
+// header is the JSON block between the fixed preamble and the state
+// payload. StateLen pins the payload length so truncation is detected
+// even before the checksum is checked.
+type header struct {
+	Snapshot
+	StateLen int `json:"state_len"`
+}
+
+// Encode renders the snapshot into its durable byte form.
+func (s *Snapshot) Encode() ([]byte, error) {
+	hdr, err := json.Marshal(header{Snapshot: *s, StateLen: len(s.State)})
+	if err != nil {
+		return nil, fmt.Errorf("snap: encode header: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var pre [6]byte
+	binary.BigEndian.PutUint16(pre[0:2], Version)
+	binary.BigEndian.PutUint32(pre[2:6], uint32(len(hdr)))
+	buf.Write(pre[:])
+	buf.Write(hdr)
+	buf.Write(s.State)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+// Decode parses and verifies a snapshot produced by Encode. It fails on
+// wrong magic, unknown version, truncation and checksum mismatch; a nil
+// error means the content is exactly what Encode wrote.
+func Decode(data []byte) (*Snapshot, error) {
+	const preLen = 6 + 2 + 4
+	if len(data) < preLen+sha256.Size {
+		return nil, fmt.Errorf("snap: %d bytes is too short for a snapshot", len(data))
+	}
+	if !bytes.Equal(data[:6], magic[:]) {
+		return nil, errors.New("snap: bad magic (not a snapshot file)")
+	}
+	if v := binary.BigEndian.Uint16(data[6:8]); v != Version {
+		return nil, fmt.Errorf("snap: unsupported snapshot version %d (have %d)", v, Version)
+	}
+	hdrLen := int(binary.BigEndian.Uint32(data[8:12]))
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], trailer) {
+		return nil, ErrChecksum
+	}
+	if preLen+hdrLen > len(body) {
+		return nil, errors.New("snap: truncated header")
+	}
+	var h header
+	if err := json.Unmarshal(body[preLen:preLen+hdrLen], &h); err != nil {
+		return nil, fmt.Errorf("snap: decode header: %w", err)
+	}
+	state := body[preLen+hdrLen:]
+	if len(state) != h.StateLen {
+		return nil, fmt.Errorf("snap: state payload is %d bytes, header says %d", len(state), h.StateLen)
+	}
+	s := h.Snapshot
+	s.State = append([]byte(nil), state...)
+	return &s, nil
+}
+
+// EncodeState gob-encodes an engine memento. The concrete type is
+// supplied by the per-spec codec (the generic engine adapter in the job
+// layer instantiated with the protocol's state type), which is what lets
+// generic mementos round-trip without a registry of state types.
+func EncodeState(m any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("snap: encode state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState decodes an EncodeState payload into the concrete memento
+// type the codec expects.
+func DecodeState(data []byte, into any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(into); err != nil {
+		return fmt.Errorf("snap: decode state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Protocol: "counting-upper-bound",
+		Engine:   "urn",
+		Seed:     7,
+		Steps:    123456789,
+		Job:      json.RawMessage(`{"protocol":"counting-upper-bound","seed":7}`),
+		State:    []byte("engine-memento-bytes"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sample()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Protocol != s.Protocol || got.Engine != s.Engine || got.Seed != s.Seed || got.Steps != s.Steps {
+		t.Fatalf("identity drifted: %+v", got)
+	}
+	if !bytes.Equal(got.Job, s.Job) || !bytes.Equal(got.State, s.State) {
+		t.Fatal("payload drifted through the round trip")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := sample().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flipped state byte", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[len(d)-40] ^= 1
+			return d
+		}},
+		{"flipped header byte", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[20] ^= 1
+			return d
+		}},
+		{"truncated", func(d []byte) []byte { return d[:len(d)-5] }},
+		{"bad magic", func(d []byte) []byte {
+			d = append([]byte(nil), d...)
+			d[0] = 'X'
+			return d
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	} {
+		if _, err := Decode(tc.mutate(data)); err == nil {
+			t.Errorf("%s: Decode accepted corrupted data", tc.name)
+		}
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	data, err := sample().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append([]byte(nil), data...)
+	data[7] = 99 // version low byte
+	if _, err := Decode(data); err == nil || errors.Is(err, ErrChecksum) {
+		t.Fatalf("want a version error before the checksum check, got %v", err)
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	type memento struct {
+		N      int
+		States []string
+		Flags  [3]bool
+	}
+	in := memento{N: 4, States: []string{"a", "b"}, Flags: [3]bool{true, false, true}}
+	data, err := EncodeState(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out memento
+	if err := DecodeState(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || len(out.States) != 2 || out.States[1] != "b" || out.Flags != in.Flags {
+		t.Fatalf("state codec drifted: %+v", out)
+	}
+}

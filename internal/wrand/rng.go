@@ -1,0 +1,105 @@
+package wrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Rand is the randomness interface the samplers consume. Both *rand.Rand
+// and *RNG satisfy it, so tests can drive the data structures with any
+// source while the engines use the serializable RNG below.
+type Rand interface {
+	Int63n(n int64) int64
+	Intn(n int) int
+}
+
+// xoshiro is an xoshiro256** generator. Unlike math/rand's default source
+// its full state is four exported words, which is what makes engine
+// snapshots possible: a run can be frozen mid-flight and resumed with the
+// scheduler's randomness continuing exactly where it left off.
+type xoshiro struct {
+	s [4]uint64
+}
+
+// splitmix64 is the state-seeding generator recommended for xoshiro: it
+// guarantees a well-mixed non-zero state from any 64-bit seed.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Seed implements rand.Source.
+func (x *xoshiro) Seed(seed int64) {
+	sm := uint64(seed)
+	for i := range x.s {
+		x.s[i] = splitmix64(&sm)
+	}
+}
+
+// Uint64 implements rand.Source64.
+func (x *xoshiro) Uint64() uint64 {
+	s := &x.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 implements rand.Source.
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+// RNGState is the exportable state of an RNG: the four xoshiro256** words.
+// It is a plain value with exported fields so it round-trips through gob
+// and JSON inside engine snapshots.
+type RNGState struct {
+	S0, S1, S2, S3 uint64
+}
+
+// zero reports the one invalid xoshiro state (the all-zero fixed point).
+func (s RNGState) zero() bool { return s.S0|s.S1|s.S2|s.S3 == 0 }
+
+// RNG is the scheduler PRNG of the simulation engines: math/rand's
+// distribution methods (Intn, Int63n, Float64, ...) over an owned
+// xoshiro256** source whose state can be exported with State and
+// reinstalled with SetState. The embedded *rand.Rand keeps the full
+// method set available; all of its state lives in the owned source (the
+// engines never call Read, the one buffered method).
+type RNG struct {
+	*rand.Rand
+	src *xoshiro
+}
+
+// NewRNG returns a generator deterministically seeded from seed.
+func NewRNG(seed int64) *RNG {
+	src := &xoshiro{}
+	src.Seed(seed)
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// State exports the generator's current state.
+func (r *RNG) State() RNGState {
+	return RNGState{S0: r.src.s[0], S1: r.src.s[1], S2: r.src.s[2], S3: r.src.s[3]}
+}
+
+// SetState reinstalls a previously exported state: the next draws continue
+// the captured sequence exactly. The all-zero state is xoshiro's fixed
+// point (it only ever emits more zeros) and is rejected — it cannot be
+// produced by State on a seeded generator, so seeing one means the
+// snapshot is corrupt.
+func (r *RNG) SetState(s RNGState) error {
+	if s.zero() {
+		return fmt.Errorf("wrand: all-zero RNG state")
+	}
+	r.src.s = [4]uint64{s.S0, s.S1, s.S2, s.S3}
+	return nil
+}

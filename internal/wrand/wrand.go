@@ -2,13 +2,13 @@
 // uniform-random scheduler: a Fenwick-tree weighted sampler over integer
 // slots and an indexable set with O(1) insert/remove/uniform-sample.
 //
-// All randomness flows through a caller-supplied *rand.Rand so that entire
-// simulations are reproducible from a single seed.
+// All randomness flows through a caller-supplied source (any Rand — the
+// engines use the serializable *RNG) so that entire simulations are
+// reproducible from a single seed and can be snapshotted mid-run.
 package wrand
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // Fenwick is a binary indexed tree over int64 weights supporting point
@@ -87,7 +87,7 @@ func (f *Fenwick) prefix(i int) int64 {
 
 // Sample draws a slot with probability proportional to its weight. It
 // reports false when the total weight is zero.
-func (f *Fenwick) Sample(r *rand.Rand) (int, bool) {
+func (f *Fenwick) Sample(r Rand) (int, bool) {
 	total := f.Total()
 	if total <= 0 {
 		return 0, false
@@ -156,7 +156,7 @@ func (s *Set[T]) Remove(v T) {
 }
 
 // Sample returns a uniformly random element; it reports false when empty.
-func (s *Set[T]) Sample(r *rand.Rand) (T, bool) {
+func (s *Set[T]) Sample(r Rand) (T, bool) {
 	var zero T
 	if len(s.items) == 0 {
 		return zero, false
@@ -172,4 +172,19 @@ func (s *Set[T]) Items() []T { return s.items }
 func (s *Set[T]) Clear() {
 	s.items = s.items[:0]
 	clear(s.index)
+}
+
+// Replace resets the set to exactly items, in that order. Because Sample
+// draws by index, the element order is part of the set's sampling state;
+// Replace exists so an engine snapshot can restore it verbatim. It panics
+// on a duplicate element (a snapshot carrying one is corrupt).
+func (s *Set[T]) Replace(items []T) {
+	s.items = append(s.items[:0], items...)
+	clear(s.index)
+	for i, v := range s.items {
+		if _, dup := s.index[v]; dup {
+			panic(fmt.Sprintf("wrand: Replace with duplicate element %v", v))
+		}
+		s.index[v] = i
+	}
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Records the snapshot-subsystem performance baseline as a BENCH_*.json
+# at the repo root — the first point of the perf trajectory that
+# .github/workflows/bench.yml extends per main push. The snapshot
+# benchmarks live in internal/counting (capture/restore of Theorem 1
+# worlds at n = 10^6 urn / 10^5 pop); the engines' hot-loop benchmarks
+# are included so a checkpointing regression that leaks into the step
+# path shows up in the same file.
+#
+# Usage: scripts/bench_snapshot.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_snapshot_baseline.json}"
+go test -run '^$' -bench 'Snapshot' -benchtime 3x -json ./internal/... > "$out"
+count="$(grep -c '"Action":"pass"' "$out" || true)"
+echo "wrote $out ($(wc -c < "$out") bytes, $count passing bench events)"
