@@ -318,6 +318,71 @@ func BenchmarkUrnEngineEvent(b *testing.B) {
 	}
 }
 
+// E15 — the urn engine's target regime: one Counting-Upper-Bound run per
+// iteration at n = 10^6, 10^7 and 10^8 on the default alias sampler and
+// batched block loop. The n = 10^8 size simulates ~10^17 scheduler steps
+// per trial and is skipped under -short (the CI smoke lane); the bench
+// lane runs it via scripts/bench_urn.sh. Steady state must report 0
+// allocs/op-scale allocation (the per-run setup is O(n) but the event
+// loop itself is allocation-free).
+func BenchmarkE15UrnScaling(b *testing.B) {
+	const headStart = 5
+	for _, n := range []int{1_000_000, 10_000_000, 100_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if n > 10_000_000 && testing.Short() {
+				b.Skip("n=10^8 takes ~a minute per trial; run scripts/bench_urn.sh")
+			}
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				out := counting.RunUpperBoundUrn(n, headStart, int64(i))
+				if !out.Success {
+					b.Fatalf("urn run failed: %+v", out)
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+// BenchmarkUrnSamplerComparison is the sampler/batching matrix behind the
+// BENCH_urn_scaling.json regression gate: the same n = 10^6 run on the
+// Fenwick reference sampler with the per-interaction loop, on the alias
+// sampler with the per-interaction loop, and on the default alias +
+// batched configuration. The gate is the wall-clock ratio of the first
+// and last rows — a same-machine measurement, so it holds on any runner.
+func BenchmarkUrnSamplerComparison(b *testing.B) {
+	const n, headStart = 1_000_000, 5
+	configs := []struct {
+		name    string
+		sampler pop.SamplerKind
+		batch   int
+	}{
+		{"fenwick", pop.SamplerFenwick, 1},
+		{"alias", pop.SamplerAlias, 1},
+		{"alias-batched", pop.SamplerAlias, 0},
+	}
+	for _, cfg := range configs {
+		b.Run(fmt.Sprintf("%s/n=%d", cfg.name, n), func(b *testing.B) {
+			var steps int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := urn.New(n, &counting.UpperBound{B: headStart}, pop.Options{
+					Seed: int64(i), StopWhenAnyHalted: true, MaxSteps: 1 << 62,
+					Sampler: cfg.sampler, BatchSize: cfg.batch,
+				})
+				res := w.Run()
+				out := counting.UpperBoundUrnOutcomeOf(headStart, w, res)
+				if !out.Success {
+					b.Fatalf("%s run failed: %+v", cfg.name, out)
+				}
+				steps += out.Steps
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
 // E13 — Conjecture 1 evidence: leaderless early termination.
 func BenchmarkE13LeaderlessEvidence(b *testing.B) {
 	proto := counting.TwoZerosProtocol()

@@ -17,6 +17,8 @@
 //	experiments -seed 100        # shift the seed set
 //	experiments -json            # machine-readable report
 //	experiments -figures         # ASCII renders of the paper's figures
+//	experiments -exp E15 -cpuprofile cpu.out -memprofile mem.out
+//	                             # pprof profiles of the run
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
 	"shapesol/internal/job"
+	"shapesol/internal/profiling"
 	"shapesol/internal/runner"
 	"shapesol/internal/shapes"
 	"shapesol/internal/stats"
@@ -64,6 +67,7 @@ var registry = []struct {
 	{"E12", "replication", e12},
 	{"E13", "leaderless", e13},
 	{"E14", "counting-upper-bound", e14},
+	{"E15", "counting-upper-bound", e15},
 }
 
 // registryIDs returns the advertised experiment ids in run order.
@@ -140,19 +144,32 @@ func run() int {
 	var (
 		exp = flag.String("exp", "",
 			fmt.Sprintf("experiment id (one of %s); empty runs all", strings.Join(registryIDs(), " ")))
-		trials   = flag.Int("trials", 20, "trials per configuration")
-		parallel = flag.Bool("parallel", false, "fan trials across all CPU cores")
-		workers  = flag.Int("workers", 0, "exact worker count (overrides -parallel)")
-		seed     = flag.Int64("seed", 0, "first seed of each configuration's seed set")
-		asJSON   = flag.Bool("json", false, "emit the reports as JSON")
-		figures  = flag.Bool("figures", false, "render figure configurations instead")
-		version  = flag.Bool("version", false, "print version and exit")
+		trials     = flag.Int("trials", 20, "trials per configuration")
+		parallel   = flag.Bool("parallel", false, "fan trials across all CPU cores")
+		workers    = flag.Int("workers", 0, "exact worker count (overrides -parallel)")
+		seed       = flag.Int64("seed", 0, "first seed of each configuration's seed set")
+		asJSON     = flag.Bool("json", false, "emit the reports as JSON")
+		figures    = flag.Bool("figures", false, "render figure configurations instead")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("experiments", buildinfo.Version())
 		return 0
 	}
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	if err := checkSpecs(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -474,6 +491,44 @@ func e14(cfg config, spec string) Report {
 		ys = append(ys, agg.Steps.Mean)
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
 			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	}
+	if slope, err := stats.LogLogSlope(xs, ys); err == nil {
+		r.Derived = map[string]float64{"loglog_slope": slope}
+	}
+	return r
+}
+
+// e15 measures the urn engine in the regime the alias sampler and the
+// batched step loop were built for: single Counting-Upper-Bound runs at
+// n = 10^6, 10^7 and 10^8. The trial count scales down with n (one trial
+// of n = 10^8 simulates ~10^17 scheduler steps), so the report stays
+// runnable with the default -trials; the log-log slope over the three
+// sizes pins the Theta(n^2 log n) law two decades beyond E14. Wall-clock
+// numbers deliberately stay out of the report (they would break its
+// byte-determinism) — see BENCH_urn_scaling.json for those.
+func e15(cfg config, spec string) Report {
+	r := Report{ID: "E15", Title: "Urn engine at scale: alias sampler + batched blocks, n up to 10^8",
+		Note: "same law as E14, two decades further; slope ~2 plus log factor"}
+	var xs, ys []float64
+	for _, c := range []struct{ n, div int }{
+		{1_000_000, 1}, {10_000_000, 10}, {100_000_000, 20},
+	} {
+		sub := cfg
+		if sub.trials = cfg.trials / c.div; sub.trials < 1 {
+			sub.trials = 1
+		}
+		agg := sub.collect(job.Job{Protocol: spec, Engine: job.EngineUrn,
+			Params: job.Params{N: c.n, B: 5}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundOutcome)
+				return runner.Trial{
+					Flags:  map[string]bool{"success": out.Success},
+					Values: map[string]float64{"r0_over_n": out.Estimate}}
+			})
+		xs = append(xs, float64(c.n))
+		ys = append(ys, agg.Steps.Mean)
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%.0e", float64(c.n)),
+			Params: map[string]int{"n": c.n, "b": 5, "trials": sub.trials}, Agg: agg})
 	}
 	if slope, err := stats.LogLogSlope(xs, ys); err == nil {
 		r.Derived = map[string]float64{"loglog_slope": slope}

@@ -15,6 +15,8 @@
 //	shapesim -protocol parallel-3d -lang star -d 3 [-k 3]
 //	shapesim -protocol replication -shape "0,0;1,0;2,0;0,1" [-free 8]
 //	shapesim -protocol <any> ... -json                  # raw Result envelope
+//	shapesim -protocol count -engine urn -n 10000000 -cpuprofile cpu.out
+//	                                                    # pprof the hot loop
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
 	"shapesol/internal/job"
+	"shapesol/internal/profiling"
 )
 
 // aliases maps the historical -protocol names onto registry jobs,
@@ -56,25 +59,38 @@ func run() int {
 		protocol = flag.String("protocol", "line",
 			fmt.Sprintf("protocol spec (one of %s) or a legacy alias (line, square, square2, count, countline, squaren)",
 				strings.Join(job.Names(), ", ")))
-		engine  = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
-		budget  = flag.Int64("budget", 0, "step budget override (default: the spec's)")
-		n       = flag.Int("n", 16, "population size")
-		b       = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
-		d       = flag.Int("d", 4, "side length for square-knowing-n/universal/parallel-3d")
-		k       = flag.Int("k", 0, "memory column height for parallel-3d (default: the spec's)")
-		lang    = flag.String("lang", "", "shape language for universal/parallel-3d (default: the spec's)")
-		table   = flag.String("table", "", "rule table for stabilize: line, square or square2")
-		shape   = flag.String("shape", "", `replication target as "x,y;x,y;..." cells`)
-		free    = flag.Int("free", 0, "free nodes for replication (default: the paper's 2|R_G|-|G|)")
-		seed    = flag.Int64("seed", 1, "scheduler seed")
-		asJSON  = flag.Bool("json", false, "print the raw Result envelope as JSON")
-		version = flag.Bool("version", false, "print version and exit")
+		engine     = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
+		budget     = flag.Int64("budget", 0, "step budget override (default: the spec's)")
+		n          = flag.Int("n", 16, "population size")
+		b          = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
+		d          = flag.Int("d", 4, "side length for square-knowing-n/universal/parallel-3d")
+		k          = flag.Int("k", 0, "memory column height for parallel-3d (default: the spec's)")
+		lang       = flag.String("lang", "", "shape language for universal/parallel-3d (default: the spec's)")
+		table      = flag.String("table", "", "rule table for stabilize: line, square or square2")
+		shape      = flag.String("shape", "", `replication target as "x,y;x,y;..." cells`)
+		free       = flag.Int("free", 0, "free nodes for replication (default: the paper's 2|R_G|-|G|)")
+		seed       = flag.Int64("seed", 1, "scheduler seed")
+		asJSON     = flag.Bool("json", false, "print the raw Result envelope as JSON")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("shapesim", buildinfo.Version())
 		return 0
 	}
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shapesim:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "shapesim:", err)
+		}
+	}()
 
 	setFlags := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })

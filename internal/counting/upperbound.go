@@ -14,13 +14,34 @@ import (
 	"shapesol/internal/pop/urn"
 )
 
+// Phase is a non-leader agent's phase in Counting-Upper-Bound. It is a
+// single byte (not a string) deliberately: UBState is the key of the urn
+// engine's state-to-slot map, and a string field forces every map access
+// through an indirect hash plus a pointer chase — measurably the largest
+// single cost of an n=10^6 urn run before this became a byte.
+type Phase uint8
+
 // Agent phases of Counting-Upper-Bound. Non-leader agents move
-// q0 -> q1 -> q2 as the leader counts them.
+// q0 -> q1 -> q2 as the leader counts them. The zero value is Q0, matching
+// the protocol's initial configuration.
 const (
-	Q0 = "q0"
-	Q1 = "q1"
-	Q2 = "q2"
+	Q0 Phase = iota
+	Q1
+	Q2
 )
+
+// String implements fmt.Stringer.
+func (q Phase) String() string {
+	switch q {
+	case Q0:
+		return "q0"
+	case Q1:
+		return "q1"
+	case Q2:
+		return "q2"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(q))
+}
 
 // Leader is the unique leader's payload in Counting-Upper-Bound: two
 // unbounded counters, as assumed in Section 5.1 ("a distinguished leader
@@ -38,12 +59,13 @@ func (l Leader) String() string {
 
 // UBState is the single agent state type of Counting-Upper-Bound: either
 // the leader (IsLeader, with its counters in L) or a phase agent (Q is one
-// of Q0, Q1, Q2). A flat value type keeps the generic pop engine's hot
-// loop free of interface boxing.
+// of Q0, Q1, Q2). A flat value type with no pointers keeps the generic
+// engines' hot loops free of interface boxing and makes map hashing of
+// the state a single fixed-size hash.
 type UBState struct {
 	L        Leader
 	IsLeader bool
-	Q        string
+	Q        Phase
 }
 
 // String implements fmt.Stringer.
@@ -51,7 +73,7 @@ func (s UBState) String() string {
 	if s.IsLeader {
 		return s.L.String()
 	}
-	return s.Q
+	return s.Q.String()
 }
 
 // UpperBound is the Counting-Upper-Bound protocol of Theorem 1. The leader

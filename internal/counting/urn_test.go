@@ -1,9 +1,12 @@
 package counting
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"shapesol/internal/pop"
+	"shapesol/internal/pop/urn"
 	"shapesol/internal/stats"
 )
 
@@ -40,6 +43,54 @@ func assertMeansAgree(t *testing.T, what string, xs, ys []float64) {
 	if diff := math.Abs(sx.Mean - sy.Mean); diff > 4*se {
 		t.Errorf("%s means disagree: exact %.1f vs urn %.1f (|diff| %.1f > 4*SE %.1f)",
 			what, sx.Mean, sy.Mean, diff, 4*se)
+	}
+}
+
+// TestUrnSamplerEquivalenceThreeWay is the acceptance check of the
+// sampler/batching knobs: the exact pop scheduler, the urn engine on the
+// Fenwick reference sampler with the per-interaction loop (BatchSize 1),
+// and the urn engine on the default alias sampler with batched blocks
+// must induce the same distribution of Counting-Upper-Bound outcomes.
+// Per-seed trajectories differ across all three (randomness is consumed
+// differently), so the comparison is distributional: identical halting
+// verdicts on every trial and pairwise-agreeing means for steps-to-halt
+// and r0.
+func TestUrnSamplerEquivalenceThreeWay(t *testing.T) {
+	const n, b, trials = 120, 5, 60
+	runUrn := func(seed int64, kind pop.SamplerKind, batch int) UpperBoundOutcome {
+		w := urn.New(n, &UpperBound{B: b}, pop.Options{
+			Seed: seed, StopWhenAnyHalted: true, MaxSteps: 1 << 62,
+			Sampler: kind, BatchSize: batch,
+		})
+		res := w.RunContext(context.Background())
+		return UpperBoundUrnOutcomeOf(b, w, res)
+	}
+	samples := map[string]map[string][]float64{
+		"exact":         {"steps": nil, "r0": nil},
+		"urn-fenwick":   {"steps": nil, "r0": nil},
+		"urn-alias-bat": {"steps": nil, "r0": nil},
+	}
+	record := func(engine string, out UpperBoundOutcome, seed int64) {
+		if !out.Success {
+			t.Fatalf("seed %d: %s run failed: %+v", seed, engine, out)
+		}
+		samples[engine]["steps"] = append(samples[engine]["steps"], float64(out.Steps))
+		samples[engine]["r0"] = append(samples[engine]["r0"], float64(out.R0))
+	}
+	for seed := int64(0); seed < trials; seed++ {
+		record("exact", RunUpperBound(n, b, seed), seed)
+		record("urn-fenwick", runUrn(seed, pop.SamplerFenwick, 1), seed)
+		record("urn-alias-bat", runUrn(seed, pop.SamplerDefault, 0), seed)
+	}
+	pairs := [][2]string{
+		{"exact", "urn-fenwick"},
+		{"exact", "urn-alias-bat"},
+		{"urn-fenwick", "urn-alias-bat"},
+	}
+	for _, p := range pairs {
+		for _, what := range []string{"steps", "r0"} {
+			assertMeansAgree(t, p[0]+" vs "+p[1]+" "+what, samples[p[0]][what], samples[p[1]][what])
+		}
 	}
 }
 

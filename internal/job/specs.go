@@ -21,7 +21,12 @@ import (
 // facade used to hardcode (100M for the counting protocols and the
 // stabilizing tables, 300M for Square-Knowing-n, 500M for the universal
 // constructor and replication); the urn engine's default is effectively
-// unbounded, since it skips ineffective steps in O(1).
+// unbounded, since it skips ineffective steps in O(1). Urn-engine jobs
+// run on pop.Options' engine defaults — the O(1) alias sampler and the
+// batched block loop — which the job schema deliberately does not
+// expose: the knobs (pop.Options.Sampler/BatchSize) select
+// statistically equivalent executions, not different results, so they
+// stay out of the job's cache identity.
 //
 // Every spec's Run is built from an engine runner adapter (popRunner,
 // urnRunner, simRunner — see checkpoint.go), which factors the execution

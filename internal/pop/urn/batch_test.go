@@ -1,0 +1,218 @@
+package urn
+
+import (
+	"math"
+	"testing"
+
+	"shapesol/internal/pop"
+)
+
+// tallyProto wraps a swap protocol (Apply(a, b) = (b, a), effective iff
+// a != b) and tallies the unordered state pair of every Apply call once
+// armed. Swapping preserves the state multiset, so the responsive-pair
+// weights are constant for the whole run and every batched draw must
+// follow the same fixed law c_a*c_b / W — the cleanest possible target
+// for a distribution test of the block loop.
+type tallyProto struct {
+	counts []int64 // initial multiplicity per state
+	hits   map[[2]int]int
+	armed  *bool
+}
+
+func (p tallyProto) InitialState(id, n int) int {
+	var acc int64
+	for s, c := range p.counts {
+		acc += c
+		if int64(id) < acc {
+			return s
+		}
+	}
+	return len(p.counts) - 1
+}
+
+func (p tallyProto) Apply(a, b int) (int, int, bool) {
+	if a == b {
+		return a, b, false
+	}
+	if *p.armed {
+		if a > b {
+			a, b = b, a
+		}
+		p.hits[[2]int{a, b}]++
+		return b, a, true
+	}
+	return b, a, true
+}
+
+func (tallyProto) Halted(int) bool { return false }
+
+// TestBatchedPairDrawDistribution pins the law of the batched block loop:
+// with a swap protocol the configuration is invariant, so across a long
+// stepBlock every drawn pair {a, b} must appear with probability
+// c_a*c_b / W exactly as in the per-interaction reference path. Each cell
+// is checked within 5 sigma of its binomial expectation.
+func TestBatchedPairDrawDistribution(t *testing.T) {
+	armed := false
+	proto := tallyProto{
+		counts: []int64{2, 3, 5, 10},
+		hits:   map[[2]int]int{},
+		armed:  &armed,
+	}
+	w := New(20, proto, pop.Options{Seed: 21, MaxSteps: 1 << 60})
+	// Only cross-state pairs are responsive: W = sum over a<b of c_a*c_b.
+	want := map[[2]int]int64{
+		{0, 1}: 6, {0, 2}: 10, {0, 3}: 20,
+		{1, 2}: 15, {1, 3}: 30, {2, 3}: 50,
+	}
+	var W int64
+	for _, cw := range want {
+		W += cw
+	}
+	if got := w.ResponsiveWeight(); got != W {
+		t.Fatalf("responsive weight = %d, want %d", got, W)
+	}
+
+	const trials = 200000
+	armed = true
+	if halted, exhausted := w.stepBlock(trials); halted || exhausted {
+		t.Fatalf("swap world stopped early (halted=%v exhausted=%v)", halted, exhausted)
+	}
+	w.flushCounts()
+
+	var drawn int
+	for _, c := range proto.hits {
+		drawn += c
+	}
+	if drawn != trials {
+		t.Fatalf("tallied %d effective draws, want %d", drawn, trials)
+	}
+	for pair, cw := range want {
+		p := float64(cw) / float64(W)
+		mean := p * trials
+		sigma := math.Sqrt(mean * (1 - p))
+		if got := float64(proto.hits[pair]); math.Abs(got-mean) > 5*sigma {
+			t.Errorf("pair %v drawn %v times, want %.0f +- %.0f", pair, got, mean, 5*sigma)
+		}
+	}
+}
+
+// TestReferenceLoopGeometricLaw runs the geometric-skip law check on the
+// configuration the reference loop (Fenwick sampler, BatchSize 1) is kept
+// for: with one responsive pair among C = n(n-1)/2 the halting step is
+// geometric with mean C, on the batched path and the reference path alike.
+func TestReferenceLoopGeometricLaw(t *testing.T) {
+	const n, trials = 50, 1500
+	C := float64(n * (n - 1) / 2)
+	var sum float64
+	for seed := int64(0); seed < trials; seed++ {
+		w := New(n, haltOnMeet{}, pop.Options{
+			Seed: seed, StopWhenAnyHalted: true,
+			Sampler: pop.SamplerFenwick, BatchSize: 1,
+		})
+		res := w.Run()
+		if res.Reason != pop.ReasonHalted || res.Effective != 1 {
+			t.Fatalf("seed %d: reason=%v effective=%d", seed, res.Reason, res.Effective)
+		}
+		sum += float64(res.Steps)
+	}
+	mean := sum / trials
+	if tol := 5 * C / math.Sqrt(trials); math.Abs(mean-C) > tol {
+		t.Fatalf("mean halt step = %v, want %v +- %v", mean, C, tol)
+	}
+}
+
+// TestBatchedHaltsAtExactInteraction checks the block loop does not
+// overshoot a stop condition: the first halting interaction ends the run
+// mid-block with Effective exactly 1, regardless of the block size.
+func TestBatchedHaltsAtExactInteraction(t *testing.T) {
+	for _, batch := range []int{2, 64, 1024} {
+		w := New(80, haltOnMeet{}, pop.Options{
+			Seed: 17, StopWhenAnyHalted: true, MaxSteps: 1 << 50, BatchSize: batch,
+		})
+		res := w.Run()
+		if res.Reason != pop.ReasonHalted || res.Effective != 1 {
+			t.Fatalf("batch %d: reason=%v effective=%d, want halted after 1", batch, res.Reason, res.Effective)
+		}
+	}
+}
+
+// TestBatchedProgressCadence checks the block loop preserves the
+// observable RunContext contract: Progress fires at exact
+// CheckEvery-effective boundaries with a strictly increasing simulated
+// clock, the same cadence the per-interaction loop exposes.
+func TestBatchedProgressCadence(t *testing.T) {
+	const checkEvery = 128
+	var calls int
+	last := int64(-1)
+	w := New(200, tokenProto{k: 6, cycle: 40}, pop.Options{
+		Seed: 5, MaxSteps: 400_000, CheckEvery: checkEvery,
+		Progress: func(steps int64) {
+			calls++
+			if steps <= last {
+				panic("progress clock not increasing")
+			}
+			last = steps
+		},
+	})
+	res := w.Run()
+	if res.Reason != pop.ReasonMaxSteps {
+		t.Fatalf("token run stopped early: %+v", res)
+	}
+	// Every completed CheckEvery block of effective interactions before the
+	// budget fired exactly one callback; the final partial (or
+	// budget-clipped) block fires none.
+	wantMax := int(res.Effective / checkEvery)
+	if calls > wantMax || calls < wantMax-1 {
+		t.Fatalf("progress fired %d times for %d effective interactions, want %d or %d",
+			calls, res.Effective, wantMax-1, wantMax)
+	}
+}
+
+// TestBatchedBlockZeroAllocs guards the batched hot loop the way
+// TestStepEffectiveZeroAllocs guards the reference unit: after warm-up a
+// block of token-churn interactions — slot relabeling, pair recycling,
+// deferred count flushes and amortized alias rebuilds included — must not
+// allocate.
+func TestBatchedBlockZeroAllocs(t *testing.T) {
+	w := New(1000, tokenProto{k: 6, cycle: 40}, pop.Options{Seed: 1, MaxSteps: 1 << 60})
+	for i := 0; i < 20; i++ {
+		if halted, exhausted := w.stepBlock(64); halted || exhausted {
+			t.Fatal("token world stopped during warm-up")
+		}
+		w.flushCounts()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if halted, exhausted := w.stepBlock(64); halted || exhausted {
+			t.Fatal("token world stopped")
+		}
+		w.flushCounts()
+	})
+	if allocs != 0 {
+		t.Fatalf("batched block allocates %v per block in steady state, want 0", allocs)
+	}
+}
+
+// TestSamplerKindsAgreeOnColorMixing cross-checks the two samplers end to
+// end on the same protocol: colorProto's effective fraction is a fixed
+// 21/45, so both engines' step/effective ratios must match it within
+// binomial noise.
+func TestSamplerKindsAgreeOnColorMixing(t *testing.T) {
+	for _, kind := range []pop.SamplerKind{pop.SamplerAlias, pop.SamplerFenwick} {
+		w := New(10, colorProto{ones: 3}, pop.Options{Seed: 3, Sampler: kind, MaxSteps: 1 << 60})
+		const effTarget = 20000
+		for i := 0; i < effTarget; i++ {
+			if !w.StepEffective() {
+				t.Fatalf("%s: color world froze", kind)
+			}
+		}
+		p := 21.0 / 45.0
+		mean := float64(effTarget) / p
+		sigma := math.Sqrt(float64(effTarget)*(1-p)) / p
+		if got := float64(w.Steps()); math.Abs(got-mean) > 5*sigma {
+			t.Errorf("%s: %v steps for %d effective, want %.0f +- %.0f", kind, got, effTarget, mean, 5*sigma)
+		}
+		if w.Count(1) != 3 || w.Count(0) != 7 {
+			t.Errorf("%s: multiset drifted", kind)
+		}
+	}
+}

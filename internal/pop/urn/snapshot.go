@@ -10,12 +10,16 @@ import (
 // logical configuration (the multiset of states) it preserves the exact
 // slot-table layout — slot assignment, live order, free-slot and
 // free-pair recycling stacks, and the responsive-pair table — because the
-// layout is part of the sampling state: Fenwick indices decide which slot
+// layout is part of the sampling state: sampler indices decide which slot
 // a given random draw lands on, so a canonically rebuilt urn would be
-// statistically equivalent but not trajectory-identical. The Fenwick
-// trees themselves are derived (a tree's array is a pure function of its
-// weight vector) and are rebuilt on restore, as are the state-to-slot
-// map and the halted tallies.
+// statistically equivalent but not trajectory-identical. A Fenwick tree
+// is fully derived (its array is a pure function of its weight vector)
+// and is rebuilt on restore, as are the state-to-slot map and the halted
+// tallies; an alias sampler additionally carries drift state (the stale
+// table snapshot and excess-list order decide how many RNG draws a Sample
+// consumes), so CountSampler/PairSampler capture it verbatim. A nil
+// sampler state (an older snapshot, or one captured from a Fenwick world)
+// restores to a deterministically rebuilt fresh table instead.
 type Memento[S comparable] struct {
 	N         int
 	Steps     int64
@@ -28,12 +32,18 @@ type Memento[S comparable] struct {
 	PairAB    [][2]int32
 	PairSlot  [][]int32
 	FreePairs []int
+
+	// Alias drift state of the count/pair samplers; nil when the capture
+	// source used the Fenwick reference sampler.
+	CountSampler *wrand.AliasState
+	PairSampler  *wrand.AliasState
 }
 
 // Memento captures the World's current state. Everything is deep-copied,
 // so the capture stays valid while the run continues. Capture only
 // between effective steps — e.g. from the Progress callback.
 func (w *World[S]) Memento() *Memento[S] {
+	w.flushCounts() // settle any deferred batched-block updates
 	m := &Memento[S]{
 		N:         w.n,
 		Steps:     w.steps,
@@ -51,7 +61,31 @@ func (w *World[S]) Memento() *Memento[S] {
 	for i, row := range w.pairSlot {
 		m.PairSlot[i] = append([]int32(nil), row...)
 	}
+	if a, ok := w.countF.(*wrand.Alias); ok {
+		s := a.State()
+		m.CountSampler = &s
+	}
+	if a, ok := w.pairF.(*wrand.Alias); ok {
+		s := a.State()
+		m.PairSampler = &s
+	}
 	return m
+}
+
+// restoreAlias installs captured alias drift state over a freshly rebuilt
+// sampler, first cross-checking that the captured live weights match the
+// weights derived from the restored slot tables (a mismatch means the
+// snapshot is internally inconsistent).
+func restoreAlias(a *wrand.Alias, s *wrand.AliasState, what string) error {
+	if len(s.Weights) != a.Len() {
+		return fmt.Errorf("urn: snapshot %s sampler has %d slots, tables imply %d", what, len(s.Weights), a.Len())
+	}
+	for i, sw := range s.Weights {
+		if sw != a.Weight(i) {
+			return fmt.Errorf("urn: snapshot %s sampler weight %d at slot %d, tables imply %d", what, sw, i, a.Weight(i))
+		}
+	}
+	return a.SetState(*s)
 }
 
 // RestoreMemento rewinds the World to a captured state. The World must
@@ -113,7 +147,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	}
 	clear(w.slotOf)
 	w.haltedCount = 0
-	w.countF = wrand.NewFenwick(nSlots)
+	w.countF = newSampler(w.opts.Sampler, nSlots)
 	for pos, slot := range w.live {
 		if slot < 0 || int(slot) >= nSlots {
 			return fmt.Errorf("urn: snapshot live slot %d out of range", slot)
@@ -134,7 +168,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	for _, ps := range w.freePairs {
 		free[ps] = true
 	}
-	w.pairF = wrand.NewFenwick(len(w.pairAB))
+	w.pairF = newSampler(w.opts.Sampler, len(w.pairAB))
 	for ps, ab := range w.pairAB {
 		if free[ps] {
 			continue
@@ -145,6 +179,23 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		}
 		w.pairF.Set(ps, w.pairWeight(i, j))
 	}
+	// Reinstall captured alias drift state, if any, over the fresh tables
+	// so the restored world replays the captured RNG stream exactly. A
+	// Fenwick world ignores the alias states; an alias world restoring a
+	// Fenwick-era memento keeps the deterministic fresh tables.
+	if a, ok := w.countF.(*wrand.Alias); ok && m.CountSampler != nil {
+		if err := restoreAlias(a, m.CountSampler, "count"); err != nil {
+			return err
+		}
+	}
+	if a, ok := w.pairF.(*wrand.Alias); ok && m.PairSampler != nil {
+		if err := restoreAlias(a, m.PairSampler, "pair"); err != nil {
+			return err
+		}
+	}
+	w.slotOfValid = true
+	w.countDirty = w.countDirty[:0]
+	w.skipW = 0
 	w.steps = m.Steps
 	w.effective = m.Effective
 	return nil

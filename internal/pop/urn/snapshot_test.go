@@ -91,6 +91,105 @@ func TestSnapshotCaptureIsPassive(t *testing.T) {
 	})
 }
 
+// TestMementoSamplerStates pins the capture contract of the sampler
+// fields: an alias world carries its drift state (both samplers), a
+// Fenwick world carries nil (its trees are fully derived on restore).
+func TestMementoSamplerStates(t *testing.T) {
+	al := New(200, tokenProto{k: 6, cycle: 40}, pop.Options{Seed: 2, MaxSteps: 1 << 50})
+	for i := 0; i < 200; i++ {
+		al.StepEffective()
+	}
+	m := al.Memento()
+	if m.CountSampler == nil || m.PairSampler == nil {
+		t.Fatalf("alias world memento dropped sampler state (%v, %v)", m.CountSampler, m.PairSampler)
+	}
+
+	fw := New(200, tokenProto{k: 6, cycle: 40}, pop.Options{
+		Seed: 2, MaxSteps: 1 << 50, Sampler: pop.SamplerFenwick,
+	})
+	for i := 0; i < 200; i++ {
+		fw.StepEffective()
+	}
+	if m := fw.Memento(); m.CountSampler != nil || m.PairSampler != nil {
+		t.Fatal("fenwick world memento carries alias sampler state")
+	}
+}
+
+// TestSnapshotResumeBatchedDeterministic captures a memento from inside a
+// batched alias run (via the Progress callback, i.e. at a block boundary)
+// and checks the restored world finishes with a byte-identical result:
+// the alias drift state in the memento makes the resumed RNG stream — and
+// hence the trajectory — exactly reproducible, not merely equal in law.
+func TestSnapshotResumeBatchedDeterministic(t *testing.T) {
+	const n = 500
+	opts := pop.Options{Seed: 13, MaxSteps: 30_000_000}
+	var m *Memento[int]
+	base := New(n, tokenProto{k: 6, cycle: 40}, opts)
+	calls := 0
+	base.opts.Progress = func(int64) {
+		calls++
+		if calls == 10 {
+			m = base.Memento()
+		}
+	}
+	baseRes := base.Run()
+	if m == nil {
+		t.Fatal("run too short to capture a mid-flight memento")
+	}
+
+	resumed := New(n, tokenProto{k: 6, cycle: 40}, opts)
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Run(); got != baseRes {
+		t.Fatalf("results diverged:\nbase    %+v\nresumed %+v", baseRes, got)
+	}
+	base.ForEach(func(s int, count int64) {
+		if got := resumed.Count(s); got != count {
+			t.Fatalf("state %d count %d, want %d", s, got, count)
+		}
+	})
+}
+
+// TestSnapshotCrossSamplerRestore covers the two mixed cases: a Fenwick
+// world ignores captured alias state, and an alias world restoring a
+// Fenwick-era memento (nil sampler states) rebuilds fresh deterministic
+// tables. Both directions must restore cleanly and conserve the
+// population.
+func TestSnapshotCrossSamplerRestore(t *testing.T) {
+	const n = 300
+	aliasOpts := pop.Options{Seed: 6, MaxSteps: 1 << 50}
+	fenwickOpts := pop.Options{Seed: 6, MaxSteps: 1 << 50, Sampler: pop.SamplerFenwick}
+
+	al := New(n, tokenProto{k: 6, cycle: 40}, aliasOpts)
+	fw := New(n, tokenProto{k: 6, cycle: 40}, fenwickOpts)
+	for i := 0; i < 500; i++ {
+		al.StepEffective()
+		fw.StepEffective()
+	}
+
+	intoFenwick := New(n, tokenProto{k: 6, cycle: 40}, fenwickOpts)
+	if err := intoFenwick.RestoreMemento(al.Memento()); err != nil {
+		t.Fatalf("fenwick world rejected alias memento: %v", err)
+	}
+	intoAlias := New(n, tokenProto{k: 6, cycle: 40}, aliasOpts)
+	if err := intoAlias.RestoreMemento(fw.Memento()); err != nil {
+		t.Fatalf("alias world rejected fenwick memento: %v", err)
+	}
+	for _, w := range []*World[int]{intoFenwick, intoAlias} {
+		var total int64
+		w.ForEach(func(s int, c int64) { total += c })
+		if total != n {
+			t.Fatalf("population drifted to %d after cross-restore, want %d", total, n)
+		}
+		for i := 0; i < 200; i++ {
+			if !w.StepEffective() {
+				t.Fatal("cross-restored world froze")
+			}
+		}
+	}
+}
+
 // TestRestoreMementoRejectsCorrupt covers the validation paths.
 func TestRestoreMementoRejectsCorrupt(t *testing.T) {
 	m := New(50, colorProto{ones: 10}, pop.Options{Seed: 1}).Memento()
@@ -117,5 +216,14 @@ func TestRestoreMementoRejectsCorrupt(t *testing.T) {
 	bad.PairSlot[0][0] = 9999 // out of pairAB range: would panic the pair tree
 	if err := New(50, colorProto{ones: 10}, pop.Options{Seed: 1}).RestoreMemento(&bad); err == nil {
 		t.Fatal("accepted an out-of-range pair index")
+	}
+	bad = *m
+	bad.PairSlot = m.PairSlot
+	tampered := *m.PairSampler
+	tampered.Weights = append([]int64(nil), tampered.Weights...)
+	tampered.Weights[0]++ // no longer matches the weight the tables imply
+	bad.PairSampler = &tampered
+	if err := New(50, colorProto{ones: 10}, pop.Options{Seed: 1}).RestoreMemento(&bad); err == nil {
+		t.Fatal("accepted alias sampler state inconsistent with the slot tables")
 	}
 }

@@ -9,7 +9,9 @@
 // distribution. A uniform random unordered agent pair corresponds to a
 // state pair {s, t} with probability c_s*c_t / C (s != t) or
 // c_s*(c_s-1)/2 / C (s == t), where C = n(n-1)/2; both the exact Step and
-// the compressed Run sample from this law through wrand.Fenwick trees.
+// the compressed Run sample from this law through a wrand.Sampler — the
+// O(1) alias sampler by default, or the O(log m) Fenwick tree reference
+// when pop.Options.Sampler selects it.
 //
 // The headline speedup is ineffective-step skipping: the engine maintains
 // the total weight W of responsive state pairs (pairs whose interaction is
@@ -19,6 +21,18 @@
 // simulated clock still advances in exact scheduler steps. Convergence
 // tails that are >99.99% ineffective — the regime that caps the exact
 // engine near n = 10^3 — collapse to one random draw each.
+//
+// On top of the skipping, Run executes effective interactions in blocks of
+// Options.BatchSize conditional draws (the batched step loop): the
+// stop-condition, cancellation, progress and budget checks move to block
+// boundaries, and the per-interaction bookkeeping takes a fast path that
+// applies transitions directly on the drawn slots — recycling a slot whose
+// count reached zero in place for a newly appearing state instead of
+// retiring and reallocating it. Each draw in a block still conditions on
+// the exactly-updated weights, so the block is distribution-identical to
+// Options.BatchSize sequential StepEffective calls; see DESIGN.md ("The
+// urn engine") for the argument, and note only the slot *labeling* — never
+// the state multiset — differs from the reference path.
 //
 // Protocol contract beyond pop.Protocol: S must be comparable, Apply must
 // be a pure function of the two states (the engine calls it both to
@@ -72,26 +86,109 @@ type World[S comparable] struct {
 	states     []S
 	counts     []int64
 	haltedSlot []bool
-	slotOf     map[S]int
 	freeSlots  []int
 	live       []int32 // live slots, swap-removed
 	livePos    []int32 // slot -> index in live, -1 when free
 
+	// slotOf maps a present state to its slot, but only while more than
+	// scanThreshold states are live: below that a linear scan of live is
+	// cheaper than hashing the state, so mutations merely invalidate the
+	// map (slotOfValid) and it is rebuilt lazily if the urn grows past the
+	// threshold again.
+	slotOf      map[S]int
+	slotOfValid bool
+
 	// countF weights each slot by its count: sampling it draws a uniform
 	// random agent's state.
-	countF *wrand.Fenwick
+	countF wrand.Sampler
 
 	// pairF holds one entry per *responsive* unordered slot pair {i, j},
 	// weighted by the number of agent pairs realizing it (c_i*c_j, or
 	// c_i*(c_i-1)/2 on the diagonal). Its Total() is the responsive weight
 	// W of the geometric skip.
-	pairF     *wrand.Fenwick
+	pairF     wrand.Sampler
 	pairAB    [][2]int32
 	pairSlot  [][]int32 // [i][j] pair entry of {i, j}, -1 when unresponsive
 	freePairs []int
 
+	// batch is the resolved Options.BatchSize; skipW/skipDenom cache the
+	// geometric-skip log denominator while the responsive weight is
+	// unchanged (recomputing it from scratch is deterministic, so neither
+	// field is snapshot state).
+	batch     int
+	skipW     int64
+	skipDenom float64
+
+	// countDirty defers countF updates within a batched block: the block
+	// never samples countF, so the slots whose counts changed are queued
+	// and flushed once at the block boundary (always empty between blocks,
+	// hence not snapshot state).
+	countDirty []int32
+
 	steps, effective int64
 	haltedCount      int64
+}
+
+// newSampler builds the weighted sampler selected by kind.
+func newSampler(kind pop.SamplerKind, n int) wrand.Sampler {
+	if kind == pop.SamplerFenwick {
+		return wrand.NewFenwick(n)
+	}
+	return wrand.NewAlias(n)
+}
+
+// scanThreshold is the live-slot count below which state lookup scans the
+// live list instead of maintaining the slotOf map: hashing a state costs
+// more than a dozen-odd state compares, and the Section 5 protocols keep
+// the number of distinct states far below this.
+const scanThreshold = 16
+
+// lookup resolves a state to its live slot.
+func (w *World[S]) lookup(s S) (int, bool) {
+	if len(w.live) <= scanThreshold {
+		for _, k := range w.live {
+			if w.states[k] == s {
+				return int(k), true
+			}
+		}
+		return 0, false
+	}
+	w.ensureSlotOf()
+	slot, ok := w.slotOf[s]
+	return slot, ok
+}
+
+// ensureSlotOf rebuilds the state-to-slot map after a phase of scan-mode
+// mutations left it stale.
+func (w *World[S]) ensureSlotOf() {
+	if w.slotOfValid {
+		return
+	}
+	clear(w.slotOf)
+	for _, k := range w.live {
+		w.slotOf[w.states[k]] = int(k)
+	}
+	w.slotOfValid = true
+}
+
+// mapInsert records state s at slot in the lookup structure; mapRemove
+// drops it. In scan mode the map is simply invalidated.
+func (w *World[S]) mapInsert(s S, slot int) {
+	if len(w.live) <= scanThreshold {
+		w.slotOfValid = false
+		return
+	}
+	w.ensureSlotOf()
+	w.slotOf[s] = slot
+}
+
+func (w *World[S]) mapRemove(s S) {
+	if len(w.live) <= scanThreshold {
+		w.slotOfValid = false
+		return
+	}
+	w.ensureSlotOf()
+	delete(w.slotOf, s)
 }
 
 // New builds a population of n agents in their initial states. n must be at
@@ -107,15 +204,23 @@ func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
 	if opts.CheckEvery == 0 {
 		opts.CheckEvery = 256
 	}
+	if opts.Sampler == pop.SamplerDefault {
+		opts.Sampler = pop.SamplerAlias
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 256
+	}
 	w := &World[S]{
-		n:          n,
-		totalPairs: int64(n) * int64(n-1) / 2,
-		opts:       opts,
-		proto:      proto,
-		rng:        wrand.NewRNG(opts.Seed),
-		slotOf:     make(map[S]int),
-		countF:     wrand.NewFenwick(0),
-		pairF:      wrand.NewFenwick(0),
+		n:           n,
+		totalPairs:  int64(n) * int64(n-1) / 2,
+		opts:        opts,
+		proto:       proto,
+		rng:         wrand.NewRNG(opts.Seed),
+		slotOf:      make(map[S]int),
+		slotOfValid: true,
+		countF:      newSampler(opts.Sampler, 0),
+		pairF:       newSampler(opts.Sampler, 0),
+		batch:       opts.BatchSize,
 	}
 	for id := 0; id < n; id++ {
 		w.addOne(proto.InitialState(id, n))
@@ -144,7 +249,7 @@ func (w *World[S]) ResponsiveWeight() int64 { return w.pairF.Total() }
 
 // Count returns the multiplicity of state s.
 func (w *World[S]) Count(s S) int64 {
-	if slot, ok := w.slotOf[s]; ok {
+	if slot, ok := w.lookup(s); ok {
 		return w.counts[slot]
 	}
 	return 0
@@ -215,9 +320,9 @@ func (w *World[S]) allocSlot(s S) int {
 	w.states[slot] = s
 	w.counts[slot] = 0
 	w.haltedSlot[slot] = w.proto.Halted(s)
-	w.slotOf[s] = slot
 	w.livePos[slot] = int32(len(w.live))
 	w.live = append(w.live, int32(slot))
+	w.mapInsert(s, slot)
 	for _, j := range w.live {
 		_, _, eff := w.proto.Apply(s, w.states[j])
 		if int(j) != slot {
@@ -235,15 +340,20 @@ func (w *World[S]) allocSlot(s S) int {
 	return slot
 }
 
+// removePair retires the responsive-pair entry ps of slot pair {i, j}.
+func (w *World[S]) removePair(i, j int, ps int32) {
+	w.pairF.Set(int(ps), 0)
+	w.pairSlot[i][j] = -1
+	w.pairSlot[j][i] = -1
+	w.freePairs = append(w.freePairs, int(ps))
+}
+
 // freeSlot retires a slot whose count reached zero: its responsive pairs,
 // index entries and map key are all removed so the slot can be recycled.
 func (w *World[S]) freeSlot(slot int) {
 	for _, j := range w.live {
 		if ps := w.pairSlot[slot][j]; ps >= 0 {
-			w.pairF.Set(int(ps), 0)
-			w.pairSlot[slot][j] = -1
-			w.pairSlot[j][slot] = -1
-			w.freePairs = append(w.freePairs, int(ps))
+			w.removePair(slot, int(j), ps)
 		}
 	}
 	pos := w.livePos[slot]
@@ -253,7 +363,7 @@ func (w *World[S]) freeSlot(slot int) {
 	w.livePos[moved] = pos
 	w.live = w.live[:last]
 	w.livePos[slot] = -1
-	delete(w.slotOf, w.states[slot])
+	w.mapRemove(w.states[slot])
 	var zero S
 	w.states[slot] = zero
 	w.freeSlots = append(w.freeSlots, slot)
@@ -277,8 +387,10 @@ func (w *World[S]) addPair(i, j int) {
 }
 
 // setCount updates a slot's multiplicity and resynchronizes every sampling
-// structure touching it: the agent-count tree, the halted tally, and the
-// weights of all responsive pairs involving the slot (O(m log m)).
+// structure touching it: the agent-count sampler, the halted tally, and
+// the weights of all responsive pairs involving the slot (O(m) sampler
+// updates). It is the reference path's primitive; the batched path uses
+// setCountOnly + deferred syncs instead.
 func (w *World[S]) setCount(slot int, c int64) {
 	old := w.counts[slot]
 	if old == c {
@@ -289,6 +401,41 @@ func (w *World[S]) setCount(slot int, c int64) {
 	if w.haltedSlot[slot] {
 		w.haltedCount += c - old
 	}
+	w.syncPairs(slot)
+}
+
+// setCountOnly updates a slot's multiplicity and the halted tally,
+// deferring both sampler syncs: the responsive-pair weights stay stale
+// until the caller syncPairs every touched slot (so a slot passing
+// through count zero mid-transition — a leader state relabeling, say —
+// never pushes its possibly-huge pair weights through zero, which would
+// thrash the alias sampler's mass-based rebuild policy), and the
+// agent-count sampler update is queued on countDirty (the batched block
+// never draws from countF; flushCounts settles it at block boundaries).
+func (w *World[S]) setCountOnly(slot int, c int64) {
+	old := w.counts[slot]
+	if old == c {
+		return
+	}
+	w.counts[slot] = c
+	w.countDirty = append(w.countDirty, int32(slot))
+	if w.haltedSlot[slot] {
+		w.haltedCount += c - old
+	}
+}
+
+// flushCounts settles the deferred agent-count sampler updates. Flushing
+// by final value is idempotent, so duplicate dirty entries are harmless.
+func (w *World[S]) flushCounts() {
+	for _, slot := range w.countDirty {
+		w.countF.Set(int(slot), w.counts[slot])
+	}
+	w.countDirty = w.countDirty[:0]
+}
+
+// syncPairs refreshes the weights of every responsive pair involving slot
+// from the current counts.
+func (w *World[S]) syncPairs(slot int) {
 	for _, j := range w.live {
 		if ps := w.pairSlot[slot][j]; ps >= 0 {
 			w.pairF.Set(int(ps), w.pairWeight(slot, int(j)))
@@ -298,7 +445,7 @@ func (w *World[S]) setCount(slot int, c int64) {
 
 // addOne adds one agent in state s to the urn.
 func (w *World[S]) addOne(s S) {
-	slot, ok := w.slotOf[s]
+	slot, ok := w.lookup(s)
 	if !ok {
 		slot = w.allocSlot(s)
 	}
@@ -307,7 +454,7 @@ func (w *World[S]) addOne(s S) {
 
 // removeOne removes one agent in state s from the urn.
 func (w *World[S]) removeOne(s S) {
-	slot, ok := w.slotOf[s]
+	slot, ok := w.lookup(s)
 	if !ok {
 		panic("urn: removing an absent state")
 	}
@@ -318,12 +465,119 @@ func (w *World[S]) removeOne(s S) {
 	}
 }
 
+// replaceSlot relabels a live zero-count slot with a new state in place:
+// instead of retiring the slot and allocating a fresh one, the slot keeps
+// its position in every table and only the responsiveness entries that
+// actually changed are touched. The relabeling is measure-preserving —
+// which agent-pair mass lives at which pair index never influences the
+// sampled *states* — so the fast path is distribution-identical to
+// freeSlot+allocSlot (see DESIGN.md). The reverse-order contract probe
+// runs only when the forward probe claims unresponsiveness; a violation in
+// the other direction is still caught when the pair is drawn.
+func (w *World[S]) replaceSlot(slot int, s S) {
+	w.mapRemove(w.states[slot])
+	w.states[slot] = s
+	w.mapInsert(s, slot)
+	w.haltedSlot[slot] = w.proto.Halted(s)
+	for _, j := range w.live {
+		_, _, eff := w.proto.Apply(s, w.states[j])
+		if !eff && int(j) != slot {
+			if _, _, rev := w.proto.Apply(w.states[j], s); rev != eff {
+				panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+			}
+		}
+		ps := w.pairSlot[slot][j]
+		if eff && ps < 0 {
+			w.addPair(slot, int(j))
+		} else if !eff && ps >= 0 {
+			w.removePair(slot, int(j), ps)
+		}
+		// eff && ps >= 0: the entry survives verbatim; the transition's
+		// final syncPairs refreshes its weight.
+	}
+}
+
+// addOneVia adds one agent in state s, knowing the interaction that
+// produced it was drawn on slots (i, j): the common cases — the state of a
+// drawn slot reappearing, or a brand-new state replacing a drained one —
+// resolve with slot-index compares and an in-place relabel instead of map
+// traffic and slot churn. It returns the slot the agent landed in; pair
+// weights are left stale (see setCountOnly).
+func (w *World[S]) addOneVia(s S, i, j int) int {
+	if w.states[i] == s {
+		w.setCountOnly(i, w.counts[i]+1)
+		return i
+	}
+	if j != i && w.states[j] == s {
+		w.setCountOnly(j, w.counts[j]+1)
+		return j
+	}
+	if slot, ok := w.lookup(s); ok {
+		w.setCountOnly(slot, w.counts[slot]+1)
+		return slot
+	}
+	var slot int
+	switch {
+	case w.counts[i] == 0:
+		slot = i
+		w.replaceSlot(i, s)
+	case j != i && w.counts[j] == 0:
+		slot = j
+		w.replaceSlot(j, s)
+	default:
+		slot = w.allocSlot(s)
+	}
+	w.setCountOnly(slot, 1)
+	return slot
+}
+
+// applyTransition applies one effective interaction drawn on slots (i, j)
+// — states a, b already read, protocol results na, nb — using the batched
+// fast path: direct-slot decrements, slot-aware additions, deferred
+// retirement of sources that stayed drained, and a single pair-weight
+// sync per touched slot at the end (so intermediate zero counts never
+// reach the pair sampler). It is the bookkeeping counterpart of
+// removeOne/removeOne/addOne/addOne with an identical resulting multiset;
+// only the slot labeling can differ.
+func (w *World[S]) applyTransition(i, j int, na, nb S) {
+	if i == j {
+		w.setCountOnly(i, w.counts[i]-2)
+	} else {
+		w.setCountOnly(i, w.counts[i]-1)
+		w.setCountOnly(j, w.counts[j]-1)
+	}
+	s1 := w.addOneVia(na, i, j)
+	s2 := w.addOneVia(nb, i, j)
+	if w.counts[i] == 0 {
+		w.freeSlot(i)
+	}
+	if j != i && w.counts[j] == 0 {
+		w.freeSlot(j)
+	}
+	// Refresh the responsive-pair weights of every slot the transition
+	// touched, each exactly once (shared pairs resync to an unchanged
+	// value, which the samplers treat as a no-op).
+	if w.livePos[i] >= 0 {
+		w.syncPairs(i)
+	}
+	if j != i && w.livePos[j] >= 0 {
+		w.syncPairs(j)
+	}
+	if s1 != i && s1 != j {
+		w.syncPairs(s1)
+	}
+	if s2 != i && s2 != j && s2 != s1 {
+		w.syncPairs(s2)
+	}
+}
+
 // Step performs one exact scheduler step — a uniform random unordered agent
 // pair, like pop.World.Step — and reports whether it was effective. The
 // first agent is drawn by count weight, the second uniformly among the
 // remaining n-1, which realizes a uniform ordered pair; Run is the
 // compressed path that skips the ineffective steps instead.
 func (w *World[S]) Step() bool {
+	w.flushCounts() // settle any deferred batched-block updates
 	w.steps++
 	i, ok := w.countF.Sample(w.rng)
 	if !ok {
@@ -396,6 +650,57 @@ func (w *World[S]) stopped() bool {
 		(w.opts.StopWhenAllHalted && w.haltedCount == int64(w.n))
 }
 
+// stepBlock runs up to limit effective interactions on the batched fast
+// path. Each draw is the same geometric-skip-then-weighted-pair law as
+// StepEffective, conditioned on the exactly-maintained weights, but the
+// transition bookkeeping goes through applyTransition and the geometric
+// log denominator is cached while the responsive weight W is unchanged.
+// It reports whether a stop condition fired and whether the step budget
+// (or a frozen configuration) exhausted the run.
+func (w *World[S]) stepBlock(limit int64) (halted, exhausted bool) {
+	for t := int64(0); t < limit; t++ {
+		weight := w.pairF.Total()
+		if weight <= 0 {
+			w.steps = w.opts.MaxSteps
+			return false, true
+		}
+		if weight < w.totalPairs {
+			if weight != w.skipW {
+				w.skipW = weight
+				w.skipDenom = math.Log1p(-float64(weight) / float64(w.totalPairs))
+			}
+			u := 1 - w.rng.Float64()
+			skip := math.Floor(math.Log(u) / w.skipDenom)
+			if rem := w.opts.MaxSteps - w.steps; skip >= float64(rem) {
+				w.steps = w.opts.MaxSteps
+				return false, true
+			}
+			w.steps += int64(skip)
+		}
+		w.steps++
+		w.effective++
+		ps, _ := w.pairF.Sample(w.rng)
+		i, j := int(w.pairAB[ps][0]), int(w.pairAB[ps][1])
+		a, b := w.states[i], w.states[j]
+		if i != j && w.rng.Int63n(2) == 1 {
+			a, b = b, a
+			i, j = j, i
+		}
+		na, nb, effective := w.proto.Apply(a, b)
+		if !effective {
+			panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+		}
+		w.applyTransition(i, j, na, nb)
+		if w.stopped() {
+			return true, false
+		}
+		if w.steps >= w.opts.MaxSteps {
+			return false, false
+		}
+	}
+	return false, false
+}
+
 // Run executes the compressed scheduler until a stop condition fires. Stop
 // conditions already true at entry return immediately without stepping.
 // Skipped steps are all ineffective and cannot change any agent's halting
@@ -410,7 +715,10 @@ func (w *World[S]) Run() Result {
 // runs cost no work, so the exact scheduler's step-count cadence would be
 // meaningless here — and stops the run with pop.ReasonCanceled. The
 // Progress callback fires on the same cadence with the simulated step
-// count.
+// count. With Options.BatchSize > 1 (the default) effective interactions
+// run in blocks aligned to the CheckEvery cadence, so the observable
+// check/progress points are unchanged; BatchSize = 1 forces the
+// per-interaction reference loop.
 func (w *World[S]) RunContext(ctx context.Context) Result {
 	if ctx.Err() != nil {
 		return w.result(pop.ReasonCanceled)
@@ -418,6 +726,37 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 	if w.stopped() {
 		return w.result(pop.ReasonHalted)
 	}
+	if w.batch <= 1 {
+		return w.runReference(ctx)
+	}
+	for w.steps < w.opts.MaxSteps {
+		limit := w.opts.CheckEvery - w.effective%w.opts.CheckEvery
+		if b := int64(w.batch); limit > b {
+			limit = b
+		}
+		halted, exhausted := w.stepBlock(limit)
+		w.flushCounts()
+		if halted {
+			return w.result(pop.ReasonHalted)
+		}
+		if exhausted {
+			break
+		}
+		if w.effective%w.opts.CheckEvery == 0 {
+			if ctx.Err() != nil {
+				return w.result(pop.ReasonCanceled)
+			}
+			if w.opts.Progress != nil {
+				w.opts.Progress(w.steps)
+			}
+		}
+	}
+	return w.result(pop.ReasonMaxSteps)
+}
+
+// runReference is the per-interaction compressed loop kept as the
+// reference implementation of the batched path.
+func (w *World[S]) runReference(ctx context.Context) Result {
 	for w.steps < w.opts.MaxSteps {
 		if !w.StepEffective() {
 			break

@@ -1,10 +1,14 @@
 // Package wrand provides the sampling data structures used by the
-// uniform-random scheduler: a Fenwick-tree weighted sampler over integer
-// slots and an indexable set with O(1) insert/remove/uniform-sample.
+// uniform-random scheduler: two weighted samplers over integer slots
+// behind the common Sampler interface — the O(log n) Fenwick tree kept
+// as the reference and the O(1) Alias sampler with amortized incremental
+// updates — and an indexable set with O(1)
+// insert/remove/uniform-sample.
 //
 // All randomness flows through a caller-supplied source (any Rand — the
 // engines use the serializable *RNG) so that entire simulations are
-// reproducible from a single seed and can be snapshotted mid-run.
+// reproducible from a single seed and can be snapshotted mid-run (the
+// alias sampler exports its drift state as AliasState for exactly this).
 package wrand
 
 import (

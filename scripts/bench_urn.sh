@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Measures the urn engine's sampler/batching matrix and scaling curve and
+# writes two artifacts at the repo root: the raw `go test -bench` text
+# (benchstat input) and a JSON summary, BENCH_urn_scaling.json by default.
+#
+# The regression gate is the same-run speedup of the default alias +
+# batched configuration over the Fenwick per-interaction reference at
+# n = 10^6: both numbers come from the same process on the same machine,
+# so the ratio is comparable across runners — unlike absolute ns/op,
+# which only compares to itself. The script exits nonzero when the ratio
+# drops below GATE_MIN_SPEEDUP (after writing both artifacts). Note the
+# ratio isolates the sampler + batching contribution alone; the engine
+# bookkeeping gains (byte phases, scan-mode state lookup, in-place slot
+# relabeling) speed up both rows equally and are on top of it, which is
+# why this gate sits below the ~3x total speedup over the pre-alias
+# engine recorded in EXPERIMENTS.md.
+#
+# Usage: scripts/bench_urn.sh [out.json]
+#   GATE_MIN_SPEEDUP=1.5   minimum fenwick / alias-batched wall-clock ratio
+#   SKIP_LARGE=1           skip the n=10^8 scaling row (runs -short)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_urn_scaling.json}"
+txt="${out%.json}.txt"
+gate="${GATE_MIN_SPEEDUP:-1.5}"
+
+short=()
+if [ "${SKIP_LARGE:-0}" = "1" ]; then
+  short=(-short)
+fi
+
+go test -run '^$' -bench 'BenchmarkUrnSamplerComparison' -benchtime 3x "${short[@]}" . | tee "$txt"
+go test -run '^$' -bench 'BenchmarkE15UrnScaling' -benchtime 1x "${short[@]}" . | tee -a "$txt"
+
+awk -v gate="$gate" '
+  /^Benchmark/ && /ns\/op/ {
+    name = $1; iters = $2
+    ns = ""; allocs = ""; steps = ""
+    for (i = 3; i < NF; i += 2) {
+      if ($(i + 1) == "ns/op") ns = $i
+      else if ($(i + 1) == "allocs/op") allocs = $i
+      else if ($(i + 1) == "steps/op") steps = $i
+    }
+    n++
+    names[n] = name; it[n] = iters; nsv[n] = ns; al[n] = allocs; st[n] = steps
+    if (name ~ /\/fenwick\//) fen = ns
+    if (name ~ /\/alias-batched\//) ab = ns
+  }
+  END {
+    ratio = (fen > 0 && ab > 0) ? fen / ab : 0
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_urn.sh\",\n"
+    printf "  \"gate_min_speedup\": %s,\n", gate
+    printf "  \"speedup_fenwick_over_alias_batched\": %.2f,\n", ratio
+    printf "  \"benches\": [\n"
+    for (i = 1; i <= n; i++) {
+      printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], it[i], nsv[i]
+      if (al[i] != "") printf ", \"allocs_per_op\": %s", al[i]
+      if (st[i] != "") printf ", \"steps_per_op\": %s", st[i]
+      printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+    if (ratio < gate) exit 1
+  }
+' "$txt" > "$out" || {
+  echo "bench_urn: speedup gate FAILED (alias-batched vs fenwick below ${gate}x); see $out" >&2
+  exit 1
+}
+echo "wrote $out and $txt (speedup gate >= ${gate}x passed)"
