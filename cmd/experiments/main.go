@@ -37,6 +37,7 @@ import (
 	"shapesol/internal/job"
 	"shapesol/internal/profiling"
 	"shapesol/internal/runner"
+	"shapesol/internal/sched"
 	"shapesol/internal/shapes"
 	"shapesol/internal/stats"
 	"shapesol/internal/viz"
@@ -68,6 +69,8 @@ var registry = []struct {
 	{"E13", "leaderless", e13},
 	{"E14", "counting-upper-bound", e14},
 	{"E15", "counting-upper-bound", e15},
+	{"E16", "counting-upper-bound", e16},
+	{"E17", "counting-upper-bound", e17},
 }
 
 // registryIDs returns the advertised experiment ids in run order.
@@ -532,6 +535,84 @@ func e15(cfg config, spec string) Report {
 	}
 	if slope, err := stats.LogLogSlope(xs, ys); err == nil {
 		r.Derived = map[string]float64{"loglog_slope": slope}
+	}
+	return r
+}
+
+// e16 measures which of Theorem 1's guarantees survive unfair schedulers.
+// Counting-Upper-Bound's halting argument needs every *pair* to keep
+// getting scheduled, not that pairs are uniform: weighted and clustered
+// biases (pair-fair, just skewed) inflate steps but never break halting or
+// r0 >= n/2. The adversarial-delay rows probe the boundary. Starving the
+// leader alone is still pair-fair — forced service pairs it with an
+// arbitrary partner every fairness_bound steps, so the census merely slows
+// by roughly bound/(n/2). Starving a 25% prefix is not: forced service
+// always picks a non-starved partner, so leader-to-starved pairs never
+// fire, the census is unfinishable, and halted stays 0 for any budget —
+// weak (agent-level) fairness alone does not carry Theorem 1.
+func e16(cfg config, spec string) Report {
+	r := Report{ID: "E16", Title: "Termination under unfair schedulers (n=100, b=5)",
+		Note: "pair-fair unfairness costs steps only; agent-level fairness alone breaks halting"}
+	const n = 100
+	for _, c := range []struct {
+		label  string
+		fault  *sched.Profile
+		params map[string]int
+	}{
+		{"uniform", nil, map[string]int{"n": n, "b": 5}},
+		{"weighted 1:8", &sched.Profile{Scheduler: sched.KindWeighted,
+			Rates: []int64{1, 8}}, map[string]int{"n": n, "b": 5}},
+		{"clustered", &sched.Profile{Scheduler: sched.KindClustered,
+			BlockSize: 32, BiasPct: 90}, map[string]int{"n": n, "b": 5, "block": 32, "bias_pct": 90}},
+		{"starve leader", &sched.Profile{Scheduler: sched.KindAdversarialDelay,
+			StarvePct: 1, FairnessBound: 4096},
+			map[string]int{"n": n, "b": 5, "starve_pct": 1, "fairness_bound": 4096}},
+		{"starve 25%", &sched.Profile{Scheduler: sched.KindAdversarialDelay,
+			StarvePct: 25, FairnessBound: 4096},
+			map[string]int{"n": n, "b": 5, "starve_pct": 25, "fairness_bound": 4096}},
+	} {
+		agg := cfg.collect(job.Job{Protocol: spec,
+			Params: job.Params{N: n, B: 5, Fault: c.fault}, MaxSteps: 20_000_000},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundOutcome)
+				return runner.Trial{
+					Flags:  map[string]bool{"halted": res.Halted, "success": out.Success},
+					Values: map[string]float64{"r0_over_n": out.Estimate}}
+			})
+		r.Rows = append(r.Rows, Row{Label: c.label, Params: c.params, Agg: agg})
+	}
+	return r
+}
+
+// e17 finds the crash rate at which Theorem 1 breaks. Crash-stop faults on
+// the urn engine at n = 10^4: agents crash every `gap` simulated steps
+// until at most one survives. The failure mode is harsher than a stale
+// count: the leader's census must revisit every marked agent each epoch,
+// so a single crashed marked agent strands the census and the run never
+// halts. Success therefore decays like the probability of zero damaging
+// crashes within the Theta(n^2 log n) counting time (~6.6e8 steps here),
+// and the sweep brackets that time from a decade above to a decade below.
+func e17(cfg config, spec string) Report {
+	r := Report{ID: "E17", Title: "Crash-stop vs Theorem 1: where r0 >= n/2 breaks (urn, n=10^4)",
+		Note: "reliable population is load-bearing: one crashed marked agent strands the census"}
+	const n = 10_000
+	mk := func(res job.Result) runner.Trial {
+		out := res.Payload.(counting.UpperBoundOutcome)
+		return runner.Trial{
+			Flags:  map[string]bool{"halted": res.Halted, "success": out.Success},
+			Values: map[string]float64{"r0_over_n": out.Estimate}}
+	}
+	agg := cfg.collect(job.Job{Protocol: spec, Engine: job.EngineUrn,
+		Params: job.Params{N: n, B: 5}, MaxSteps: 2_000_000_000}, mk)
+	r.Rows = append(r.Rows, Row{Label: "no faults",
+		Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	for _, gap := range []int64{10_000_000_000, 3_000_000_000, 1_000_000_000, 300_000_000, 100_000_000} {
+		agg := cfg.collect(job.Job{Protocol: spec, Engine: job.EngineUrn,
+			Params: job.Params{N: n, B: 5, Fault: &sched.Profile{
+				CrashEvery: gap, MaxCrashes: n - 1,
+			}}, MaxSteps: 2_000_000_000}, mk)
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("gap=%.0e", float64(gap)),
+			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
 	}
 	return r
 }

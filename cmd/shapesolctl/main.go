@@ -8,6 +8,7 @@
 //	shapesolctl [-addr http://127.0.0.1:8080] <command> [flags]
 //
 //	shapesolctl submit -protocol counting-upper-bound -engine urn -n 1000000
+//	shapesolctl submit -protocol counting-upper-bound -n 50 -fault '{"crash_every": 1, "max_crashes": 49}'
 //	shapesolctl submit -job '{"protocol": "uid", "params": {"n": 30}, "seed": 1}'
 //	shapesolctl status j1
 //	shapesolctl result [-zero-wall] j1
@@ -46,6 +47,7 @@ import (
 
 	"shapesol/internal/buildinfo"
 	"shapesol/internal/job"
+	"shapesol/internal/sched"
 )
 
 func main() {
@@ -190,6 +192,7 @@ func (c *client) submit(args []string) int {
 		free     = fs.Int("free", 0, "free nodes")
 		lang     = fs.String("lang", "", "shape language")
 		table    = fs.String("table", "", "stabilizing rule table")
+		fault    = fs.String("fault", "", `scheduler/fault profile JSON, e.g. '{"crash_every": 1000}' (see shapesolctl protocols for the schema)`)
 		idOnly   = fs.Bool("id-only", false, "print just the job id")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -211,6 +214,18 @@ func (c *client) submit(args []string) int {
 			Params: job.Params{
 				N: *n, B: *b, D: *d, K: *k, Free: *free, Lang: *lang, Table: *table,
 			},
+		}
+		if *fault != "" {
+			// Decoded locally (strictly) so a typo fails with a usage error
+			// here instead of a round trip to the daemon.
+			var p sched.Profile
+			dec := json.NewDecoder(strings.NewReader(*fault))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&p); err != nil {
+				fmt.Fprintln(c.errW, "shapesolctl: bad -fault profile:", err)
+				return 2
+			}
+			j.Params.Fault = &p
 		}
 		var err error
 		if body, err = json.Marshal(j); err != nil {

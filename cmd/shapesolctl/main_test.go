@@ -225,3 +225,51 @@ func TestErrorsSurfaceServerJSON(t *testing.T) {
 		t.Fatalf("transport error: code %d, stderr %q", code, errOut)
 	}
 }
+
+// TestSubmitFaultFlag drives the -fault profile flag end to end: a
+// crash-stop submission whose Result surfaces the non-halting run, a
+// local strict-decode failure for malformed profiles, and the daemon's
+// field-level 400 for invalid ones.
+func TestSubmitFaultFlag(t *testing.T) {
+	ts, _ := startDaemon(t, server.Config{Workers: 1, FrameInterval: -1})
+
+	code, out, errOut := ctl(t, "-addr", ts.URL, "submit", "-id-only",
+		"-protocol", "counting-upper-bound", "-n", "50", "-seed", "3", "-budget", "20000",
+		"-fault", `{"crash_every": 1, "max_crashes": 49}`)
+	if code != 0 {
+		t.Fatalf("submit -fault: code %d, stderr %q", code, errOut)
+	}
+	id := strings.TrimSpace(out)
+	// The job settles done (the run completed; it just did not halt), so
+	// watch drains to the result frame and exits 0.
+	if code, _, errOut = ctl(t, "-addr", ts.URL, "watch", id); code != 0 {
+		t.Fatalf("watch: code %d, stderr %q", code, errOut)
+	}
+	code, out, errOut = ctl(t, "-addr", ts.URL, "result", id)
+	if code != 0 {
+		t.Fatalf("result: code %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, `"halted": false`) || !strings.Contains(out, `"reason": "max-steps"`) {
+		t.Fatalf("faulted result does not surface the non-halting run: %s", out)
+	}
+
+	// A malformed profile never leaves the client.
+	if code, _, errOut = ctl(t, "-addr", ts.URL, "submit",
+		"-protocol", "counting-upper-bound", "-n", "50",
+		"-fault", `{"wat": 1}`); code != 2 || !strings.Contains(errOut, "bad -fault profile") {
+		t.Fatalf("bad profile: code %d, stderr %q", code, errOut)
+	}
+
+	// An invalid profile is the daemon's field-level 400.
+	if code, _, errOut = ctl(t, "-addr", ts.URL, "submit",
+		"-protocol", "counting-upper-bound", "-n", "50",
+		"-fault", `{"scheduler": "weighted"}`); code != 1 || !strings.Contains(errOut, `"field": "rates"`) {
+		t.Fatalf("invalid profile: code %d, stderr %q", code, errOut)
+	}
+
+	// The protocols listing carries the profile schema for discovery.
+	if code, out, _ = ctl(t, "-addr", ts.URL, "protocols"); code != 0 ||
+		!strings.Contains(out, `"crash_every"`) {
+		t.Fatalf("protocols lists no fault schema: code %d, out %q", code, out)
+	}
+}

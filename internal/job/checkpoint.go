@@ -76,6 +76,13 @@ func popRunner[S any](
 		if err != nil {
 			return Outcome{}, err
 		}
+		// The profile installs before any restore: RestoreMemento checks that
+		// the snapshot's scheduler-state presence matches the world's.
+		if j.Params.Fault != nil {
+			if err := w.ApplyProfile(*j.Params.Fault); err != nil {
+				return Outcome{}, err
+			}
+		}
 		if j.Restore != nil {
 			var m pop.Memento[S]
 			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
@@ -104,6 +111,11 @@ func urnRunner[S comparable](
 		if err != nil {
 			return Outcome{}, err
 		}
+		if j.Params.Fault != nil {
+			if err := w.ApplyProfile(*j.Params.Fault); err != nil {
+				return Outcome{}, err
+			}
+		}
 		if j.Restore != nil {
 			var m urn.Memento[S]
 			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
@@ -131,6 +143,11 @@ func simRunner[S any](
 		w, err := build(j, progressFn(j, capture))
 		if err != nil {
 			return Outcome{}, err
+		}
+		if j.Params.Fault != nil {
+			if err := w.ApplyProfile(*j.Params.Fault); err != nil {
+				return Outcome{}, err
+			}
 		}
 		if j.Restore != nil {
 			var m sim.Memento[S]

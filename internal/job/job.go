@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/sched"
 	"shapesol/internal/snap"
 )
 
@@ -91,6 +92,13 @@ type Params struct {
 	// is what lets shape-parameterized jobs travel over the daemon wire and
 	// ride inside snapshots.
 	Shape *grid.Shape `json:"-"`
+	// Fault is the scheduler/fault-injection profile (internal/sched). Nil
+	// — or a profile that normalizes to the zero value — means the default
+	// uniform scheduler with no faults, leaving the engine's historical RNG
+	// stream untouched; Normalize collapses zero profiles to nil so both
+	// forms share one cache identity. Marshaled through the wire form so it
+	// rides the daemon API and snapshots like every other parameter.
+	Fault *sched.Profile `json:"-"`
 }
 
 // paramsWire is the JSON projection of Params: the scalar fields plus the
@@ -104,6 +112,10 @@ type paramsWire struct {
 	Lang  string     `json:"lang,omitempty"`
 	Table string     `json:"table,omitempty"`
 	Shape []grid.Pos `json:"shape,omitempty"`
+	// Fault decodes strictly along with the rest of the wire form: the
+	// Profile has no custom unmarshaler, so DisallowUnknownFields reaches
+	// into it and unknown fault fields 400 like unknown parameters.
+	Fault *sched.Profile `json:"fault,omitempty"`
 	// ShapeBonds lists the shape's bonds when it is not fully bonded;
 	// absent means "every adjacent cell pair bonded" (grid.ShapeOf), the
 	// form every paper shape uses. A pointer, because an explicit empty
@@ -116,7 +128,7 @@ type paramsWire struct {
 // its cells (sorted, so equal shapes render equal bytes) and, if the
 // shape is not fully bonded, its explicit bond list.
 func (p Params) MarshalJSON() ([]byte, error) {
-	w := paramsWire{N: p.N, B: p.B, D: p.D, K: p.K, Free: p.Free, Lang: p.Lang, Table: p.Table}
+	w := paramsWire{N: p.N, B: p.B, D: p.D, K: p.K, Free: p.Free, Lang: p.Lang, Table: p.Table, Fault: p.Fault}
 	if p.Shape != nil {
 		w.Shape = p.Shape.Cells()
 		if full := grid.ShapeOf(w.Shape...); full.NumBonds() != p.Shape.NumBonds() {
@@ -143,7 +155,7 @@ func (p *Params) UnmarshalJSON(data []byte) error {
 	if err := dec.Decode(&w); err != nil {
 		return err
 	}
-	*p = Params{N: w.N, B: w.B, D: w.D, K: w.K, Free: w.Free, Lang: w.Lang, Table: w.Table}
+	*p = Params{N: w.N, B: w.B, D: w.D, K: w.K, Free: w.Free, Lang: w.Lang, Table: w.Table, Fault: w.Fault}
 	if len(w.Shape) > 0 {
 		if w.ShapeBonds == nil {
 			p.Shape = grid.ShapeOf(w.Shape...)
@@ -361,6 +373,9 @@ func (s *Spec) normalize(p *Params) error {
 	} else if p.Shape != nil {
 		return fmt.Errorf("job: protocol %q does not take parameter %q", s.Name, "shape")
 	}
+	if _, ok := schema["fault"]; !ok && p.Fault != nil {
+		return fmt.Errorf("job: protocol %q does not take parameter %q", s.Name, "fault")
+	}
 	return nil
 }
 
@@ -397,6 +412,21 @@ func (r *Registry) Normalize(j Job) (Job, *Spec, error) {
 	}
 	if err := spec.normalize(&j.Params); err != nil {
 		return j, nil, err
+	}
+	if j.Params.Fault != nil {
+		// Normalized after engine resolution: the profile's validity depends
+		// on the engine (the scheduler support matrix) and on n (the urn
+		// pair-weight overflow bound). The error is a *sched.ValidationError
+		// under the wrapping, so API layers can surface field-level details.
+		np, err := j.Params.Fault.Normalize(string(j.Engine), j.Params.N)
+		if err != nil {
+			return j, nil, fmt.Errorf("job: protocol %q fault profile: %w", spec.Name, err)
+		}
+		if np.IsZero() {
+			j.Params.Fault = nil
+		} else {
+			j.Params.Fault = &np
+		}
 	}
 	return j, spec, nil
 }
@@ -442,6 +472,12 @@ func (j Job) CacheKey() string {
 				fmt.Fprintf(&sb, "%d,%d,%d-%d,%d,%d", e.A.X, e.A.Y, e.A.Z, e.B.X, e.B.Y, e.B.Z)
 			}
 		}
+	}
+	if j.Params.Fault != nil {
+		// Normalize collapses zero profiles to nil, so profile-less jobs and
+		// explicitly-uniform jobs share one key (they share one RNG stream).
+		sb.WriteString("|fault=")
+		sb.WriteString(j.Params.Fault.Key())
 	}
 	return sb.String()
 }

@@ -2,6 +2,7 @@ package job
 
 import (
 	"context"
+	"fmt"
 
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
@@ -34,6 +35,12 @@ import (
 // the protocol's concrete state type doubles as the protocol's snapshot
 // state codec, so every protocol × engine pair below is checkpointable
 // and resumable.
+
+// faultField is the scheduler/fault-injection parameter; every spec takes
+// it because every engine world accepts ApplyProfile. The object's own
+// schema (scheduler kinds, rates, fault clocks) is sched.Schema(), which
+// the daemon serves alongside each protocol's parameter list.
+var faultField = Field{Name: "fault", Usage: "scheduler + fault-injection profile (object; see the fault schema)"}
 
 // popOutcome wraps a pop-engine protocol outcome in the envelope fields.
 func popOutcome(payload any, steps int64, reason pop.StopReason) Outcome {
@@ -79,6 +86,7 @@ func init() {
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "leader head start", Default: 5, Min: 1},
+			faultField,
 		},
 		Run: func(ctx context.Context, j Job) (Outcome, error) {
 			if j.Engine == EngineUrn {
@@ -97,6 +105,7 @@ func init() {
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "repeated-window length", Default: 2, Min: 1},
+			faultField,
 		},
 		Run: popRunner(
 			func(j Job, progress func(int64)) (*pop.World[*counting.SimpleUIDState], error) {
@@ -117,6 +126,7 @@ func init() {
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "count1 threshold before second marks", Default: 4, Min: 1},
+			faultField,
 		},
 		Run: popRunner(
 			func(j Job, progress func(int64)) (*pop.World[*counting.UIDState], error) {
@@ -136,6 +146,7 @@ func init() {
 		Budget:  100_000_000,
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
+			faultField,
 		},
 		Run: popRunner(
 			func(j Job, progress func(int64)) (*pop.World[counting.ObsState], error) {
@@ -156,6 +167,7 @@ func init() {
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "leader head start", Default: 3, Min: 1},
+			faultField,
 		},
 		Run: simRunner(
 			func(j Job, progress func(int64)) (*sim.World[core.CountLineState], error) {
@@ -176,6 +188,7 @@ func init() {
 		Params: []Field{
 			{Name: "d", Usage: "square side length", Required: true, Min: 1},
 			{Name: "n", Usage: "population size (default d*d)", Min: 1},
+			faultField,
 		},
 		Run: simRunner(
 			func(j Job, progress func(int64)) (*sim.World[core.SquareKnowingNState], error) {
@@ -216,11 +229,16 @@ func init() {
 		Params: []Field{
 			{Name: "d", Usage: "square side length", Required: true, Min: 1},
 			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
+			faultField,
 		},
 		Run: func(ctx context.Context, j Job) (Outcome, error) {
 			if j.Params.D == 1 {
 				// The 1x1 square has no bonded pair to schedule; the run is
-				// trivial and needs no checkpoint path.
+				// trivial and needs no checkpoint path — and has no scheduler
+				// to perturb, so a fault profile cannot take effect.
+				if j.Params.Fault != nil {
+					return Outcome{}, fmt.Errorf("job: universal with d=1 has no scheduler; fault profiles do not apply")
+				}
 				lang, err := shapes.ByName(j.Params.Lang)
 				if err != nil {
 					return Outcome{}, err
@@ -245,6 +263,7 @@ func init() {
 			{Name: "d", Usage: "square side length", Required: true, Min: 1},
 			{Name: "k", Usage: "memory column height", Default: 3, Min: 2},
 			{Name: "lang", Usage: "shape language", DefaultStr: "star"},
+			faultField,
 		},
 		Run: simRunner(
 			func(j Job, progress func(int64)) (*sim.World[core.Parallel3DState], error) {
@@ -273,6 +292,7 @@ func init() {
 		Params: []Field{
 			{Name: "shape", Usage: "the shape to replicate", Required: true},
 			{Name: "free", Usage: "free nodes (default the paper's 2|R_G|-|G|)"},
+			faultField,
 		},
 		Run: simRunner(
 			func(j Job, progress func(int64)) (*sim.World[core.ReplicationState], error) {
@@ -298,6 +318,7 @@ func init() {
 		Params: []Field{
 			{Name: "table", Usage: "rule table: line, square or square2", Required: true},
 			{Name: "n", Usage: "population size", Required: true, Min: 1},
+			faultField,
 		},
 		Run: simRunner(
 			func(j Job, progress func(int64)) (*sim.World[rules.State], error) {

@@ -1,8 +1,16 @@
 // Package pop implements the classical population-protocol setting used by
 // Section 5 of the paper: n agents on a complete interaction graph, no
-// geometry, no bonds. In every step a uniform random scheduler selects one
-// of the n(n-1)/2 unordered agent pairs; the pair interacts and updates its
-// states.
+// geometry, no bonds. In every step a scheduler selects an agent pair; the
+// pair interacts and updates its states.
+//
+// Pair selection is pluggable (internal/sched): by default — and always,
+// when no scheduler/fault profile is applied — the engine draws one of
+// the n(n-1)/2 unordered pairs uniformly at random, reproducing the
+// historical RNG stream byte for byte. ApplyProfile installs an
+// alternative policy (weighted, clustered, adversarial-delay) and/or a
+// fault model (crashes, freezes, population churn); this engine keeps
+// per-agent identity, so it is the reference implementation of every
+// policy and fault kind.
 //
 // The engine is generic over the protocol's state type S, so agent states
 // are stored unboxed in a []S and the steady-state Step performs no heap
@@ -18,6 +26,7 @@ import (
 	"context"
 	"fmt"
 
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
 
@@ -77,12 +86,7 @@ const (
 )
 
 func (o Options) withDefaults() Options {
-	if o.MaxSteps == 0 {
-		o.MaxSteps = 100_000_000
-	}
-	if o.CheckEvery == 0 {
-		o.CheckEvery = 256
-	}
+	sched.RunDefaults(&o.MaxSteps, &o.CheckEvery, 100_000_000)
 	return o
 }
 
@@ -126,6 +130,10 @@ type World[S any] struct {
 	rng    *wrand.RNG
 	states []S
 	halted []bool
+	// agents is the scheduler/fault layer; nil (the default, and the only
+	// state a zero profile produces) keeps the historical uniform draw and
+	// its exact RNG stream.
+	agents *sched.Agents
 
 	steps, effective int64
 	haltedCount      int
@@ -160,8 +168,38 @@ func New[S any](n int, proto Protocol[S], opts Options) *World[S] {
 	return w
 }
 
-// N returns the population size.
+// ApplyProfile installs a scheduler/fault profile on a freshly built
+// World (call it before stepping; a snapshot restore re-installs the
+// profile first and then overwrites the layer's state). A profile that
+// normalizes to the zero value leaves the engine on its historical
+// uniform path, byte-identical to a profile-less run.
+func (w *World[S]) ApplyProfile(p sched.Profile) error {
+	np, err := p.Normalize(sched.EnginePop, w.n)
+	if err != nil {
+		return err
+	}
+	if np.IsZero() {
+		w.agents = nil
+		return nil
+	}
+	w.agents = sched.NewAgents(np, w.n, w.opts.Seed)
+	return nil
+}
+
+// Agents exposes the scheduler/fault layer, nil when none is installed.
+func (w *World[S]) Agents() *sched.Agents { return w.agents }
+
+// N returns the founding population size (arrivals and departures do not
+// change it; see Present).
 func (w *World[S]) N() int { return w.n }
+
+// Present returns the number of non-departed agents.
+func (w *World[S]) Present() int {
+	if w.agents == nil {
+		return w.n
+	}
+	return w.agents.Present()
+}
 
 // Steps returns the number of scheduler selections so far.
 func (w *World[S]) Steps() int64 { return w.steps }
@@ -178,30 +216,39 @@ func (w *World[S]) HaltedCount() int { return w.haltedCount }
 // FirstHalted returns the id of the first agent that halted, or -1.
 func (w *World[S]) FirstHalted() int { return w.firstHalted }
 
-// FindNode returns the smallest agent id whose state satisfies pred, or -1.
+// FindNode returns the smallest present agent id whose state satisfies
+// pred, or -1. Departed agents' states are stale and never matched.
 func (w *World[S]) FindNode(pred func(S) bool) int {
 	for i := range w.states {
-		if pred(w.states[i]) {
+		if w.present(i) && pred(w.states[i]) {
 			return i
 		}
 	}
 	return -1
 }
 
-// CountNodes returns how many agent states satisfy pred.
+// CountNodes returns how many present agent states satisfy pred.
 func (w *World[S]) CountNodes(pred func(S) bool) int {
 	n := 0
 	for i := range w.states {
-		if pred(w.states[i]) {
+		if w.present(i) && pred(w.states[i]) {
 			n++
 		}
 	}
 	return n
 }
 
-// Step performs one uniform random pairwise interaction and reports whether
-// it was effective.
+func (w *World[S]) present(id int) bool {
+	return w.agents == nil || w.agents.IsPresent(id)
+}
+
+// Step performs one pairwise interaction under the installed scheduler
+// (the uniform random draw when none is) and reports whether it was
+// effective.
 func (w *World[S]) Step() bool {
+	if w.agents != nil {
+		return w.stepScheduled()
+	}
 	w.steps++
 	i := w.rng.Intn(w.n)
 	j := w.rng.Intn(w.n - 1)
@@ -216,6 +263,75 @@ func (w *World[S]) Step() bool {
 	w.apply(i, na)
 	w.apply(j, nb)
 	return true
+}
+
+// stepScheduled is Step under a scheduler/fault profile: the policy draws
+// the pair, and when no pair is schedulable (fewer than two active
+// agents) the step clock fast-forwards toward the next fault event — only
+// a fault can make progress possible again.
+func (w *World[S]) stepScheduled() bool {
+	w.steps++
+	i, j, ok := w.agents.Pick(w.rng)
+	if !ok {
+		next := w.agents.NextPending()
+		if next > w.opts.MaxSteps {
+			next = w.opts.MaxSteps
+		}
+		if next > w.steps {
+			w.steps = next
+		}
+		return false
+	}
+	na, nb, effective := w.proto.Apply(w.states[i], w.states[j])
+	if !effective {
+		return false
+	}
+	w.effective++
+	w.apply(i, na)
+	w.apply(j, nb)
+	return true
+}
+
+// applyFaults drains every fault event due at the current step. It runs
+// on the CheckEvery cadence (and after fast-forwards), so fault times are
+// quantized to the check boundary; the event *order* and count are exact.
+func (w *World[S]) applyFaults() {
+	if w.agents == nil {
+		return
+	}
+	for {
+		ev, ok := w.agents.NextDue(w.steps)
+		if !ok {
+			return
+		}
+		switch ev {
+		case sched.EvCrash:
+			w.agents.CrashOne()
+		case sched.EvRecover:
+			w.agents.RecoverOne()
+		case sched.EvFreeze:
+			w.agents.FreezeOne()
+		case sched.EvThaw:
+			w.agents.ThawOne()
+		case sched.EvArrive:
+			id := w.agents.ArriveOne()
+			s := w.proto.InitialState(id, w.n)
+			w.states = append(w.states, s)
+			w.halted = append(w.halted, false)
+			if w.proto.Halted(s) {
+				w.halted[id] = true
+				w.haltedCount++
+				if w.firstHalted < 0 {
+					w.firstHalted = id
+				}
+			}
+		case sched.EvDepart:
+			if id, ok := w.agents.DepartOne(); ok && w.halted[id] {
+				w.halted[id] = false
+				w.haltedCount--
+			}
+		}
+	}
 }
 
 func (w *World[S]) apply(id int, s S) {
@@ -234,9 +350,16 @@ func (w *World[S]) apply(id int, s S) {
 }
 
 // stopped reports whether a halting stop condition currently holds.
+// Under churn "all" means all present agents; a crashed agent that never
+// halted still blocks the all-halted condition — exactly the guarantee
+// erosion the fault experiments measure.
 func (w *World[S]) stopped() bool {
+	all := w.n
+	if w.agents != nil {
+		all = w.agents.Present()
+	}
 	return (w.opts.StopWhenAnyHalted && w.haltedCount > 0) ||
-		(w.opts.StopWhenAllHalted && w.haltedCount == w.n)
+		(w.opts.StopWhenAllHalted && all > 0 && w.haltedCount == all)
 }
 
 // Run executes steps until a stop condition fires. Stop conditions already
@@ -272,6 +395,11 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 		}
 		if w.steps >= nextCheck {
 			nextCheck = w.steps + w.opts.CheckEvery
+			w.applyFaults()
+			if w.stopped() {
+				reason = ReasonHalted
+				break
+			}
 			if ctx.Err() != nil {
 				reason = ReasonCanceled
 				break

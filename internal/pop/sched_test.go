@@ -1,0 +1,189 @@
+package pop
+
+import (
+	"testing"
+
+	"shapesol/internal/sched"
+)
+
+// TestUniformStreamStability pins the exact Result of a fixed seed: the
+// scheduler refactor must not move the default uniform draw by a single
+// RNG call, with or without a zero profile applied. The constants were
+// recorded from the pre-refactor engine.
+func TestUniformStreamStability(t *testing.T) {
+	want := Result{Steps: 175, Effective: 175, Reason: ReasonHalted, FirstHalted: 19}
+	run := func(apply bool) Result {
+		w := New(64, halter{}, Options{Seed: 0xC0FFEE, StopWhenAllHalted: true})
+		if apply {
+			if err := w.ApplyProfile(sched.Profile{}); err != nil {
+				t.Fatal(err)
+			}
+			if w.Agents() != nil {
+				t.Fatal("zero profile installed a scheduler layer")
+			}
+		}
+		return w.Run()
+	}
+	if got := run(false); got != want {
+		t.Fatalf("bare run drifted: %+v, want %+v", got, want)
+	}
+	if got := run(true); got != want {
+		t.Fatalf("zero-profile run drifted: %+v, want %+v", got, want)
+	}
+}
+
+func TestApplyProfileRejectsInvalid(t *testing.T) {
+	w := New(8, pairCounter{}, Options{Seed: 1})
+	if err := w.ApplyProfile(sched.Profile{Scheduler: "bogus"}); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+	if err := w.ApplyProfile(sched.Profile{Scheduler: sched.KindWeighted, Rates: []int64{0}}); err == nil {
+		t.Fatal("invalid rate accepted")
+	}
+}
+
+func TestCrashStopStarvesRun(t *testing.T) {
+	// Crashes every step until only one agent is active: no pair is
+	// schedulable, so the run must fast-forward to its budget instead of
+	// halting or spinning.
+	w := New(8, pairCounter{}, Options{Seed: 3, MaxSteps: 10_000, CheckEvery: 1})
+	if err := w.ApplyProfile(sched.Profile{CrashEvery: 1, MaxCrashes: 7}); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if res.Reason != ReasonMaxSteps || res.Steps != 10_000 {
+		t.Fatalf("%+v, want max-steps at 10000", res)
+	}
+	if w.Agents().Active() != 1 {
+		t.Fatalf("active = %d, want 1", w.Agents().Active())
+	}
+	if w.Present() != 8 {
+		t.Fatalf("present = %d, want 8 (crash-stop keeps agents present)", w.Present())
+	}
+}
+
+func TestCrashBlocksAllHalted(t *testing.T) {
+	// halter halts agents pairwise; an early-crashed agent that never
+	// interacted can never halt, so StopWhenAllHalted cannot fire and the
+	// budget is the only exit — the guarantee erosion E17 measures.
+	w := New(16, halter{}, Options{Seed: 2, MaxSteps: 5_000, CheckEvery: 1, StopWhenAllHalted: true})
+	if err := w.ApplyProfile(sched.Profile{CrashEvery: 1, MaxCrashes: 15}); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if res.Reason == ReasonHalted && w.HaltedCount() == w.Present() {
+		// Only possible if every agent interacted before crashing; with
+		// a crash per step that cannot happen.
+		t.Fatalf("all-halted fired under crash-stop: %+v", res)
+	}
+}
+
+func TestChurnGrowsAndShrinksPopulation(t *testing.T) {
+	w := New(10, pairCounter{}, Options{Seed: 4, MaxSteps: 10_000, CheckEvery: 16})
+	if err := w.ApplyProfile(sched.Profile{ArriveEvery: 100, MaxChurn: 20}); err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if res.Reason != ReasonMaxSteps {
+		t.Fatalf("%+v", res)
+	}
+	if w.Present() != 30 {
+		t.Fatalf("present = %d, want 30 after 20 arrivals", w.Present())
+	}
+	if w.N() != 10 {
+		t.Fatalf("founding N changed to %d", w.N())
+	}
+
+	w2 := New(10, pairCounter{}, Options{Seed: 4, MaxSteps: 10_000, CheckEvery: 16})
+	if err := w2.ApplyProfile(sched.Profile{DepartEvery: 100, MaxChurn: 6}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Run()
+	if w2.Present() != 4 {
+		t.Fatalf("present = %d, want 4 after 6 departures", w2.Present())
+	}
+	// CountNodes only sees present agents.
+	if got := w2.CountNodes(func(int) bool { return true }); got != 4 {
+		t.Fatalf("CountNodes = %d, want 4", got)
+	}
+}
+
+func TestFaultedSnapshotResumeIdentity(t *testing.T) {
+	profile := sched.Profile{
+		Scheduler: sched.KindWeighted, Rates: []int64{1, 5},
+		CrashEvery: 300, RecoverEvery: 500,
+		ArriveEvery: 400, DepartEvery: 600, MaxChurn: 12,
+	}
+	build := func(budget int64) *World[int] {
+		w := New(24, pairCounter{}, Options{Seed: 11, MaxSteps: budget, CheckEvery: 32})
+		if err := w.ApplyProfile(profile); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	full := build(40_000)
+	fullRes := full.Run()
+
+	// Capture on a CheckEvery boundary — the cadence snapshots are taken
+	// on in production (the Progress callback) — so the resumed run's
+	// fault-application boundaries line up with the uninterrupted run's.
+	head := build(17_024)
+	head.Run()
+	m := head.Memento()
+
+	resumed := build(40_000)
+	if err := resumed.RestoreMemento(m); err != nil {
+		t.Fatal(err)
+	}
+	res := resumed.Run()
+	if res != fullRes {
+		t.Fatalf("resumed result %+v, want %+v", res, fullRes)
+	}
+	if resumed.Present() != full.Present() {
+		t.Fatalf("present %d, want %d", resumed.Present(), full.Present())
+	}
+	if len(resumed.states) != len(full.states) {
+		t.Fatalf("state table %d, want %d", len(resumed.states), len(full.states))
+	}
+	for i := range full.states {
+		if resumed.states[i] != full.states[i] {
+			t.Fatalf("state %d: %v, want %v", i, resumed.states[i], full.states[i])
+		}
+	}
+}
+
+func TestRestoreRejectsProfileMismatch(t *testing.T) {
+	faulted := New(8, pairCounter{}, Options{Seed: 1, CheckEvery: 8})
+	if err := faulted.ApplyProfile(sched.Profile{CrashEvery: 50}); err != nil {
+		t.Fatal(err)
+	}
+	m := faulted.Memento()
+
+	bare := New(8, pairCounter{}, Options{Seed: 1})
+	if err := bare.RestoreMemento(m); err == nil {
+		t.Fatal("faulted memento restored into profile-less world")
+	}
+	bareM := New(8, pairCounter{}, Options{Seed: 1}).Memento()
+	if err := faulted.RestoreMemento(bareM); err == nil {
+		t.Fatal("profile-less memento restored into faulted world")
+	}
+}
+
+// TestScheduledRunHalts exercises the non-uniform policies end to end on
+// a halting protocol: the run must still complete under each policy.
+func TestScheduledRunHalts(t *testing.T) {
+	for _, p := range []sched.Profile{
+		{Scheduler: sched.KindWeighted, Rates: []int64{1, 10}},
+		{Scheduler: sched.KindClustered, BlockSize: 8, BiasPct: 90},
+		{Scheduler: sched.KindAdversarialDelay, StarvePct: 25, FairnessBound: 64},
+	} {
+		w := New(32, halter{}, Options{Seed: 6, StopWhenAllHalted: true, MaxSteps: 1_000_000})
+		if err := w.ApplyProfile(p); err != nil {
+			t.Fatalf("%s: %v", p.Scheduler, err)
+		}
+		res := w.Run()
+		if res.Reason != ReasonHalted {
+			t.Fatalf("%s: %+v", p.Scheduler, res)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pop
 import (
 	"fmt"
 
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
 
@@ -22,6 +23,11 @@ type Memento[S any] struct {
 	FirstHalted int
 	RNG         wrand.RNGState
 	States      []S
+	// Sched is the scheduler/fault layer's state; nil for profile-less
+	// runs (old snapshots decode with it nil, and restore identically).
+	// Under churn States covers every index ever allocated, so its length
+	// can exceed N; Sched's flags say which indices are still present.
+	Sched *sched.AgentsState
 }
 
 // Memento captures the World's current state. The returned value shares
@@ -31,7 +37,7 @@ type Memento[S any] struct {
 func (w *World[S]) Memento() *Memento[S] {
 	states := make([]S, len(w.states))
 	copy(states, w.states)
-	return &Memento[S]{
+	m := &Memento[S]{
 		N:           w.n,
 		Steps:       w.steps,
 		Effective:   w.effective,
@@ -39,6 +45,10 @@ func (w *World[S]) Memento() *Memento[S] {
 		RNG:         w.rng.State(),
 		States:      states,
 	}
+	if w.agents != nil {
+		m.Sched = w.agents.State()
+	}
+	return m
 }
 
 // RestoreMemento rewinds (or fast-forwards) the World to a captured
@@ -51,19 +61,34 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	if m.N != w.n {
 		return fmt.Errorf("pop: snapshot population %d, world has %d", m.N, w.n)
 	}
-	if len(m.States) != w.n {
-		return fmt.Errorf("pop: snapshot carries %d states for population %d", len(m.States), m.N)
+	if (m.Sched != nil) != (w.agents != nil) {
+		return fmt.Errorf("pop: snapshot scheduler state presence %v, world profile says %v",
+			m.Sched != nil, w.agents != nil)
 	}
-	if m.FirstHalted < -1 || m.FirstHalted >= w.n {
+	wantStates := w.n
+	if m.Sched != nil {
+		wantStates = len(m.Sched.Flags)
+	}
+	if len(m.States) != wantStates {
+		return fmt.Errorf("pop: snapshot carries %d states, want %d", len(m.States), wantStates)
+	}
+	if m.FirstHalted < -1 || m.FirstHalted >= len(m.States) {
 		return fmt.Errorf("pop: snapshot first-halted id %d out of range", m.FirstHalted)
 	}
 	if err := w.rng.SetState(m.RNG); err != nil {
 		return err
 	}
+	if w.agents != nil {
+		if err := w.agents.RestoreState(m.Sched); err != nil {
+			return err
+		}
+	}
+	w.states = make([]S, len(m.States))
 	copy(w.states, m.States)
+	w.halted = make([]bool, len(m.States))
 	w.haltedCount = 0
 	for i := range w.states {
-		w.halted[i] = w.proto.Halted(w.states[i])
+		w.halted[i] = w.present(i) && w.proto.Halted(w.states[i])
 		if w.halted[i] {
 			w.haltedCount++
 		}

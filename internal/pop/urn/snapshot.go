@@ -3,8 +3,25 @@ package urn
 import (
 	"fmt"
 
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
+
+// SchedMemento is the scheduler/fault layer's state for a profiled urn
+// World: the per-slot rate multipliers (part of the sampling state — a
+// rebuilt assignment would re-deal rate classes), the fault pools by
+// value, the population census and the fault clock. Pool order matters:
+// recovery picks pool indices with the fault RNG.
+type SchedMemento[S comparable] struct {
+	Mult       []int64
+	RateCursor int64
+	Crashed    []S
+	Frozen     []S
+	Present    int64
+	IdSeq      int64
+	HasClock   bool
+	Clock      sched.ClockState
+}
 
 // Memento is the complete serializable state of an urn World. Beyond the
 // logical configuration (the multiset of states) it preserves the exact
@@ -37,6 +54,10 @@ type Memento[S comparable] struct {
 	// source used the Fenwick reference sampler.
 	CountSampler *wrand.AliasState
 	PairSampler  *wrand.AliasState
+
+	// Sched is the scheduler/fault layer's state; nil for profile-less
+	// worlds (older snapshots decode with it nil and restore identically).
+	Sched *SchedMemento[S]
 }
 
 // Memento captures the World's current state. Everything is deep-copied,
@@ -68,6 +89,20 @@ func (w *World[S]) Memento() *Memento[S] {
 	if a, ok := w.pairF.(*wrand.Alias); ok {
 		s := a.State()
 		m.PairSampler = &s
+	}
+	if w.profiled {
+		m.Sched = &SchedMemento[S]{
+			Mult:       append([]int64(nil), w.mult...),
+			RateCursor: w.rateCursor,
+			Crashed:    append([]S(nil), w.crashed...),
+			Frozen:     append([]S(nil), w.frozen...),
+			Present:    w.present,
+			IdSeq:      w.idSeq,
+			HasClock:   w.clock != nil,
+		}
+		if w.clock != nil {
+			m.Sched.Clock = w.clock.State()
+		}
 	}
 	return m
 }
@@ -103,6 +138,10 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		return fmt.Errorf("urn: inconsistent snapshot slot tables (%d states, %d counts, %d pair rows)",
 			nSlots, len(m.Counts), len(m.PairSlot))
 	}
+	if (m.Sched != nil) != w.profiled {
+		return fmt.Errorf("urn: snapshot scheduler state presence %v, world profile says %v",
+			m.Sched != nil, w.profiled)
+	}
 	var total int64
 	for _, c := range m.Counts {
 		if c < 0 {
@@ -110,11 +149,54 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		}
 		total += c
 	}
-	if total != int64(w.n) {
-		return fmt.Errorf("urn: snapshot counts sum to %d, want %d", total, w.n)
+	wantTotal := int64(w.n)
+	if m.Sched != nil {
+		// Under churn and fault pools the urn holds the present agents
+		// minus the pooled ones, not the founding population.
+		wantTotal = m.Sched.Present - int64(len(m.Sched.Crashed)) - int64(len(m.Sched.Frozen))
+		if wantTotal < 0 {
+			return fmt.Errorf("urn: snapshot pools exceed present population")
+		}
+		if len(m.Sched.Mult) != nSlots {
+			return fmt.Errorf("urn: snapshot carries %d rate multipliers, want %d", len(m.Sched.Mult), nSlots)
+		}
+		if m.Sched.HasClock != (w.clock != nil) {
+			return fmt.Errorf("urn: snapshot fault-clock presence %v, world profile says %v",
+				m.Sched.HasClock, w.clock != nil)
+		}
+	}
+	if total != wantTotal {
+		return fmt.Errorf("urn: snapshot counts sum to %d, want %d", total, wantTotal)
 	}
 	if err := w.rng.SetState(m.RNG); err != nil {
 		return err
+	}
+	if m.Sched != nil {
+		// Install the scheduler layer before the rebuild loops below:
+		// pairWeight and the count-tree weights depend on the multipliers.
+		w.mult = append(w.mult[:0], m.Sched.Mult...)
+		w.rateCursor = m.Sched.RateCursor
+		w.crashed = append(w.crashed[:0], m.Sched.Crashed...)
+		w.frozen = append(w.frozen[:0], m.Sched.Frozen...)
+		w.present = m.Sched.Present
+		w.idSeq = m.Sched.IdSeq
+		w.inUrn = total
+		w.poolHalted = 0
+		for _, s := range w.crashed {
+			if w.proto.Halted(s) {
+				w.poolHalted++
+			}
+		}
+		for _, s := range w.frozen {
+			if w.proto.Halted(s) {
+				w.poolHalted++
+			}
+		}
+		if w.clock != nil {
+			if err := w.clock.SetState(m.Sched.Clock); err != nil {
+				return err
+			}
+		}
 	}
 
 	w.states = append(w.states[:0], m.States...)
@@ -147,6 +229,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	}
 	clear(w.slotOf)
 	w.haltedCount = 0
+	w.sumT, w.sumS2 = 0, 0
 	w.countF = newSampler(w.opts.Sampler, nSlots)
 	for pos, slot := range w.live {
 		if slot < 0 || int(slot) >= nSlots {
@@ -162,7 +245,12 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		if w.haltedSlot[slot] {
 			w.haltedCount += w.counts[slot]
 		}
-		w.countF.Set(int(slot), w.counts[slot])
+		mlt := w.multOf(int(slot))
+		w.countF.Set(int(slot), w.counts[slot]*mlt)
+		if w.profiled {
+			w.sumT += mlt * w.counts[slot]
+			w.sumS2 += mlt * mlt * w.counts[slot]
+		}
 	}
 	free := make(map[int]bool, len(w.freePairs))
 	for _, ps := range w.freePairs {
@@ -196,6 +284,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	w.slotOfValid = true
 	w.countDirty = w.countDirty[:0]
 	w.skipW = 0
+	w.skipC = 0
 	w.steps = m.Steps
 	w.effective = m.Effective
 	return nil

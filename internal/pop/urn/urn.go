@@ -5,13 +5,26 @@
 // n. For the Section 5 counting protocols m stays O(1), which makes
 // populations of 10^6 and beyond simulable.
 //
-// The engine reproduces the exact uniform pair scheduler of internal/pop in
+// The engine reproduces internal/pop's default pair scheduler in
 // distribution. A uniform random unordered agent pair corresponds to a
 // state pair {s, t} with probability c_s*c_t / C (s != t) or
 // c_s*(c_s-1)/2 / C (s == t), where C = n(n-1)/2; both the exact Step and
 // the compressed Run sample from this law through a wrand.Sampler — the
 // O(1) alias sampler by default, or the O(log m) Fenwick tree reference
 // when pop.Options.Sampler selects it.
+//
+// Pair selection is pluggable here too (internal/sched, via ApplyProfile),
+// within what the compression can express. Identities are compressed
+// away, so the weighted policy becomes per-slot weight multipliers on the
+// same samplers — activity rates attach to state classes in order of
+// first appearance, and the all-pairs total C generalizes to
+// (T^2 - S2)/2 for T = sum m_i*c_i, S2 = sum m_i^2*c_i — while the
+// id-based clustered and adversarial-delay policies are rejected at
+// validation. Fault injection (crashes, freezes, churn) moves agents
+// between the urn and per-fault side pools on a dedicated event clock;
+// geometric skips are capped at the next pending fault event so no block
+// jumps over one. A run without a profile never touches any of this and
+// keeps the historical RNG stream byte for byte.
 //
 // The headline speedup is ineffective-step skipping: the engine maintains
 // the total weight W of responsive state pairs (pairs whose interaction is
@@ -49,6 +62,7 @@ import (
 	"math"
 
 	"shapesol/internal/pop"
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
 
@@ -125,6 +139,32 @@ type World[S comparable] struct {
 	// hence not snapshot state).
 	countDirty []int32
 
+	// Scheduler/fault layer (ApplyProfile). profiled gates every dynamic
+	// path; a profile-less world leaves all of this zero and runs the
+	// historical code byte for byte. mult is the per-slot activity-rate
+	// multiplier of the weighted policy (1 everywhere otherwise),
+	// rateCursor the next state-class index into Profile.Rates. sumT and
+	// sumS2 maintain T = sum m_i*c_i and S2 = sum m_i^2*c_i over the
+	// in-urn population, so the all-pairs total (T^2-S2)/2 follows fault
+	// and churn changes. Crashed and frozen agents live outside the urn in
+	// side pools (they cannot be paired); poolHalted counts the halted
+	// ones among them. skipC joins skipW as the skip-denominator cache key
+	// once the all-pairs total is dynamic.
+	prof       sched.Profile
+	profiled   bool
+	mult       []int64
+	rateCursor int64
+	sumT       int64
+	sumS2      int64
+	clock      *sched.Clock
+	crashed    []S
+	frozen     []S
+	poolHalted int64
+	present    int64
+	inUrn      int64
+	idSeq      int64
+	skipC      int64
+
 	steps, effective int64
 	haltedCount      int64
 }
@@ -198,12 +238,7 @@ func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
 	if n < 2 {
 		panic(fmt.Sprintf("urn: population size %d < 2", n))
 	}
-	if opts.MaxSteps == 0 {
-		opts.MaxSteps = 100_000_000
-	}
-	if opts.CheckEvery == 0 {
-		opts.CheckEvery = 256
-	}
+	sched.RunDefaults(&opts.MaxSteps, &opts.CheckEvery, 100_000_000)
 	if opts.Sampler == pop.SamplerDefault {
 		opts.Sampler = pop.SamplerAlias
 	}
@@ -228,8 +263,95 @@ func New[S comparable](n int, proto Protocol[S], opts pop.Options) *World[S] {
 	return w
 }
 
-// N returns the population size.
+// ApplyProfile installs a scheduler/fault profile on a freshly built
+// World (before any stepping; a snapshot restore re-installs the profile
+// first and then overwrites the layer's state). A profile that
+// normalizes to the zero value leaves the engine on its historical path,
+// byte-identical to a profile-less run. The id-based policies (clustered,
+// adversarial-delay) are rejected by validation; fault injection
+// additionally requires the batched path, whose block boundaries are the
+// fault-application points.
+func (w *World[S]) ApplyProfile(p sched.Profile) error {
+	np, err := p.Normalize(sched.EngineUrn, w.n)
+	if err != nil {
+		return err
+	}
+	if np.IsZero() {
+		return nil
+	}
+	if w.profiled {
+		return fmt.Errorf("urn: profile already applied")
+	}
+	if w.steps != 0 || w.effective != 0 {
+		return fmt.Errorf("urn: profile applied to a world that already stepped")
+	}
+	if np.HasFaults() && w.batch <= 1 {
+		return fmt.Errorf("urn: fault injection requires the batched path (BatchSize > 1)")
+	}
+	w.prof = np
+	w.profiled = true
+	w.present = int64(w.n)
+	w.inUrn = int64(w.n)
+	w.idSeq = int64(w.n)
+	w.mult = make([]int64, len(w.states))
+	// Initial state classes take their rates in first-appearance order:
+	// the live list is appended in exactly that order during New.
+	for _, slot := range w.live {
+		w.mult[slot] = w.nextMult()
+	}
+	for _, slot := range w.live {
+		w.countF.Set(int(slot), w.counts[slot]*w.mult[slot])
+		w.sumT += w.mult[slot] * w.counts[slot]
+		w.sumS2 += w.mult[slot] * w.mult[slot] * w.counts[slot]
+		w.syncPairs(int(slot))
+	}
+	if np.HasFaults() {
+		w.clock = sched.NewClock(np, w.opts.Seed)
+	}
+	return nil
+}
+
+// nextMult returns the activity-rate multiplier of the next state class
+// to appear (1 when the profile carries no rates).
+func (w *World[S]) nextMult() int64 {
+	if len(w.prof.Rates) == 0 {
+		return 1
+	}
+	m := w.prof.Rates[w.rateCursor%int64(len(w.prof.Rates))]
+	w.rateCursor++
+	return m
+}
+
+// multOf returns slot's activity-rate multiplier.
+func (w *World[S]) multOf(slot int) int64 {
+	if w.mult == nil {
+		return 1
+	}
+	return w.mult[slot]
+}
+
+// allPairs returns the current all-pairs weight total: the static
+// n(n-1)/2 on the historical path, the dynamic (T^2-S2)/2 under a
+// profile (which tracks rate multipliers, faults and churn).
+func (w *World[S]) allPairs() int64 {
+	if !w.profiled {
+		return w.totalPairs
+	}
+	return (w.sumT*w.sumT - w.sumS2) / 2
+}
+
+// N returns the founding population size (arrivals and departures do not
+// change it; see Present).
 func (w *World[S]) N() int { return w.n }
+
+// Present returns the number of non-departed agents, including crashed
+// and frozen ones waiting in the side pools.
+func (w *World[S]) Present() int64 {
+	if !w.profiled {
+		return int64(w.n)
+	}
+	return w.present
+}
 
 // Steps returns the number of simulated scheduler selections so far.
 func (w *World[S]) Steps() int64 { return w.steps }
@@ -285,14 +407,24 @@ func (w *World[S]) ForEach(visit func(s S, count int64)) {
 	}
 }
 
-// pairWeight returns the number of unordered agent pairs realizing the
-// slot pair {i, j} under the current counts.
+// pairWeight returns the weight of the unordered slot pair {i, j} under
+// the current counts: the number of agent pairs realizing it, scaled by
+// the slots' activity-rate multipliers when a weighted profile is
+// installed (each agent pair {u, v} carries mass m_u*m_v).
 func (w *World[S]) pairWeight(i, j int) int64 {
 	if i == j {
 		c := w.counts[i]
-		return c * (c - 1) / 2
+		p := c * (c - 1) / 2
+		if w.mult != nil {
+			p *= w.mult[i] * w.mult[i]
+		}
+		return p
 	}
-	return w.counts[i] * w.counts[j]
+	p := w.counts[i] * w.counts[j]
+	if w.mult != nil {
+		p *= w.mult[i] * w.mult[j]
+	}
+	return p
 }
 
 // allocSlot installs state s in a fresh (or recycled) slot with count 0 and
@@ -309,6 +441,9 @@ func (w *World[S]) allocSlot(s S) int {
 		w.counts = append(w.counts, 0)
 		w.haltedSlot = append(w.haltedSlot, false)
 		w.livePos = append(w.livePos, -1)
+		if w.mult != nil {
+			w.mult = append(w.mult, 0)
+		}
 		w.pairSlot = append(w.pairSlot, nil)
 		for i := range w.pairSlot {
 			for len(w.pairSlot[i]) < len(w.states) {
@@ -320,6 +455,9 @@ func (w *World[S]) allocSlot(s S) int {
 	w.states[slot] = s
 	w.counts[slot] = 0
 	w.haltedSlot[slot] = w.proto.Halted(s)
+	if w.mult != nil {
+		w.mult[slot] = w.nextMult()
+	}
 	w.livePos[slot] = int32(len(w.live))
 	w.live = append(w.live, int32(slot))
 	w.mapInsert(s, slot)
@@ -330,7 +468,7 @@ func (w *World[S]) allocSlot(s S) int {
 			// effectiveness depends on argument order would make the urn
 			// scheduler silently drop (or double) interactions.
 			if _, _, rev := w.proto.Apply(w.states[j], s); rev != eff {
-				panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+				panic("urn: Apply effectiveness depends on argument order; every scheduling policy of the compressed engine (see internal/sched) requires order-independent effectiveness")
 			}
 		}
 		if eff {
@@ -397,11 +535,23 @@ func (w *World[S]) setCount(slot int, c int64) {
 		return
 	}
 	w.counts[slot] = c
-	w.countF.Set(slot, c)
+	w.countF.Set(slot, c*w.multOf(slot))
 	if w.haltedSlot[slot] {
 		w.haltedCount += c - old
 	}
+	w.bumpMass(slot, c-old)
 	w.syncPairs(slot)
+}
+
+// bumpMass tracks the in-urn weighted mass sums behind the dynamic
+// all-pairs total when a profile is installed.
+func (w *World[S]) bumpMass(slot int, delta int64) {
+	if !w.profiled {
+		return
+	}
+	m := w.mult[slot]
+	w.sumT += m * delta
+	w.sumS2 += m * m * delta
 }
 
 // setCountOnly updates a slot's multiplicity and the halted tally,
@@ -422,13 +572,14 @@ func (w *World[S]) setCountOnly(slot int, c int64) {
 	if w.haltedSlot[slot] {
 		w.haltedCount += c - old
 	}
+	w.bumpMass(slot, c-old)
 }
 
 // flushCounts settles the deferred agent-count sampler updates. Flushing
 // by final value is idempotent, so duplicate dirty entries are harmless.
 func (w *World[S]) flushCounts() {
 	for _, slot := range w.countDirty {
-		w.countF.Set(int(slot), w.counts[slot])
+		w.countF.Set(int(slot), w.counts[slot]*w.multOf(int(slot)))
 	}
 	w.countDirty = w.countDirty[:0]
 }
@@ -479,11 +630,18 @@ func (w *World[S]) replaceSlot(slot int, s S) {
 	w.states[slot] = s
 	w.mapInsert(s, slot)
 	w.haltedSlot[slot] = w.proto.Halted(s)
+	if w.mult != nil {
+		// The relabeled slot hosts a newly appearing state class; its rate
+		// changes only while the count is zero, so the running T/S2 sums
+		// and the (stale) pair weights are unaffected until the caller
+		// sets the new count.
+		w.mult[slot] = w.nextMult()
+	}
 	for _, j := range w.live {
 		_, _, eff := w.proto.Apply(s, w.states[j])
 		if !eff && int(j) != slot {
 			if _, _, rev := w.proto.Apply(w.states[j], s); rev != eff {
-				panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+				panic("urn: Apply effectiveness depends on argument order; every scheduling policy of the compressed engine (see internal/sched) requires order-independent effectiveness")
 			}
 		}
 		ps := w.pairSlot[slot][j]
@@ -583,9 +741,11 @@ func (w *World[S]) Step() bool {
 	if !ok {
 		panic("urn: empty population")
 	}
-	w.countF.Add(i, -1)
+	// Withdraw one agent of slot i (its full weight under a rate profile)
+	// before drawing the partner.
+	w.countF.Add(i, -w.multOf(i))
 	j, ok := w.countF.Sample(w.rng)
-	w.countF.Add(i, 1)
+	w.countF.Add(i, w.multOf(i))
 	if !ok {
 		panic("urn: population size 1")
 	}
@@ -614,7 +774,7 @@ func (w *World[S]) StepEffective() bool {
 		w.steps = w.opts.MaxSteps
 		return false
 	}
-	if p := float64(weight) / float64(w.totalPairs); p < 1 {
+	if p := float64(weight) / float64(w.allPairs()); p < 1 {
 		// Failures before the first success of Bernoulli(p) are geometric:
 		// floor(log(U)/log(1-p)) for U uniform on (0, 1].
 		u := 1 - w.rng.Float64()
@@ -635,7 +795,7 @@ func (w *World[S]) StepEffective() bool {
 	}
 	na, nb, effective := w.proto.Apply(a, b)
 	if !effective {
-		panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+		panic("urn: Apply effectiveness depends on argument order; every scheduling policy of the compressed engine (see internal/sched) requires order-independent effectiveness")
 	}
 	w.removeOne(a)
 	w.removeOne(b)
@@ -645,9 +805,16 @@ func (w *World[S]) StepEffective() bool {
 }
 
 // stopped reports whether a halting stop condition currently holds.
+// Halted agents waiting in the crash/freeze pools still count; under
+// churn "all" means all present agents.
 func (w *World[S]) stopped() bool {
-	return (w.opts.StopWhenAnyHalted && w.haltedCount > 0) ||
-		(w.opts.StopWhenAllHalted && w.haltedCount == int64(w.n))
+	h := w.haltedCount + w.poolHalted
+	all := int64(w.n)
+	if w.profiled {
+		all = w.present
+	}
+	return (w.opts.StopWhenAnyHalted && h > 0) ||
+		(w.opts.StopWhenAllHalted && all > 0 && h == all)
 }
 
 // stepBlock runs up to limit effective interactions on the batched fast
@@ -658,22 +825,41 @@ func (w *World[S]) stopped() bool {
 // It reports whether a stop condition fired and whether the step budget
 // (or a frozen configuration) exhausted the run.
 func (w *World[S]) stepBlock(limit int64) (halted, exhausted bool) {
+	// Under a fault profile geometric skips must not jump over a pending
+	// fault event: the block's step horizon is capped at the next firing
+	// time. Stopping a skip at the horizon is exact — skip >= rem means
+	// the first rem selections were all ineffective, and by memorylessness
+	// the post-event remainder is geometric again, redrawn fresh.
+	horizon := w.opts.MaxSteps
+	eventCap := false
+	if w.clock != nil {
+		if next := w.clock.NextPending(); next < horizon {
+			horizon, eventCap = next, true
+		}
+	}
+	allPairs := w.allPairs()
 	for t := int64(0); t < limit; t++ {
 		weight := w.pairF.Total()
-		if weight <= 0 {
-			w.steps = w.opts.MaxSteps
-			return false, true
+		if weight <= 0 || allPairs <= 0 {
+			// Frozen configuration: nothing can interact until the next
+			// fault event (or ever, without one).
+			if w.steps < horizon {
+				w.steps = horizon
+			}
+			return false, !eventCap
 		}
-		if weight < w.totalPairs {
-			if weight != w.skipW {
-				w.skipW = weight
-				w.skipDenom = math.Log1p(-float64(weight) / float64(w.totalPairs))
+		if weight < allPairs {
+			if weight != w.skipW || allPairs != w.skipC {
+				w.skipW, w.skipC = weight, allPairs
+				w.skipDenom = math.Log1p(-float64(weight) / float64(allPairs))
 			}
 			u := 1 - w.rng.Float64()
 			skip := math.Floor(math.Log(u) / w.skipDenom)
-			if rem := w.opts.MaxSteps - w.steps; skip >= float64(rem) {
-				w.steps = w.opts.MaxSteps
-				return false, true
+			if rem := horizon - w.steps; skip >= float64(rem) {
+				if w.steps < horizon {
+					w.steps = horizon
+				}
+				return false, !eventCap
 			}
 			w.steps += int64(skip)
 		}
@@ -688,9 +874,14 @@ func (w *World[S]) stepBlock(limit int64) (halted, exhausted bool) {
 		}
 		na, nb, effective := w.proto.Apply(a, b)
 		if !effective {
-			panic("urn: Apply effectiveness depends on argument order; the urn scheduler requires order-independent effectiveness")
+			panic("urn: Apply effectiveness depends on argument order; every scheduling policy of the compressed engine (see internal/sched) requires order-independent effectiveness")
 		}
 		w.applyTransition(i, j, na, nb)
+		if w.profiled {
+			// Transitions move agents between rate classes, so the
+			// all-pairs total is dynamic under a profile.
+			allPairs = w.allPairs()
+		}
 		if w.stopped() {
 			return true, false
 		}
@@ -730,6 +921,14 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 		return w.runReference(ctx)
 	}
 	for w.steps < w.opts.MaxSteps {
+		if w.clock != nil {
+			w.applyFaults()
+			if w.stopped() {
+				// A fault can halt the run by itself — e.g. the departure
+				// of the last non-halted agent.
+				return w.result(pop.ReasonHalted)
+			}
+		}
 		limit := w.opts.CheckEvery - w.effective%w.opts.CheckEvery
 		if b := int64(w.batch); limit > b {
 			limit = b
@@ -752,6 +951,125 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 		}
 	}
 	return w.result(pop.ReasonMaxSteps)
+}
+
+// applyFaults drains every fault event due at the current simulated step.
+// It runs at block boundaries (and after event-capped skips), so events
+// apply on the block cadence in their exact order; each lane reschedules
+// from its own firing time, keeping the timeline Poisson-faithful however
+// far a block jumped.
+func (w *World[S]) applyFaults() {
+	for {
+		ev, ok := w.clock.NextDue(w.steps)
+		if !ok {
+			return
+		}
+		switch ev {
+		case sched.EvCrash:
+			w.poolOne(&w.crashed)
+		case sched.EvRecover:
+			w.unpoolOne(&w.crashed)
+		case sched.EvFreeze:
+			w.poolOne(&w.frozen)
+		case sched.EvThaw:
+			w.unpoolOne(&w.frozen)
+		case sched.EvArrive:
+			w.addOne(w.proto.InitialState(int(w.idSeq), w.n))
+			w.idSeq++
+			w.present++
+			w.inUrn++
+		case sched.EvDepart:
+			w.departOne()
+		}
+	}
+}
+
+// urnVictim draws a uniformly random in-urn agent with the fault RNG,
+// returning its slot. The walk over live slots is O(m); fault events are
+// rare on the simulated-step scale, so this never shows up next to the
+// sampling hot path.
+func (w *World[S]) urnVictim() (int, bool) {
+	if w.inUrn <= 0 {
+		return 0, false
+	}
+	r := w.clock.RNG().Int63n(w.inUrn)
+	for _, slot := range w.live {
+		if r < w.counts[slot] {
+			return int(slot), true
+		}
+		r -= w.counts[slot]
+	}
+	panic("urn: victim walk out of sync with counts")
+}
+
+// poolOne moves one uniformly random in-urn agent into a fault pool
+// (crash or freeze): pooled agents cannot be paired, which is exactly
+// what removing their mass from the urn expresses.
+func (w *World[S]) poolOne(pool *[]S) {
+	slot, ok := w.urnVictim()
+	if !ok {
+		return
+	}
+	s := w.states[slot]
+	w.removeOne(s)
+	w.inUrn--
+	if w.proto.Halted(s) {
+		w.poolHalted++
+	}
+	*pool = append(*pool, s)
+}
+
+// unpoolOne returns one uniformly random pooled agent to the urn
+// (recovery or thaw).
+func (w *World[S]) unpoolOne(pool *[]S) {
+	k := len(*pool)
+	if k == 0 {
+		return
+	}
+	idx := w.clock.RNG().Intn(k)
+	s := (*pool)[idx]
+	(*pool)[idx] = (*pool)[k-1]
+	*pool = (*pool)[:k-1]
+	if w.proto.Halted(s) {
+		w.poolHalted--
+	}
+	w.addOne(s)
+	w.inUrn++
+}
+
+// departOne removes one uniformly random present agent for good —
+// in-urn agents and pooled (crashed/frozen) ones are equally likely.
+func (w *World[S]) departOne() {
+	if w.present <= 0 {
+		return
+	}
+	r := w.clock.RNG().Int63n(w.present)
+	switch {
+	case r < w.inUrn:
+		slot, ok := w.urnVictim()
+		if !ok {
+			return
+		}
+		w.removeOne(w.states[slot])
+		w.inUrn--
+	case r < w.inUrn+int64(len(w.crashed)):
+		idx := w.clock.RNG().Intn(len(w.crashed))
+		s := w.crashed[idx]
+		w.crashed[idx] = w.crashed[len(w.crashed)-1]
+		w.crashed = w.crashed[:len(w.crashed)-1]
+		if w.proto.Halted(s) {
+			w.poolHalted--
+		}
+	default:
+		idx := w.clock.RNG().Intn(len(w.frozen))
+		s := w.frozen[idx]
+		w.frozen[idx] = w.frozen[len(w.frozen)-1]
+		w.frozen = w.frozen[:len(w.frozen)-1]
+		if w.proto.Halted(s) {
+			w.poolHalted--
+		}
+	}
+	w.present--
 }
 
 // runReference is the per-interaction compressed loop kept as the

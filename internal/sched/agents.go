@@ -1,0 +1,553 @@
+package sched
+
+import (
+	"fmt"
+
+	"shapesol/internal/wrand"
+)
+
+// Agent flag bits. A flag-free agent is active: present and eligible to
+// interact. The crash and freeze bits are mutually exclusive (fault
+// events only target active agents), and the departed bit is terminal.
+const (
+	flagCrashed  = 1 << 0
+	flagFrozen   = 1 << 1
+	flagDeparted = 1 << 2
+)
+
+// Scheduler is the pluggable pair-selection policy. The exact engine
+// calls Pick to draw an interaction pair; the geometric engine — whose
+// pairs come from geometry, not from a draw over ids — consults AllowPair
+// (veto model) and ScaleInter (category re-weighting) instead. All
+// interaction randomness flows through the engine RNG passed in, so the
+// default Uniform policy can reproduce the historical stream and every
+// policy snapshots with the engine.
+type Scheduler interface {
+	// Kind returns the Profile.Scheduler value this policy implements.
+	Kind() string
+	// Pick draws an ordered pair of distinct active agent indices. ok is
+	// false when no pair is currently schedulable (fewer than two active
+	// agents) — the engine then fast-forwards to the next fault event.
+	Pick(a *Agents, rng *wrand.RNG) (i, j int, ok bool)
+	// AllowPair vets a geometry-proposed pair of node indices. A vetoed
+	// pair costs a scheduler step but does not interact.
+	AllowPair(a *Agents, i, j int) bool
+	// ScaleInter rescales the inter-component category weight of the
+	// geometric engine's three-way draw.
+	ScaleInter(a *Agents, w int64) int64
+}
+
+// Agents is the per-run scheduler + fault state of an identity-keeping
+// engine (pop and sim; the urn engine compresses ids away and drives a
+// bare Clock instead). It tracks each agent's fault flags, maintains the
+// weighted eligibility structures the Scheduler implementations sample
+// from, and owns the fault Clock. Agent indices are the engine's own
+// indices: stable, append-only under arrivals, flagged (never compacted)
+// under departures.
+type Agents struct {
+	prof  Profile
+	sch   Scheduler
+	clock *Clock // nil when the profile has no fault rates
+
+	founders int // founding population size
+	starvedN int // adversarial-delay: starved id prefix length
+
+	flags []uint8
+	// actW holds each agent's pick weight (its activity rate, or 1) when
+	// active, 0 otherwise. Under adversarial-delay the starved prefix is
+	// pinned to 0 here and lives in stW instead, so normal picks exclude
+	// it by construction.
+	actW *wrand.Fenwick
+	stW  *wrand.Fenwick // adversarial-delay only: the starved prefix
+
+	active        int // agents with no flags
+	activeStarved int // active agents in the starved prefix
+	present       int // agents not departed
+
+	// sinceService counts scheduler steps since the starved set last
+	// interacted; at FairnessBound the adversary is forced to serve it.
+	sinceService int64
+}
+
+// NewAgents builds the scheduler/fault state for a run of n founding
+// agents. The profile must already be normalized for the engine (see
+// Profile.Normalize); engineSeed derives the fault RNG seed when the
+// profile does not pin one.
+func NewAgents(p Profile, n int, engineSeed int64) *Agents {
+	a := &Agents{
+		prof:     p,
+		founders: n,
+		flags:    make([]uint8, n),
+		present:  n,
+		active:   n,
+	}
+	switch p.Scheduler {
+	case KindWeighted:
+		a.sch = weighted{}
+	case KindClustered:
+		a.sch = clustered{}
+	case KindAdversarialDelay:
+		a.sch = adversarial{}
+		a.starvedN = int(int64(n) * p.StarvePct / 100)
+		if a.starvedN < 1 {
+			a.starvedN = 1
+		}
+		if a.starvedN > n {
+			a.starvedN = n
+		}
+		a.stW = wrand.NewFenwick(a.starvedN)
+		a.activeStarved = a.starvedN
+	default:
+		a.sch = uniform{}
+	}
+	a.actW = wrand.NewFenwick(n)
+	for k := 0; k < n; k++ {
+		a.weightFen(k).Set(a.fenIdx(k), a.rate(k))
+	}
+	if p.HasFaults() {
+		a.clock = NewClock(p, engineSeed)
+	}
+	return a
+}
+
+// Profile returns the normalized profile the state was built from.
+func (a *Agents) Profile() Profile { return a.prof }
+
+// Kind returns the active scheduler kind.
+func (a *Agents) Kind() string { return a.sch.Kind() }
+
+// rate returns agent k's pick weight: its activity rate under the
+// weighted scheduler, 1 otherwise.
+func (a *Agents) rate(k int) int64 {
+	if len(a.prof.Rates) > 0 {
+		return a.prof.Rates[k%len(a.prof.Rates)]
+	}
+	return 1
+}
+
+// starved reports whether agent k is in the adversarially starved set.
+func (a *Agents) starved(k int) bool { return k < a.starvedN && a.stW != nil }
+
+// weightFen returns the Fenwick tree holding agent k's eligibility
+// weight, and fenIdx k's slot in it.
+func (a *Agents) weightFen(k int) *wrand.Fenwick {
+	if a.starved(k) {
+		return a.stW
+	}
+	return a.actW
+}
+
+func (a *Agents) fenIdx(k int) int { return k }
+
+// Len returns the number of agent indices ever allocated (founders plus
+// arrivals; departures are not compacted).
+func (a *Agents) Len() int { return len(a.flags) }
+
+// Present returns the number of non-departed agents.
+func (a *Agents) Present() int { return a.present }
+
+// Active returns the number of flag-free agents.
+func (a *Agents) Active() int { return a.active }
+
+// IsActive reports whether agent k can currently interact.
+func (a *Agents) IsActive(k int) bool { return a.flags[k] == 0 }
+
+// IsPresent reports whether agent k has not departed.
+func (a *Agents) IsPresent(k int) bool { return a.flags[k]&flagDeparted == 0 }
+
+// Pick draws the next interaction pair via the scheduler policy.
+func (a *Agents) Pick(rng *wrand.RNG) (i, j int, ok bool) {
+	return a.sch.Pick(a, rng)
+}
+
+// AllowPair vets a geometry-proposed pair (both agents must be active,
+// and the policy may veto). Blocked pairs cost a scheduler step.
+func (a *Agents) AllowPair(i, j int) bool {
+	if a.flags[i] != 0 || a.flags[j] != 0 {
+		return false
+	}
+	return a.sch.AllowPair(a, i, j)
+}
+
+// ScaleInter rescales the geometric engine's inter-component category
+// weight under the active policy.
+func (a *Agents) ScaleInter(w int64) int64 { return a.sch.ScaleInter(a, w) }
+
+// NextDue drains the fault clock: it pops the earliest fault event due at
+// or before step, ok=false when none (or no clock).
+func (a *Agents) NextDue(step int64) (Event, bool) {
+	if a.clock == nil {
+		return 0, false
+	}
+	return a.clock.NextDue(step)
+}
+
+// NextPending returns the earliest scheduled fault-event time, or a
+// sentinel beyond any run budget when faults are disabled.
+func (a *Agents) NextPending() int64 {
+	if a.clock == nil {
+		return noEvent
+	}
+	return a.clock.NextPending()
+}
+
+// setFlags installs agent k's new flag byte, keeping the eligibility
+// weights and census counters in sync.
+func (a *Agents) setFlags(k int, f uint8) {
+	old := a.flags[k]
+	if old == f {
+		return
+	}
+	a.flags[k] = f
+	wasActive, isActive := old == 0, f == 0
+	if wasActive != isActive {
+		w := int64(0)
+		if isActive {
+			w = a.rate(k)
+			a.active++
+		} else {
+			a.active--
+		}
+		a.weightFen(k).Set(a.fenIdx(k), w)
+		if a.starved(k) {
+			if isActive {
+				a.activeStarved++
+			} else {
+				a.activeStarved--
+			}
+		}
+	}
+	if old&flagDeparted == 0 && f&flagDeparted != 0 {
+		a.present--
+	}
+}
+
+// pickVictim draws a uniformly random agent among those whose flags
+// satisfy want (mask/value), using the fault RNG. ok=false when none do.
+func (a *Agents) pickVictim(mask, value uint8) (int, bool) {
+	m := 0
+	for _, f := range a.flags {
+		if f&mask == value {
+			m++
+		}
+	}
+	if m == 0 {
+		return 0, false
+	}
+	r := a.clock.RNG().Intn(m)
+	for k, f := range a.flags {
+		if f&mask == value {
+			if r == 0 {
+				return k, true
+			}
+			r--
+		}
+	}
+	panic("sched: victim scan out of sync")
+}
+
+// CrashOne crashes one uniformly random active agent (crash-stop unless a
+// recovery clock runs). Returns the victim, ok=false when no agent is
+// crashable.
+func (a *Agents) CrashOne() (int, bool) {
+	k, ok := a.pickVictim(0xff, 0)
+	if ok {
+		a.setFlags(k, flagCrashed)
+	}
+	return k, ok
+}
+
+// RecoverOne revives one uniformly random crashed agent.
+func (a *Agents) RecoverOne() (int, bool) {
+	k, ok := a.pickVictim(flagCrashed|flagDeparted, flagCrashed)
+	if ok {
+		a.setFlags(k, 0)
+	}
+	return k, ok
+}
+
+// FreezeOne freezes one uniformly random active agent.
+func (a *Agents) FreezeOne() (int, bool) {
+	k, ok := a.pickVictim(0xff, 0)
+	if ok {
+		a.setFlags(k, flagFrozen)
+	}
+	return k, ok
+}
+
+// ThawOne unfreezes one uniformly random frozen agent.
+func (a *Agents) ThawOne() (int, bool) {
+	k, ok := a.pickVictim(flagFrozen|flagDeparted, flagFrozen)
+	if ok {
+		a.setFlags(k, 0)
+	}
+	return k, ok
+}
+
+// ArriveOne allocates the next agent index for an arrival (the engine
+// appends the matching state). Arrivals are active, never starved.
+func (a *Agents) ArriveOne() int {
+	k := len(a.flags)
+	a.flags = append(a.flags, 0)
+	a.actW.Grow(k + 1)
+	a.actW.Set(k, a.rate(k))
+	a.present++
+	a.active++
+	return k
+}
+
+// DepartOne removes one uniformly random present agent for good. The
+// engine adjusts its own census (e.g. halted counts) for the victim.
+func (a *Agents) DepartOne() (int, bool) {
+	k, ok := a.pickVictim(flagDeparted, 0)
+	if ok {
+		a.setFlags(k, a.flags[k]|flagDeparted)
+	}
+	return k, ok
+}
+
+// DepartID departs a specific agent the engine chose itself (the
+// geometric engine constrains departures to free singleton nodes).
+func (a *Agents) DepartID(k int) {
+	a.setFlags(k, a.flags[k]|flagDeparted)
+}
+
+// FaultRNG exposes the fault-stream RNG for engine-side victim selection
+// (nil when the profile has no fault rates).
+func (a *Agents) FaultRNG() *wrand.RNG {
+	if a.clock == nil {
+		return nil
+	}
+	return a.clock.RNG()
+}
+
+// AgentsState is the serializable scheduler/fault state of a run.
+type AgentsState struct {
+	Founders     int
+	Flags        []uint8
+	SinceService int64
+	HasClock     bool
+	Clock        ClockState
+}
+
+// State exports the agents for a snapshot.
+func (a *Agents) State() *AgentsState {
+	s := &AgentsState{
+		Founders:     a.founders,
+		Flags:        append([]uint8(nil), a.flags...),
+		SinceService: a.sinceService,
+	}
+	if a.clock != nil {
+		s.HasClock = true
+		s.Clock = a.clock.State()
+	}
+	return s
+}
+
+// RestoreState reinstalls an exported state onto agents freshly built
+// (via NewAgents) from the same normalized profile, rebuilding the
+// eligibility weights from the flags.
+func (a *Agents) RestoreState(s *AgentsState) error {
+	if s.Founders != a.founders {
+		return fmt.Errorf("sched: snapshot founders %d, run has %d", s.Founders, a.founders)
+	}
+	if len(s.Flags) < a.founders {
+		return fmt.Errorf("sched: snapshot has %d agent flags, need >= %d", len(s.Flags), a.founders)
+	}
+	if s.HasClock != (a.clock != nil) {
+		return fmt.Errorf("sched: snapshot fault clock presence %v, profile says %v", s.HasClock, a.clock != nil)
+	}
+	a.flags = append([]uint8(nil), s.Flags...)
+	a.sinceService = s.SinceService
+	a.actW = wrand.NewFenwick(len(a.flags))
+	if a.stW != nil {
+		a.stW = wrand.NewFenwick(a.starvedN)
+	}
+	a.active, a.activeStarved, a.present = 0, 0, 0
+	for k, f := range a.flags {
+		if f&flagDeparted == 0 {
+			a.present++
+		}
+		if f == 0 {
+			a.active++
+			a.weightFen(k).Set(a.fenIdx(k), a.rate(k))
+			if a.starved(k) {
+				a.activeStarved++
+			}
+		}
+	}
+	if a.clock != nil {
+		if err := a.clock.SetState(s.Clock); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// samplePair draws i then j (i excluded) from f, each proportional to
+// weight. ok=false when fewer than two positive-weight slots remain.
+func samplePair(f *wrand.Fenwick, rng *wrand.RNG) (int, int, bool) {
+	i, ok := f.Sample(rng)
+	if !ok {
+		return 0, 0, false
+	}
+	wi := f.Weight(i)
+	f.Set(i, 0)
+	j, ok := f.Sample(rng)
+	f.Set(i, wi)
+	if !ok {
+		return 0, 0, false
+	}
+	return i, j, true
+}
+
+// uniform is the default policy: every active ordered pair is equally
+// likely, and geometry-proposed pairs are never vetoed. (With a nil
+// profile the engines bypass the scheduler layer entirely and keep their
+// historical, byte-identical draw.)
+type uniform struct{}
+
+func (uniform) Kind() string { return KindUniform }
+
+func (uniform) Pick(a *Agents, rng *wrand.RNG) (int, int, bool) {
+	return samplePair(a.actW, rng)
+}
+
+func (uniform) AllowPair(*Agents, int, int) bool    { return true }
+func (uniform) ScaleInter(_ *Agents, w int64) int64 { return w }
+
+// weighted picks each agent proportionally to its activity rate, so the
+// pair (i, j) fires with probability proportional to rate_i * rate_j —
+// matching the urn engine's slot-weight-multiplier formulation.
+type weighted struct{}
+
+func (weighted) Kind() string { return KindWeighted }
+
+func (weighted) Pick(a *Agents, rng *wrand.RNG) (int, int, bool) {
+	return samplePair(a.actW, rng)
+}
+
+func (weighted) AllowPair(*Agents, int, int) bool    { return true }
+func (weighted) ScaleInter(_ *Agents, w int64) int64 { return w }
+
+// clustered prefers block-local partners: the initiator is uniform among
+// active agents, and with probability BiasPct the responder is drawn from
+// the initiator's block (falling back to global when the block has no
+// other active agent). On the geometric engine the same preference is
+// expressed by scaling down the inter-component category weight.
+type clustered struct{}
+
+func (clustered) Kind() string { return KindClustered }
+
+func (c clustered) Pick(a *Agents, rng *wrand.RNG) (int, int, bool) {
+	i, ok := a.actW.Sample(rng)
+	if !ok {
+		return 0, 0, false
+	}
+	if int64(rng.Intn(100)) < a.prof.BiasPct {
+		bs := int(a.prof.BlockSize)
+		lo := (i / bs) * bs
+		hi := lo + bs
+		if hi > len(a.flags) {
+			hi = len(a.flags)
+		}
+		m := 0
+		for k := lo; k < hi; k++ {
+			if k != i && a.flags[k] == 0 {
+				m++
+			}
+		}
+		if m > 0 {
+			r := rng.Intn(m)
+			for k := lo; k < hi; k++ {
+				if k != i && a.flags[k] == 0 {
+					if r == 0 {
+						return i, k, true
+					}
+					r--
+				}
+			}
+		}
+	}
+	wi := a.actW.Weight(i)
+	a.actW.Set(i, 0)
+	j, ok := a.actW.Sample(rng)
+	a.actW.Set(i, wi)
+	if !ok {
+		return 0, 0, false
+	}
+	return i, j, true
+}
+
+func (clustered) AllowPair(*Agents, int, int) bool { return true }
+
+// ScaleInter shrinks the inter-component weight to (100-BiasPct)% —
+// component-local interactions are the geometric engine's "blocks".
+func (clustered) ScaleInter(a *Agents, w int64) int64 {
+	scaled := w * (100 - a.prof.BiasPct) / 100
+	if scaled < 1 && w > 0 && a.prof.BiasPct < 100 {
+		scaled = 1
+	}
+	return scaled
+}
+
+// adversarial starves the founding id prefix: normal picks exclude it
+// entirely, and only when the starved set has gone FairnessBound steps
+// unserved (or no starvation-free pair exists) is the adversary forced to
+// schedule a starved agent. This is the weakest scheduler the weak
+// fairness assumption admits — the sweep that shows which termination
+// guarantees survive it.
+type adversarial struct{}
+
+func (adversarial) Kind() string { return KindAdversarialDelay }
+
+func (adversarial) Pick(a *Agents, rng *wrand.RNG) (int, int, bool) {
+	activeOther := a.active - a.activeStarved
+	forced := a.sinceService >= a.prof.FairnessBound && a.activeStarved > 0
+	if !forced && activeOther >= 2 {
+		i, j, ok := samplePair(a.actW, rng)
+		if ok {
+			a.sinceService++
+		}
+		return i, j, ok
+	}
+	// Serve the starved set: one starved agent, partner from anywhere.
+	if a.activeStarved == 0 {
+		return 0, 0, false
+	}
+	i, ok := a.stW.Sample(rng)
+	if !ok {
+		return 0, 0, false
+	}
+	var j int
+	if activeOther > 0 {
+		j, ok = a.actW.Sample(rng)
+	} else {
+		wi := a.stW.Weight(i)
+		a.stW.Set(i, 0)
+		j, ok = a.stW.Sample(rng)
+		a.stW.Set(i, wi)
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	a.sinceService = 0
+	return i, j, true
+}
+
+// AllowPair is the veto form: pairs touching the starved set are blocked
+// until the fairness bound forces service.
+func (adversarial) AllowPair(a *Agents, i, j int) bool {
+	if !a.starved(i) && !a.starved(j) {
+		a.sinceService++
+		return true
+	}
+	if a.sinceService >= a.prof.FairnessBound {
+		a.sinceService = 0
+		return true
+	}
+	a.sinceService++
+	return false
+}
+
+func (adversarial) ScaleInter(_ *Agents, w int64) int64 { return w }

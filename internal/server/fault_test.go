@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"shapesol/internal/sched"
+)
+
+// TestSubmitFaultProfileValidation pins the daemon's field-level 400
+// contract for fault profiles: every offending field is reported at once,
+// named after its wire form.
+func TestSubmitFaultProfileValidation(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	// Two independent mistakes: weighted is unsupported on sim, and the
+	// rates are invalid anyway once the scheduler kind is weighted on pop.
+	code, _, body := postJob(t, s,
+		`{"protocol": "stabilize", "params": {"table": "line", "n": 10,
+		  "fault": {"scheduler": "weighted", "rates": [0], "thaw_every": 5}}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("code = %d (%s), want 400", code, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if len(eb.Fields) < 3 {
+		t.Fatalf("error body %q, want >= 3 field entries (scheduler, rates, thaw_every)", body)
+	}
+	seen := map[string]bool{}
+	for _, f := range eb.Fields {
+		seen[f.Field] = true
+	}
+	for _, want := range []string{"scheduler", "rates", "thaw_every"} {
+		if !seen[want] {
+			t.Errorf("field %q missing from %q", want, body)
+		}
+	}
+
+	// Unknown fault fields are strict-decoded 400s, same as unknown params.
+	code, _, body = postJob(t, s,
+		`{"protocol": "counting-upper-bound", "params": {"n": 50, "fault": {"wat": 1}}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown fault field: code = %d (%s), want 400", code, body)
+	}
+}
+
+// TestSubmitFaultedJobRuns drives a crash-stop profile through the full
+// submit/poll path: with every partner of a 50-agent population crashed
+// almost immediately, the counting leader cannot halt, and the daemon's
+// Result surfaces the non-halting outcome.
+func TestSubmitFaultedJobRuns(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	code, st, body := postJob(t, s,
+		`{"protocol": "counting-upper-bound", "seed": 3, "max_steps": 20000,
+		  "params": {"n": 50, "fault": {"crash_every": 1, "max_crashes": 49}}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("code = %d (%s), want 202", code, body)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	if done.Result == nil {
+		t.Fatalf("done without result: %+v", done)
+	}
+	if done.Result.Halted {
+		t.Fatalf("crash-stopped run reported halting: %+v", done.Result)
+	}
+	if done.Result.Reason != "max-steps" {
+		t.Fatalf("reason %q, want max-steps", done.Result.Reason)
+	}
+
+	// The profile is part of the cache identity: resubmitting the same
+	// faulted job is a cache hit, resubmitting without the profile is not.
+	code, st2, _ := postJob(t, s,
+		`{"protocol": "counting-upper-bound", "seed": 3, "max_steps": 20000,
+		  "params": {"n": 50, "fault": {"crash_every": 1, "max_crashes": 49}}}`)
+	if code != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("identical faulted resubmission missed the cache: %d %+v", code, st2)
+	}
+	code, _, _ = postJob(t, s,
+		`{"protocol": "counting-upper-bound", "seed": 3, "max_steps": 20000, "params": {"n": 50}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("profile-less variant hit the faulted cache entry: code %d", code)
+	}
+}
+
+// TestProtocolsListFaultSchema checks /v1/protocols carries the full
+// profile schema on every spec that takes a fault parameter.
+func TestProtocolsListFaultSchema(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/protocols", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	var infos []protocolInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no protocols listed")
+	}
+	want := sched.Schema()
+	for _, info := range infos {
+		hasFault := false
+		for _, p := range info.Params {
+			if p.Name == "fault" {
+				hasFault = true
+			}
+		}
+		if !hasFault {
+			t.Errorf("protocol %s lists no fault parameter", info.Name)
+			continue
+		}
+		if len(info.Fault) != len(want) {
+			t.Errorf("protocol %s fault schema has %d fields, want %d",
+				info.Name, len(info.Fault), len(want))
+		}
+	}
+}

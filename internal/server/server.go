@@ -41,6 +41,7 @@ import (
 
 	"shapesol/internal/job"
 	"shapesol/internal/runner"
+	"shapesol/internal/sched"
 	"shapesol/internal/snap"
 )
 
@@ -253,9 +254,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. Fields carries
+// the per-field breakdown when the failure is a fault-profile validation
+// error, so clients can pinpoint every offending profile field at once.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string             `json:"error"`
+	Fields []sched.FieldError `json:"fields,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -268,6 +272,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// writeValidationError is writeError for admission failures: when the
+// cause is a *sched.ValidationError (an invalid fault profile), the 400
+// body carries its field-level entries alongside the message.
+func writeValidationError(w http.ResponseWriter, err error) {
+	var ve *sched.ValidationError
+	if errors.As(err, &ve) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Fields: ve.Fields})
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
 }
 
 // handleSubmit validates and enqueues one Job. Validation failures
@@ -289,7 +305,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	nj, spec, err := s.reg.Normalize(j)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeValidationError(w, err)
 		return
 	}
 	s.admit(w, nj, spec, false, nil)
@@ -572,7 +588,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	nj, spec, err := s.reg.ResumeJob(snapshot)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeValidationError(w, err)
 		return
 	}
 	s.admit(w, nj, spec, true, data)
@@ -627,14 +643,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// protocolInfo is the wire projection of a registered Spec.
+// protocolInfo is the wire projection of a registered Spec. Fault is the
+// full schema of the "fault" parameter's profile object (scheduler kinds,
+// rates, fault clocks, with per-field engine support), present on every
+// spec that takes one, so clients can construct valid profiles from the
+// listing alone.
 type protocolInfo struct {
-	Name    string       `json:"name"`
-	Title   string       `json:"title"`
-	Paper   string       `json:"paper"`
-	Engines []job.Engine `json:"engines"`
-	Budget  int64        `json:"budget"`
-	Params  []paramInfo  `json:"params,omitempty"`
+	Name    string            `json:"name"`
+	Title   string            `json:"title"`
+	Paper   string            `json:"paper"`
+	Engines []job.Engine      `json:"engines"`
+	Budget  int64             `json:"budget"`
+	Params  []paramInfo       `json:"params,omitempty"`
+	Fault   []sched.FieldSpec `json:"fault,omitempty"`
 }
 
 type paramInfo struct {
@@ -665,6 +686,9 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 				p.Default = f.Default
 			}
 			info.Params = append(info.Params, p)
+			if f.Name == "fault" {
+				info.Fault = sched.Schema()
+			}
 		}
 		out = append(out, info)
 	}

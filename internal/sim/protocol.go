@@ -1,8 +1,8 @@
 // Package sim implements the simulation engine for the geometric network
 // constructors model of Michail (2015), Section 3: a population of n
 // finite-state automata with 4 (2D) or 6 (3D) ports each, driven by a
-// uniform random scheduler that at every step selects one permissible
-// node-port pair. Components are rigid bodies on the unit grid; bonds form
+// scheduler that at every step selects one permissible node-port pair.
+// Components are rigid bodies on the unit grid; bonds form
 // at unit distance between aligned ports and every connected component must
 // remain a valid shape (no two nodes on the same cell).
 //
@@ -11,8 +11,8 @@
 // interface boxing and no per-step heap allocations beyond the (rare)
 // component merges and splits that inherently rebuild index structures.
 //
-// The scheduler is exactly uniform over the permissible interaction set,
-// which is maintained incrementally as three categories:
+// The default scheduler is exactly uniform over the permissible interaction
+// set, which is maintained incrementally as three categories:
 //
 //   - active bonds (always selectable),
 //   - latent pairs: facing, unbonded port pairs of adjacent nodes inside one
@@ -23,6 +23,15 @@
 //     collision-free union; the engine samples the open-pair superset with
 //     exact weights and rejects the (rare) colliding residue, which
 //     preserves uniformity over the permissible set.
+//
+// Non-uniform schedules and fault models layer on top through
+// ApplyProfile (see internal/sched): because pairs here come from
+// geometry rather than a draw over agent ids, policies act as a veto on
+// proposed pairs (adversarial delay, crashed and frozen nodes) and as a
+// re-weighting of the inter-component category (clustered locality),
+// while population churn adds and removes free nodes between steps. A
+// world without a profile bypasses the layer entirely and reproduces the
+// historical RNG stream byte for byte.
 package sim
 
 import (

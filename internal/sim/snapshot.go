@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
 
@@ -47,6 +48,12 @@ type Memento[S any] struct {
 	FreeSlots      []int
 	Bonded         []PortPair
 	Latent         []PortPair
+
+	// Sched is the scheduler/fault layer's state; nil for profile-less
+	// runs (older snapshots decode with it nil and restore identically).
+	// Under churn Nodes covers every id ever allocated, so its length can
+	// exceed N; Sched's flags say which ids are still present.
+	Sched *sched.AgentsState
 }
 
 // Memento captures the World's current state. Everything is deep-copied,
@@ -63,11 +70,14 @@ func (w *World[S]) Memento() *Memento[S] {
 		Splits:         w.splits,
 		IneffectiveRun: w.ineffectiveRun,
 		RNG:            w.rng.State(),
-		Nodes:          make([]NodeMemento[S], w.n),
+		Nodes:          make([]NodeMemento[S], len(w.nodes)),
 		NumSlots:       len(w.comps),
 		FreeSlots:      append([]int(nil), w.freeSlots...),
 		Bonded:         append([]PortPair(nil), w.bonded.Items()...),
 		Latent:         append([]PortPair(nil), w.latent.Items()...),
+	}
+	if w.agents != nil {
+		m.Sched = w.agents.State()
 	}
 	for id := range w.nodes {
 		nd := &w.nodes[id]
@@ -102,27 +112,41 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 	if m.Dim != w.opts.Dim {
 		return fmt.Errorf("sim: snapshot dimension %d, world has %d", m.Dim, w.opts.Dim)
 	}
-	if len(m.Nodes) != w.n {
-		return fmt.Errorf("sim: snapshot carries %d nodes for population %d", len(m.Nodes), m.N)
+	if (m.Sched != nil) != (w.agents != nil) {
+		return fmt.Errorf("sim: snapshot scheduler state presence %v, world profile says %v",
+			m.Sched != nil, w.agents != nil)
+	}
+	nNodes := w.n
+	if m.Sched != nil {
+		nNodes = len(m.Sched.Flags)
+	}
+	if len(m.Nodes) != nNodes {
+		return fmt.Errorf("sim: snapshot carries %d nodes, want %d", len(m.Nodes), nNodes)
 	}
 	for id := range m.Nodes {
 		nm := &m.Nodes[id]
 		for p, other := range nm.BondedTo {
-			if other < -1 || int(other) >= w.n {
+			if other < -1 || int(other) >= nNodes {
 				return fmt.Errorf("sim: node %d port %d bonded to out-of-range node %d", id, p, other)
 			}
 		}
 	}
-	if err := validatePairs("bonded", m.Bonded, w.n); err != nil {
+	if err := validatePairs("bonded", m.Bonded, nNodes); err != nil {
 		return err
 	}
-	if err := validatePairs("latent", m.Latent, w.n); err != nil {
+	if err := validatePairs("latent", m.Latent, nNodes); err != nil {
 		return err
 	}
 	if err := w.rng.SetState(m.RNG); err != nil {
 		return err
 	}
+	if w.agents != nil {
+		if err := w.agents.RestoreState(m.Sched); err != nil {
+			return err
+		}
+	}
 
+	w.nodes = make([]nodeData[S], nNodes)
 	w.haltedCount = 0
 	for id := range m.Nodes {
 		nm := &m.Nodes[id]
@@ -132,15 +156,15 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		nd.pos = nm.Pos
 		nd.rot = nm.Rot
 		nd.bondedTo = nm.BondedTo
-		nd.halted = w.proto.Halted(nm.State)
+		nd.halted = w.presentNode(id) && w.proto.Halted(nm.State)
 		if nd.halted {
 			w.haltedCount++
 		}
 	}
 
 	capSlots := m.NumSlots
-	if capSlots < w.n {
-		capSlots = w.n
+	if capSlots < nNodes {
+		capSlots = nNodes
 	}
 	w.comps = make([]*component, m.NumSlots)
 	w.weights = wrand.NewFenwick(capSlots)
@@ -159,7 +183,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 			open:  wrand.NewSet[PortRef](),
 		}
 		for _, id := range c.nodes {
-			if id < 0 || id >= w.n {
+			if id < 0 || id >= nNodes {
 				return fmt.Errorf("sim: snapshot component %d references node %d out of range", cm.Slot, id)
 			}
 			if w.nodes[id].comp != cm.Slot {
@@ -174,7 +198,7 @@ func (w *World[S]) RestoreMemento(m *Memento[S]) error {
 		}
 		seenPorts := make(map[PortRef]bool, len(cm.Open))
 		for _, ref := range cm.Open {
-			if ref.Node < 0 || ref.Node >= w.n || ref.Port >= grid.NumDirs {
+			if ref.Node < 0 || ref.Node >= nNodes || ref.Port >= grid.NumDirs {
 				return fmt.Errorf("sim: component %d open port %v out of range", cm.Slot, ref)
 			}
 			if seenPorts[ref] {

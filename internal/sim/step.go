@@ -39,6 +39,9 @@ func (w *World[S]) Step() (StepInfo, error) {
 		w1 := int64(w.bonded.Len())
 		w2 := int64(w.latent.Len())
 		w3 := (w.openT*w.openT - w.openS2) / 2
+		if w.agents != nil {
+			w3 = w.agents.ScaleInter(w3)
+		}
 		total := w1 + w2 + w3
 		if total == 0 {
 			return StepInfo{}, ErrNoInteraction
@@ -147,6 +150,11 @@ func (w *World[S]) fireIntra(pp PortPair, bondedNow bool) StepInfo {
 		kind = KindBond
 	}
 	info := StepInfo{Kind: kind, A: pp.A, B: pp.B}
+	if w.agents != nil && !w.agents.AllowPair(pp.A.Node, pp.B.Node) {
+		// Scheduler veto (a crashed, frozen or starved participant): the
+		// selection costs a step but nothing happens.
+		return info
+	}
 	a, b := pp.A, pp.B
 	if w.rng.Intn(2) == 1 { // unordered pair: randomize presentation order
 		a, b = b, a
@@ -174,6 +182,9 @@ func (w *World[S]) fireIntra(pp PortPair, bondedNow bool) StepInfo {
 func (w *World[S]) fireInter(pi, pj PortRef, iso grid.Isometry) StepInfo {
 	w.steps++
 	info := StepInfo{Kind: KindInter, A: pi, B: pj}
+	if w.agents != nil && !w.agents.AllowPair(pi.Node, pj.Node) {
+		return info
+	}
 	a, b := pi, pj
 	if w.rng.Intn(2) == 1 {
 		a, b = b, a
@@ -415,7 +426,11 @@ func (w *World[S]) stepExhaustive() (StepInfo, error) {
 			}
 		}
 	}
-	total := int64(w.bonded.Len()+w.latent.Len()) + int64(len(inters))
+	interW := int64(len(inters))
+	if w.agents != nil {
+		interW = w.agents.ScaleInter(interW)
+	}
+	total := int64(w.bonded.Len()+w.latent.Len()) + interW
 	if total == 0 {
 		return StepInfo{}, ErrNoInteraction
 	}
@@ -426,7 +441,13 @@ func (w *World[S]) stepExhaustive() (StepInfo, error) {
 	case r < int64(w.bonded.Len()+w.latent.Len()):
 		return w.fireIntra(w.latent.Items()[r-int64(w.bonded.Len())], false), nil
 	default:
-		in := inters[r-int64(w.bonded.Len()+w.latent.Len())]
+		idx := r - int64(w.bonded.Len()+w.latent.Len())
+		if interW != int64(len(inters)) {
+			// The category weight was rescaled; the within-category pick
+			// must still be uniform over the actual pairs.
+			idx = int64(w.rng.Intn(len(inters)))
+		}
+		in := inters[idx]
 		return w.fireInter(in.pi, in.pj, in.isos[w.rng.Intn(len(in.isos))]), nil
 	}
 }

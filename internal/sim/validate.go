@@ -33,8 +33,8 @@ func (w *World[S]) Validate() error {
 			}
 		}
 	}
-	if liveNodes != w.n {
-		return fmt.Errorf("%d nodes tracked in components, want %d", liveNodes, w.n)
+	if liveNodes != w.Present() {
+		return fmt.Errorf("%d nodes tracked in components, want %d present", liveNodes, w.Present())
 	}
 
 	// Bond symmetry and geometric consistency.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
 
@@ -83,12 +84,7 @@ func (o Options) withDefaults() Options {
 	if o.Dim == 0 {
 		o.Dim = 2
 	}
-	if o.MaxSteps == 0 {
-		o.MaxSteps = 50_000_000
-	}
-	if o.CheckEvery == 0 {
-		o.CheckEvery = 256
-	}
+	sched.RunDefaults(&o.MaxSteps, &o.CheckEvery, 50_000_000)
 	return o
 }
 
@@ -168,6 +164,11 @@ type World[S any] struct {
 	steps, effective, merges, splits int64
 	ineffectiveRun                   int64
 	haltedCount                      int
+
+	// agents is the scheduler/fault layer (see internal/sched); nil without
+	// a profile, in which case every code path below is byte-identical to
+	// the historical engine.
+	agents *sched.Agents
 }
 
 // New builds a world of n free nodes, each in its protocol-defined initial
@@ -217,6 +218,107 @@ func newEmpty[S any](n int, proto Protocol[S], opts Options) *World[S] {
 // it returns true. It replaces any previously installed predicate.
 func (w *World[S]) SetHaltWhen(pred func(*World[S]) bool) {
 	w.haltWhen = pred
+}
+
+// ApplyProfile installs a scheduler/fault profile (see internal/sched) on
+// a world that has not stepped yet. A zero profile is a no-op: the world
+// keeps the historical uniform draw, byte for byte. The geometric engine
+// supports the uniform, clustered and adversarial-delay policies plus the
+// full fault model; the weighted policy has no port-level meaning here
+// and is rejected by normalization.
+func (w *World[S]) ApplyProfile(p sched.Profile) error {
+	np, err := p.Normalize(sched.EngineSim, w.n)
+	if err != nil {
+		return err
+	}
+	if np.IsZero() {
+		w.agents = nil
+		return nil
+	}
+	if w.agents != nil {
+		return errors.New("sim: profile already applied")
+	}
+	if w.steps > 0 {
+		return errors.New("sim: profile must be applied before stepping")
+	}
+	w.agents = sched.NewAgents(np, w.n, w.opts.Seed)
+	return nil
+}
+
+// Agents exposes the scheduler/fault layer; nil without a profile.
+func (w *World[S]) Agents() *sched.Agents { return w.agents }
+
+// Present returns the number of non-departed nodes (N without a profile).
+func (w *World[S]) Present() int {
+	if w.agents == nil {
+		return w.n
+	}
+	return w.agents.Present()
+}
+
+// presentNode reports whether node id has not departed.
+func (w *World[S]) presentNode(id int) bool {
+	return w.agents == nil || w.agents.IsPresent(id)
+}
+
+// applyFaults drains every fault event due at the current step. It runs
+// on the CheckEvery cadence (and when the scheduler runs dry), with the
+// world quiescent.
+func (w *World[S]) applyFaults() {
+	if w.agents == nil {
+		return
+	}
+	for {
+		ev, ok := w.agents.NextDue(w.steps)
+		if !ok {
+			return
+		}
+		switch ev {
+		case sched.EvCrash:
+			w.agents.CrashOne()
+		case sched.EvRecover:
+			w.agents.RecoverOne()
+		case sched.EvFreeze:
+			w.agents.FreezeOne()
+		case sched.EvThaw:
+			w.agents.ThawOne()
+		case sched.EvArrive:
+			id := w.agents.ArriveOne()
+			w.nodes = append(w.nodes, nodeData[S]{})
+			w.addFreeNode(id, w.proto.InitialState(id, w.n))
+		case sched.EvDepart:
+			w.departOne()
+		}
+	}
+}
+
+// departOne removes one uniformly random free node — departures are
+// constrained to singleton components, since a node bonded into a rigid
+// body cannot drift out of the solution. When every present node is part
+// of a structure the departure event is dropped.
+func (w *World[S]) departOne() {
+	var candidates []int
+	for id := range w.nodes {
+		nd := &w.nodes[id]
+		if !w.presentNode(id) || nd.comp < 0 {
+			continue
+		}
+		if len(w.comps[nd.comp].nodes) == 1 {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	id := candidates[w.agents.FaultRNG().Intn(len(candidates))]
+	nd := &w.nodes[id]
+	w.agents.DepartID(id)
+	w.dropComponent(w.comps[nd.comp])
+	nd.comp = -1
+	if nd.halted {
+		nd.halted = false
+		w.haltedCount--
+	}
 }
 
 // addFreeNode installs node id as a singleton component at the origin of its
@@ -440,11 +542,14 @@ func (w *World[S]) BondedNeighbor(id int, p grid.Dir) int {
 	return int(w.nodes[id].bondedTo[p])
 }
 
-// CountStates tallies node states by the supplied key function (useful in
-// tests and tools).
+// CountStates tallies present nodes' states by the supplied key function
+// (useful in tests and tools). Departed nodes are not counted.
 func (w *World[S]) CountStates(key func(S) string) map[string]int {
 	out := make(map[string]int)
 	for i := range w.nodes {
+		if !w.presentNode(i) {
+			continue
+		}
 		out[key(w.nodes[i].state)]++
 	}
 	return out
@@ -470,7 +575,7 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 		return Result{Steps: w.steps, Effective: w.effective,
 			Merges: w.merges, Splits: w.splits, Reason: reason}
 	case w.opts.StopWhenAnyHalted && w.haltedCount > 0,
-		w.opts.StopWhenAllHalted && w.haltedCount == w.n:
+		w.opts.StopWhenAllHalted && w.Present() > 0 && w.haltedCount == w.Present():
 		reason = ReasonHalted
 		return Result{Steps: w.steps, Effective: w.effective,
 			Merges: w.merges, Splits: w.splits, Reason: reason}
@@ -482,6 +587,18 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 	for w.steps < w.opts.MaxSteps {
 		info, err := w.Step()
 		if err != nil {
+			// With a fault clock running, a future event (a recovery, a
+			// thaw, an arrival) can repopulate the permissible set: jump to
+			// the event, apply it, and try again.
+			if w.agents != nil {
+				if np := w.agents.NextPending(); np < w.opts.MaxSteps {
+					if np > w.steps {
+						w.steps = np
+					}
+					w.applyFaults()
+					continue
+				}
+			}
 			// A satisfied predicate outranks the no-interaction stop: the
 			// predicate may have become true between CheckEvery windows and
 			// must not be masked by the scheduler running dry.
@@ -505,11 +622,17 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 			reason = ReasonHalted
 			break
 		}
-		if w.opts.StopWhenAllHalted && w.haltedCount == w.n {
+		if w.opts.StopWhenAllHalted && w.Present() > 0 && w.haltedCount == w.Present() {
 			reason = ReasonHalted
 			break
 		}
 		if w.steps%w.opts.CheckEvery == 0 {
+			w.applyFaults()
+			if w.opts.StopWhenAllHalted && w.Present() > 0 && w.haltedCount == w.Present() {
+				// A departure can complete the all-halted condition.
+				reason = ReasonHalted
+				break
+			}
 			if ctx.Err() != nil {
 				reason = ReasonCanceled
 				break

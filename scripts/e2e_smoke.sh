@@ -7,7 +7,10 @@
 # stream to completion, diff the served Result envelope byte-for-byte
 # against the checked-in golden file (wall_ns zeroed — the one
 # non-deterministic field), check that the identical resubmission is
-# answered from the result cache, and drain the daemon with SIGTERM.
+# answered from the result cache, drive a fault-profile submission
+# (crash-stop until halting is impossible — the Result must truthfully
+# report halted=false/max-steps, and an invalid profile must be a
+# field-level 400), and drain the daemon with SIGTERM.
 #
 # Phase 2 (kill -9 and resume): restart the daemon on the same -data-dir,
 # submit the n = 10^6 urn run, kill -9 the daemon the moment a checkpoint
@@ -68,6 +71,28 @@ echo "$second" | grep -q '"cached": true' \
 echo "$second" | grep -q '"state": "done"' \
   || { echo "FAIL: cached resubmit did not come back complete: $second"; exit 1; }
 echo "identical resubmission answered from the cache"
+
+# Fault-profile submission: crash an agent every step until 49 of 50 are
+# gone. The counting leader can never finish its census, so the run must
+# settle done with a truthful non-halting Result — not wedge, not lie.
+faulted="$(ctl submit -id-only -protocol counting-upper-bound -n 50 -seed 3 \
+  -budget 20000 -fault '{"crash_every": 1, "max_crashes": 49}')"
+ctl watch "$faulted"
+fres="$(ctl result "$faulted")"
+echo "$fres" | grep -q '"halted": false' \
+  || { echo "FAIL: faulted run claims it halted: $fres"; exit 1; }
+echo "$fres" | grep -q '"reason": "max-steps"' \
+  || { echo "FAIL: faulted run reason is not max-steps: $fres"; exit 1; }
+echo "faulted submission surfaced the non-halting result"
+
+# An invalid profile must be rejected with field-level details, pre-run.
+if ctl submit -protocol counting-upper-bound -n 50 \
+  -fault '{"scheduler": "weighted"}' 2>"$bin/fault_err"; then
+  echo "FAIL: invalid fault profile was accepted"; exit 1
+fi
+grep -q '"field": "rates"' "$bin/fault_err" \
+  || { echo "FAIL: profile rejection lacked field-level details:"; cat "$bin/fault_err"; exit 1; }
+echo "invalid profile rejected with field-level details"
 
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
