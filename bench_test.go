@@ -1,6 +1,6 @@
 package shapesol
 
-// One benchmark per experiment of EXPERIMENTS.md (E1-E14). Each reports
+// One benchmark per experiment of EXPERIMENTS.md (E1-E18). Each reports
 // scheduler steps per run via b.ReportMetric so that the experiment tables
 // can be regenerated from `go test -bench . -benchmem`; absolute ns/op is
 // secondary (the paper's unit is interactions, not wall-clock).
@@ -379,6 +379,30 @@ func BenchmarkUrnSamplerComparison(b *testing.B) {
 				steps += out.Steps
 			}
 			reportSteps(b, steps)
+		})
+	}
+}
+
+// E18 — exact verification on the check engine: exhaustive exploration
+// plus verdict of the full Theorem 1 configuration space. The multiset
+// quotient makes the space O(n^2), so the reported configs/op doubles as
+// a scaling check; no randomness is consumed, every iteration does
+// identical work.
+func BenchmarkE18CheckExhaustive(b *testing.B) {
+	const headStart = 5
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var configs int64
+			for i := 0; i < b.N; i++ {
+				w := counting.NewUpperBoundCheckExplorer(n, headStart, 0, nil)
+				w.Run()
+				out := counting.UpperBoundCheckOutcomeOf(headStart, w)
+				if !out.Complete || !out.Halts {
+					b.Fatalf("check run did not verify halting: %+v", out.Verdict)
+				}
+				configs += out.Configs
+			}
+			b.ReportMetric(float64(configs)/float64(b.N), "configs/op")
 		})
 	}
 }

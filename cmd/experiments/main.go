@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"shapesol/internal/buildinfo"
+	"shapesol/internal/check"
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/grid"
@@ -46,31 +47,35 @@ import (
 // registry is the single source of truth for the experiment set: run order,
 // the -exp lookup table, and every advertised id list (help text, unknown-
 // experiment errors) all derive from it, so they cannot drift. Each entry
-// names the internal/job protocol spec it measures, and the experiment
-// function receives that name and builds its Jobs from it — the spec
-// column (which EXPERIMENTS.md renders as the id-to-spec map) is the
-// single source of which protocol an experiment runs. Gaps in the numbering are intentional
+// names the internal/job protocol spec it measures — and, when it runs on
+// a non-default engine, which one — and the experiment function receives
+// the spec name and builds its Jobs from it; the spec column (which
+// EXPERIMENTS.md renders as the id-to-spec map) is the single source of
+// which protocol an experiment runs. Gaps in the numbering are intentional
 // — see EXPERIMENTS.md (E5/E6 are bench-only stabilization measurements).
 var registry = []struct {
-	id   string
-	spec string // protocol spec name in the internal/job registry
-	fn   func(config, string) Report
+	id     string
+	spec   string // protocol spec name in the internal/job registry
+	engine string // engine override; "" means the spec's default
+	fn     func(config, string) Report
 }{
-	{"E1", "counting-upper-bound", e1},
-	{"E2", "counting-upper-bound", e2},
-	{"E3", "simple-uid", e3},
-	{"E4", "uid", e4},
-	{"E7", "count-line", e7},
-	{"E8", "square-knowing-n", e8},
-	{"E9", "universal", e9},
-	{"E10", "parallel-3d", e10},
-	{"E11", "parallel-3d", e11},
-	{"E12", "replication", e12},
-	{"E13", "leaderless", e13},
-	{"E14", "counting-upper-bound", e14},
-	{"E15", "counting-upper-bound", e15},
-	{"E16", "counting-upper-bound", e16},
-	{"E17", "counting-upper-bound", e17},
+	{"E1", "counting-upper-bound", "", e1},
+	{"E2", "counting-upper-bound", "", e2},
+	{"E3", "simple-uid", "", e3},
+	{"E4", "uid", "", e4},
+	{"E7", "count-line", "", e7},
+	{"E8", "square-knowing-n", "", e8},
+	{"E9", "universal", "", e9},
+	{"E10", "parallel-3d", "", e10},
+	{"E11", "parallel-3d", "", e11},
+	{"E12", "replication", "", e12},
+	{"E13", "leaderless", "", e13},
+	{"E14", "counting-upper-bound", "urn", e14},
+	{"E15", "counting-upper-bound", "urn", e15},
+	{"E16", "counting-upper-bound", "", e16},
+	{"E17", "counting-upper-bound", "urn", e17},
+	{"E18", "counting-upper-bound", "check", e18},
+	{"E19", "counting-upper-bound", "check", e19},
 }
 
 // registryIDs returns the advertised experiment ids in run order.
@@ -82,17 +87,44 @@ func registryIDs() []string {
 	return ids
 }
 
+// registryEngine resolves one entry's execution engine: the declared
+// override, or its spec's default.
+func registryEngine(spec *job.Spec, override string) job.Engine {
+	if override != "" {
+		return job.Engine(override)
+	}
+	return spec.Engines[0]
+}
+
 // checkSpecs guards the experiment-to-spec map against drift: every
 // experiment must reference a protocol that is actually registered in
-// the internal/job registry.
+// the internal/job registry, and any declared engine must be one the
+// spec supports — both answered by the registry itself, so a new engine
+// or protocol never needs a parallel edit here.
 func checkSpecs() error {
 	for _, e := range registry {
-		if _, ok := job.Get(e.spec); !ok {
+		spec, ok := job.Get(e.spec)
+		if !ok {
 			return fmt.Errorf("experiment %s references unregistered protocol spec %q (have %s)",
 				e.id, e.spec, strings.Join(job.Names(), ", "))
 		}
+		if e.engine != "" && !spec.Supports(job.Engine(e.engine)) {
+			return fmt.Errorf("experiment %s declares engine %q, which protocol %q does not support (supported: %v)",
+				e.id, e.engine, e.spec, spec.Engines)
+		}
 	}
 	return nil
+}
+
+// knownEngines renders the job registry's engine union for flag help and
+// validation.
+func knownEngines() string {
+	engines := job.Engines()
+	parts := make([]string, len(engines))
+	for i, e := range engines {
+		parts[i] = string(e)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // config carries the trial plan shared by every experiment.
@@ -147,6 +179,8 @@ func run() int {
 	var (
 		exp = flag.String("exp", "",
 			fmt.Sprintf("experiment id (one of %s); empty runs all", strings.Join(registryIDs(), " ")))
+		engine = flag.String("engine", "",
+			"run only the experiments executing on this engine (one of "+knownEngines()+"); empty runs all")
 		trials     = flag.Int("trials", 20, "trials per configuration")
 		parallel   = flag.Bool("parallel", false, "fan trials across all CPU cores")
 		workers    = flag.Int("workers", 0, "exact worker count (overrides -parallel)")
@@ -205,6 +239,34 @@ func run() int {
 			return 2
 		}
 		ids = []string{*exp}
+	}
+	if *engine != "" {
+		want := job.Engine(*engine)
+		known := false
+		for _, e := range job.Engines() {
+			known = known || e == want
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "experiments: unknown engine %q (registry engines: %s)\n",
+				*engine, knownEngines())
+			return 2
+		}
+		engineOf := make(map[string]job.Engine, len(registry))
+		for _, e := range registry {
+			spec, _ := job.Get(e.spec) // checkSpecs validated the lookup above
+			engineOf[e.id] = registryEngine(spec, e.engine)
+		}
+		kept := ids[:0]
+		for _, id := range ids {
+			if engineOf[id] == want {
+				kept = append(kept, id)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: no selected experiment runs on engine %q\n", *engine)
+			return 2
+		}
+		ids = kept
 	}
 
 	reports := make([]Report, 0, len(ids))
@@ -613,6 +675,76 @@ func e17(cfg config, spec string) Report {
 			}}, MaxSteps: 2_000_000_000}, mk)
 		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("gap=%.0e", float64(gap)),
 			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	}
+	return r
+}
+
+// e18 replaces sampling with proof at small n: the check engine explores
+// the full symmetry-reduced configuration space of Counting-Upper-Bound,
+// so "halts" and "all_correct" hold for *every* fair execution, not for
+// 20 sampled seeds. One trial per row — exhaustive exploration is
+// seed-free and deterministic, extra seeds would re-prove the same fact.
+// max_depth pins the exact worst-case interaction count, 2n-1-b.
+func e18(cfg config, spec string) Report {
+	r := Report{ID: "E18", Title: "Exact verification: Counting-Upper-Bound halts everywhere (check, n<=8)",
+		Note: "exhaustive over the multiset configuration space; worst case = 2n-1-b interactions"}
+	sub := cfg
+	sub.trials = 1
+	for n := 2; n <= 8; n++ {
+		agg := sub.collect(job.Job{Protocol: spec, Engine: job.EngineCheck,
+			Params: job.Params{N: n, B: 5}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundCheckOutcome)
+				return runner.Trial{
+					Flags: map[string]bool{"halts": out.Complete && out.Halts,
+						"all_correct": out.AllCorrect, "depth_bounded": out.DepthBounded},
+					Values: map[string]float64{"configs": float64(out.Configs),
+						"max_depth": float64(out.MaxDepth)}}
+			})
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("n=%d", n),
+			Params: map[string]int{"n": n, "b": 5}, Agg: agg})
+	}
+	return r
+}
+
+// e19 upgrades E16's starved-prefix observation to a proof. The check
+// engine runs the adversarial-delay profile in veto form — starved-to-
+// starved pairs never fire, every other schedule is explored — so at n=8
+// the 25% row (leader plus one counted agent starved) provably reaches a
+// frozen configuration with no enabled transition: E16's "halted stays 0"
+// is not a budget artifact, no fair completion exists. Starving the
+// leader alone stays pair-fair and halting survives, exactly as the
+// Theorem 1 argument predicts.
+func e19(cfg config, spec string) Report {
+	r := Report{ID: "E19", Title: "Exact confirmation of E16: starved prefix has no fair completion (check, n=8)",
+		Note: "agent-level fairness alone breaks Theorem 1 — now theorem-grade, not statistical"}
+	const n = 8
+	sub := cfg
+	sub.trials = 1
+	for _, c := range []struct {
+		label  string
+		fault  *sched.Profile
+		params map[string]int
+	}{
+		{"uniform", nil, map[string]int{"n": n, "b": 5}},
+		{"starve leader", &sched.Profile{Scheduler: sched.KindAdversarialDelay,
+			StarvePct: 1, FairnessBound: 4096},
+			map[string]int{"n": n, "b": 5, "starve_pct": 1}},
+		{"starve 25%", &sched.Profile{Scheduler: sched.KindAdversarialDelay,
+			StarvePct: 25, FairnessBound: 4096},
+			map[string]int{"n": n, "b": 5, "starve_pct": 25}},
+	} {
+		agg := sub.collect(job.Job{Protocol: spec, Engine: job.EngineCheck,
+			Params: job.Params{N: n, B: 5, Fault: c.fault}},
+			func(res job.Result) runner.Trial {
+				out := res.Payload.(counting.UpperBoundCheckOutcome)
+				frozen := out.Witness != nil && out.Witness.Kind == check.WitnessFrozen
+				return runner.Trial{
+					Flags: map[string]bool{"halts": out.Complete && out.Halts,
+						"frozen_witness": frozen},
+					Values: map[string]float64{"configs": float64(out.Configs)}}
+			})
+		r.Rows = append(r.Rows, Row{Label: c.label, Params: c.params, Agg: agg})
 	}
 	return r
 }

@@ -54,12 +54,23 @@ func main() {
 	os.Exit(run())
 }
 
+// engineList renders the registry-derived engine union for flag help, so
+// new engines appear here without a parallel edit.
+func engineList() string {
+	engines := job.Engines()
+	parts := make([]string, len(engines))
+	for i, e := range engines {
+		parts[i] = string(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
 func run() int {
 	var (
 		protocol = flag.String("protocol", "line",
 			fmt.Sprintf("protocol spec (one of %s) or a legacy alias (line, square, square2, count, countline, squaren)",
 				strings.Join(job.Names(), ", ")))
-		engine     = flag.String("engine", "", "engine override: sim, pop or urn (default: the spec's)")
+		engine     = flag.String("engine", "", "engine override: "+engineList()+" (default: the spec's)")
 		budget     = flag.Int64("budget", 0, "step budget override (default: the spec's)")
 		n          = flag.Int("n", 16, "population size")
 		b          = flag.Int("b", 0, "head start for the counting protocols (default: the spec's)")
@@ -202,6 +213,12 @@ func printResult(res job.Result) {
 			out.Table, out.N, out.Spanning, out.Spanned, shapesol.Render(out.Shape))
 	case counting.UpperBoundOutcome:
 		fmt.Printf("r0=%d (r0/n=%.3f, success=%v)\n", out.R0, out.Estimate, out.Success)
+	case counting.UpperBoundCheckOutcome:
+		fmt.Printf("configs=%d halts=%v all-correct=%v depth-bounded=%v max-depth=%d\n",
+			out.Configs, out.Complete && out.Halts, out.AllCorrect, out.DepthBounded, out.MaxDepth)
+		if out.Witness != nil {
+			fmt.Printf("witness: %s\n", out.Witness.Kind)
+		}
 	case counting.SimpleUIDOutcome:
 		fmt.Printf("output=%d exact=%v\n", out.Output, out.Exact)
 	case counting.UIDOutcome:

@@ -54,6 +54,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// engineList renders the registry-derived engine union for flag help, so
+// new engines appear here without a parallel edit.
+func engineList() string {
+	engines := job.Engines()
+	parts := make([]string, len(engines))
+	for i, e := range engines {
+		parts[i] = string(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // run executes one command against the daemon. Output goes to the
 // injected writers so tests can drive the full command surface.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -182,7 +193,7 @@ func (c *client) submit(args []string) int {
 	var (
 		raw      = fs.String("job", "", "raw Job JSON (overrides the field flags)")
 		protocol = fs.String("protocol", "", "protocol spec name (see shapesolctl protocols)")
-		engine   = fs.String("engine", "", "engine override: sim, pop or urn")
+		engine   = fs.String("engine", "", "engine override: "+engineList())
 		budget   = fs.Int64("budget", 0, "step budget override")
 		seed     = fs.Int64("seed", 1, "scheduler seed")
 		n        = fs.Int("n", 0, "population size")

@@ -1,0 +1,474 @@
+// Package check is the exact verification engine: where the other three
+// engines (pop, urn, sim) sample one fair execution per seed, check
+// explores *every* reachable configuration of a population protocol by
+// breadth-first search over the symmetry-reduced configuration space and
+// decides, as a theorem about the finite instance rather than an
+// observation over seeds: (a) does every fair execution halt, (b) is
+// every halting configuration correct, and (c) what is the worst-case
+// number of effective interactions until a halt. When a claim fails the
+// engine returns a witness — a concrete counterexample trace of
+// interactions (a prefix plus, for livelocks, a cycle).
+//
+// The state space is the urn engine's multiset quotient: a configuration
+// is the multiset of agent states, not the vector of per-agent states, so
+// agent identities are factored out and the space stays enumerable at
+// small n. Under the adversarial-delay scheduler identities partially
+// return: each agent carries a class bit (starved or not), and a slot is
+// a (state, class, count) triple, so "the starved q1" and "a normal q1"
+// are distinct even when their protocol states agree.
+//
+// Fairness is the standard population-protocol notion (every
+// configuration reachable infinitely often is reached infinitely often),
+// which makes the analysis a terminal-SCC computation on the reachability
+// graph: a fair execution ends up inside a terminal strongly connected
+// component and visits all of it forever, so "every fair execution halts"
+// holds exactly when every terminal SCC is a single absorbing halting
+// configuration. A terminal non-halted component is the witness: a frozen
+// configuration (no effective enabled interaction — the scheduler
+// stutters on ineffective pairs forever) when it is a single node without
+// a self-edge, a livelock cycle otherwise.
+//
+// Scheduler profiles are honored in veto form. Under adversarial-delay
+// the forced-service rule always pairs a starved agent with a non-starved
+// partner (see sched.adversarial), so in the fair limit starved–starved
+// pairs never fire: the explorer drops exactly those transitions and
+// keeps everything else, turning E16's "a starved 25% prefix breaks
+// halting" from a per-seed observation into a checkable property of the
+// reachability graph. The uniform scheduler vetoes nothing, and the
+// remaining policies (weighted, clustered, fault clocks) only reweight or
+// perturb executions probabilistically — they have no fair-limit veto
+// semantics, so the profile layer rejects them for this engine.
+package check
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"shapesol/internal/sched"
+)
+
+// Protocol is the protocol contract of the check engine — identical in
+// shape to the urn engine's: a comparable value state, a transition on
+// unordered pairs, and a per-agent halting predicate. Apply must be
+// order-independent in effectiveness (both orders of an unordered pair
+// agree on whether anything changes); because the exact scheduler hands
+// the pair to Apply in random order, the explorer expands both ordered
+// applications of every distinct-state pair.
+type Protocol[S comparable] interface {
+	// InitialState returns agent id's starting state in a population of n.
+	InitialState(id, n int) S
+	// Apply executes one interaction and reports whether it changed
+	// anything. Ineffective interactions are self-loops of the
+	// configuration graph and are not expanded.
+	Apply(a, b S) (na, nb S, effective bool)
+	// Halted reports whether an agent in state s has terminated.
+	Halted(s S) bool
+}
+
+// Options configures an exploration.
+type Options struct {
+	// MaxStates bounds the number of *discovered* configurations; when
+	// exceeded the exploration stops with ReasonMaxStates and the verdict
+	// reports Complete=false (no claim is decided). Defaults to 2^20. This
+	// is the check engine's budget: the job layer's MaxSteps maps onto it.
+	MaxStates int64
+	// StopWhenAnyHalted marks a configuration halting (and absorbing) as
+	// soon as one agent halted; StopWhenAllHalted when all have. At least
+	// one must match the statistical engines' stop condition for verdicts
+	// to be comparable; when both are unset, StopWhenAllHalted applies.
+	StopWhenAnyHalted bool
+	StopWhenAllHalted bool
+	// CheckEvery is the cadence, in expanded configurations, of the
+	// RunContext cancellation check and the Progress callback. Default 256.
+	CheckEvery int64
+	// Progress, when non-nil, is invoked every CheckEvery expansions with
+	// the number of configurations expanded so far. It must not mutate the
+	// explorer.
+	Progress func(expanded int64)
+}
+
+// StopReason reports why RunContext returned.
+type StopReason int
+
+// Stop reasons.
+const (
+	// ReasonExplored: the frontier is empty — the reachable configuration
+	// space was explored completely and the verdict is exact.
+	ReasonExplored StopReason = iota + 1
+	// ReasonMaxStates: the state budget was exhausted mid-exploration.
+	ReasonMaxStates
+	// ReasonCanceled: the context was canceled mid-exploration.
+	ReasonCanceled
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case ReasonExplored:
+		return "explored"
+	case ReasonMaxStates:
+		return "max-states"
+	case ReasonCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// Result summarizes an exploration. Expanded counts configurations whose
+// successors were generated; Configs counts configurations discovered
+// (Expanded == Configs exactly when the exploration completed).
+type Result struct {
+	Expanded int64
+	Configs  int64
+	Reason   StopReason
+}
+
+// slot is one entry of a canonical configuration: count agents that share
+// a protocol state and a scheduler class. Class 0 is a normal agent;
+// class 1 is a member of the adversarially starved prefix.
+type slot struct {
+	state int32 // index into the explorer's interned state table
+	class uint8
+	count int32
+}
+
+// edge is the interaction that produced a configuration from its BFS
+// parent, recorded as interned state ids: the pair (a, b) was applied and
+// became (na, nb).
+type edge struct {
+	a, b, na, nb int32
+}
+
+// node is one discovered configuration.
+type node struct {
+	slots  []slot
+	parent int32 // BFS parent node index; -1 at the root
+	via    edge  // parent edge; zero at the root
+	halted bool  // the stop condition holds: the node is absorbing
+}
+
+// Explorer is one exhaustive exploration instance. Not safe for
+// concurrent use. Like the other engines it separates build
+// (New, ApplyProfile, RestoreMemento) from run (RunContext) from read-out
+// (Verdict), so the job layer can checkpoint and resume mid-exploration.
+type Explorer[S comparable] struct {
+	n     int
+	proto Protocol[S]
+	opts  Options
+
+	prof     sched.Profile
+	profiled bool
+	// starved is the length of the starved founding-id prefix under the
+	// adversarial-delay profile; 0 means no veto applies.
+	starved int
+
+	// intern maps each protocol state to a dense id at first appearance.
+	// The exploration order is deterministic, so ids — and therefore the
+	// canonical slot order and every downstream byte — are too.
+	intern     map[S]int32
+	states     []S
+	stateHalts []bool // memoized proto.Halted per interned state
+
+	nodes   []node
+	visited map[string]int32 // canonical config key -> node index
+	// head is the BFS cursor: nodes[:head] are expanded, nodes[head:] are
+	// the frontier (BFS discovery order is queue order, so the queue is
+	// implicit).
+	head int32
+}
+
+// New builds an explorer over the protocol's reachable configuration
+// space for a population of n agents.
+func New[S comparable](n int, proto Protocol[S], opts Options) *Explorer[S] {
+	if n < 2 {
+		panic("check: population size must be >= 2")
+	}
+	sched.RunDefaults(&opts.MaxStates, &opts.CheckEvery, 1<<20)
+	if !opts.StopWhenAnyHalted && !opts.StopWhenAllHalted {
+		opts.StopWhenAllHalted = true
+	}
+	e := &Explorer[S]{n: n, proto: proto, opts: opts}
+	e.reset()
+	return e
+}
+
+// N returns the population size.
+func (e *Explorer[S]) N() int { return e.n }
+
+// Expanded returns the number of configurations expanded so far.
+func (e *Explorer[S]) Expanded() int64 { return int64(e.head) }
+
+// Configs returns the number of configurations discovered so far.
+func (e *Explorer[S]) Configs() int64 { return int64(len(e.nodes)) }
+
+// Complete reports whether the reachable space was explored exhaustively.
+func (e *Explorer[S]) Complete() bool { return int(e.head) == len(e.nodes) }
+
+// ApplyProfile installs a scheduler profile in veto form. Only the
+// uniform scheduler (no-op) and adversarial-delay (starved–starved pairs
+// vetoed, matching the fair limit of sched's forced-service rule) have
+// exact fair-limit semantics; everything else is rejected by
+// Profile.Normalize for this engine. Must be called before the first
+// expansion — and, like the other engines, before RestoreMemento, whose
+// presence check it feeds.
+func (e *Explorer[S]) ApplyProfile(p sched.Profile) error {
+	np, err := p.Normalize(sched.EngineCheck, e.n)
+	if err != nil {
+		return err
+	}
+	if np.IsZero() {
+		return nil
+	}
+	if e.profiled {
+		return fmt.Errorf("check: profile already applied")
+	}
+	if e.head != 0 {
+		return fmt.Errorf("check: profile applied to an explorer that already expanded")
+	}
+	e.prof = np
+	e.profiled = true
+	if np.Scheduler == sched.KindAdversarialDelay {
+		// Mirror sched.NewAgents' starved-prefix sizing exactly.
+		st := int(int64(e.n) * np.StarvePct / 100)
+		if st < 1 {
+			st = 1
+		}
+		if st < e.n {
+			// Starving everyone starves no one: forced service then pairs
+			// starved agents with each other, so no pair is ever vetoed.
+			e.starved = st
+		}
+	}
+	e.reset()
+	return nil
+}
+
+// reset (re)seeds the root configuration from the protocol's initial
+// states and the current starved-prefix length.
+func (e *Explorer[S]) reset() {
+	e.intern = make(map[S]int32)
+	e.states = e.states[:0]
+	e.stateHalts = e.stateHalts[:0]
+	e.nodes = e.nodes[:0]
+	e.visited = make(map[string]int32)
+	e.head = 0
+
+	// Accumulate the initial multiset in id order, so state interning —
+	// and everything downstream of it — is deterministic.
+	var slots []slot
+	for id := 0; id < e.n; id++ {
+		sid := e.internState(e.proto.InitialState(id, e.n))
+		var class uint8
+		if id < e.starved {
+			class = 1
+		}
+		found := false
+		for k := range slots {
+			if slots[k].state == sid && slots[k].class == class {
+				slots[k].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			slots = append(slots, slot{state: sid, class: class, count: 1})
+		}
+	}
+	canonicalize(&slots)
+	e.addNode(slots, -1, edge{})
+}
+
+// internState returns the dense id of s, assigning one at first sight.
+func (e *Explorer[S]) internState(s S) int32 {
+	if id, ok := e.intern[s]; ok {
+		return id
+	}
+	id := int32(len(e.states))
+	e.intern[s] = id
+	e.states = append(e.states, s)
+	e.stateHalts = append(e.stateHalts, e.proto.Halted(s))
+	return id
+}
+
+// canonicalize sorts slots by (state, class) and merges duplicates; a
+// canonical configuration renders one unique key.
+func canonicalize(slots *[]slot) {
+	s := *slots
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].state != s[j].state {
+			return s[i].state < s[j].state
+		}
+		return s[i].class < s[j].class
+	})
+	out := s[:0]
+	for _, sl := range s {
+		if n := len(out); n > 0 && out[n-1].state == sl.state && out[n-1].class == sl.class {
+			out[n-1].count += sl.count
+			continue
+		}
+		out = append(out, sl)
+	}
+	*slots = out
+}
+
+// key renders a canonical configuration as the visited-map key.
+func key(slots []slot) string {
+	buf := make([]byte, 0, len(slots)*9)
+	var b [4]byte
+	for _, sl := range slots {
+		binary.LittleEndian.PutUint32(b[:], uint32(sl.state))
+		buf = append(buf, b[:]...)
+		buf = append(buf, sl.class)
+		binary.LittleEndian.PutUint32(b[:], uint32(sl.count))
+		buf = append(buf, b[:]...)
+	}
+	return string(buf)
+}
+
+// configHalted evaluates the stop condition on a canonical configuration.
+func (e *Explorer[S]) configHalted(slots []slot) bool {
+	any, all := false, true
+	for _, sl := range slots {
+		if e.stateHalts[sl.state] {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	return (e.opts.StopWhenAnyHalted && any) || (e.opts.StopWhenAllHalted && all)
+}
+
+// addNode interns a canonical configuration as a new node and returns its
+// index; ok=false when the configuration was already discovered.
+func (e *Explorer[S]) addNode(slots []slot, parent int32, via edge) (int32, bool) {
+	k := key(slots)
+	if idx, dup := e.visited[k]; dup {
+		return idx, false
+	}
+	idx := int32(len(e.nodes))
+	e.visited[k] = idx
+	e.nodes = append(e.nodes, node{
+		slots:  slots,
+		parent: parent,
+		via:    via,
+		halted: e.configHalted(slots),
+	})
+	return idx, true
+}
+
+// vetoed reports whether the scheduler profile forbids the pair of
+// classes in the fair limit: under adversarial-delay, forced service
+// always pairs a starved agent with a non-starved partner, so two starved
+// agents never interact.
+func (e *Explorer[S]) vetoed(ca, cb uint8) bool {
+	return e.starved > 0 && ca == 1 && cb == 1
+}
+
+// transitions enumerates every enabled effective interaction of a
+// configuration in deterministic order: ordered slot pairs (both orders
+// of distinct slots, since the exact scheduler hands states to Apply in
+// random order; the diagonal once, when the slot holds at least two
+// agents). emit receives the interaction edge and the successor's
+// canonical slots; returning false stops the enumeration.
+func (e *Explorer[S]) transitions(slots []slot, emit func(via edge, succ []slot) bool) {
+	for i := range slots {
+		for j := range slots {
+			if i == j && slots[i].count < 2 {
+				continue
+			}
+			if e.vetoed(slots[i].class, slots[j].class) {
+				continue
+			}
+			a, b := e.states[slots[i].state], e.states[slots[j].state]
+			na, nb, eff := e.proto.Apply(a, b)
+			if !eff {
+				continue
+			}
+			succ := make([]slot, 0, len(slots)+2)
+			for k, sl := range slots {
+				if k == i {
+					sl.count--
+				}
+				if k == j {
+					sl.count--
+				}
+				if sl.count > 0 {
+					succ = append(succ, sl)
+				}
+			}
+			succ = append(succ,
+				slot{state: e.internState(na), class: slots[i].class, count: 1},
+				slot{state: e.internState(nb), class: slots[j].class, count: 1})
+			canonicalize(&succ)
+			via := edge{a: slots[i].state, b: slots[j].state, na: e.intern[na], nb: e.intern[nb]}
+			if !emit(via, succ) {
+				return
+			}
+		}
+	}
+}
+
+// expand generates the successors of node idx, discovering new
+// configurations. Halting configurations are absorbing: the statistical
+// engines stop there, so the graph does too.
+func (e *Explorer[S]) expand(idx int32) {
+	if e.nodes[idx].halted {
+		return
+	}
+	e.transitions(e.nodes[idx].slots, func(via edge, succ []slot) bool {
+		e.addNode(succ, idx, via)
+		return true
+	})
+}
+
+// Run explores with a background context.
+func (e *Explorer[S]) Run() Result { return e.RunContext(context.Background()) }
+
+// RunContext explores the reachable configuration space breadth-first
+// until the frontier empties, the state budget is exceeded, or ctx is
+// canceled. Cancellation and Progress ride the CheckEvery cadence (in
+// expanded configurations), like the step-loop engines.
+func (e *Explorer[S]) RunContext(ctx context.Context) Result {
+	if ctx.Err() != nil {
+		return e.result(ReasonCanceled)
+	}
+	for int(e.head) < len(e.nodes) {
+		if int64(len(e.nodes)) > e.opts.MaxStates {
+			return e.result(ReasonMaxStates)
+		}
+		e.expand(e.head)
+		e.head++
+		if int64(e.head)%e.opts.CheckEvery == 0 {
+			if ctx.Err() != nil {
+				return e.result(ReasonCanceled)
+			}
+			if e.opts.Progress != nil {
+				e.opts.Progress(int64(e.head))
+			}
+		}
+	}
+	return e.result(ReasonExplored)
+}
+
+func (e *Explorer[S]) result(reason StopReason) Result {
+	return Result{Expanded: int64(e.head), Configs: int64(len(e.nodes)), Reason: reason}
+}
+
+// renderState renders an interned state for witness traces.
+func (e *Explorer[S]) renderState(id int32) string {
+	return fmt.Sprintf("%v", e.states[id])
+}
+
+// renderConfig renders a configuration as one line per slot.
+func (e *Explorer[S]) renderConfig(slots []slot) []string {
+	out := make([]string, len(slots))
+	for i, sl := range slots {
+		out[i] = fmt.Sprintf("%dx %v", sl.count, e.states[sl.state])
+		if sl.class == 1 {
+			out[i] += " (starved)"
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package counting
+
+import "shapesol/internal/check"
+
+// Counting-Upper-Bound on the exhaustive verification engine. The
+// protocol's configuration space collapses beautifully under the multiset
+// quotient: a profile-less configuration is fully determined by the
+// leader's (r0, r1, done) triple — the phase counts follow from it — so
+// the reachable space is O(n^2) configurations and exhaustive
+// verification of Theorem 1's "halts in every execution" is instant at
+// the small n where the statistical engines can only sample.
+
+// NewUpperBoundCheckExplorer builds the Theorem 1 protocol on the
+// exhaustive engine. maxStates bounds discovered configurations (0 means
+// the engine default); the stop condition matches the statistical
+// engines' StopWhenAnyHalted, so the verdict speaks about the same runs.
+func NewUpperBoundCheckExplorer(n, b int, maxStates int64, progress func(int64)) *check.Explorer[UBState] {
+	return check.New(n, &UpperBound{B: b}, check.Options{
+		MaxStates: maxStates, StopWhenAnyHalted: true, Progress: progress,
+	})
+}
+
+// UpperBoundCheckOutcome is the exact verdict over all fair executions of
+// one Counting-Upper-Bound instance.
+type UpperBoundCheckOutcome struct {
+	N int `json:"n"`
+	B int `json:"b"`
+	check.Verdict
+}
+
+// UpperBoundCheckOutcomeOf reads the verdict off a finished exploration.
+// Correctness of a halting configuration is Theorem 1's guarantee in
+// exact form: the halted leader's count satisfies r0 >= n/2. (The w.h.p.
+// qualifier of the theorem is about which halting configurations are
+// *likely*; the check engine reports whether any reachable one violates
+// the bound at all.)
+func UpperBoundCheckOutcomeOf(b int, e *check.Explorer[UBState]) UpperBoundCheckOutcome {
+	n := int64(e.N())
+	v := e.Verdict(func(states []UBState, counts []int64) bool {
+		for _, s := range states {
+			if s.IsLeader && s.L.Done {
+				return 2*s.L.R0 >= n
+			}
+		}
+		return false
+	})
+	return UpperBoundCheckOutcome{N: e.N(), B: b, Verdict: v}
+}

@@ -1,0 +1,132 @@
+package counting
+
+import (
+	"context"
+	"testing"
+
+	"shapesol/internal/check"
+	"shapesol/internal/pop"
+	"shapesol/internal/sched"
+)
+
+// TestUpperBoundCheckSmallN proves Theorem 1's halting claim exhaustively
+// at n <= 8: every fair execution halts, every reachable halting
+// configuration satisfies r0 >= n/2, and the effective graph is acyclic
+// with the hand-computable worst case of 2n-1-b interactions (raise r0 to
+// n-1, then r1 to n-1, then the halt rule).
+func TestUpperBoundCheckSmallN(t *testing.T) {
+	const b = 5
+	for n := 2; n <= 8; n++ {
+		e := NewUpperBoundCheckExplorer(n, b, 0, nil)
+		res := e.Run()
+		if res.Reason != check.ReasonExplored {
+			t.Fatalf("n=%d: reason = %v, want explored", n, res.Reason)
+		}
+		out := UpperBoundCheckOutcomeOf(b, e)
+		if !out.Complete || !out.Halts {
+			t.Fatalf("n=%d: verdict %+v, want complete+halts", n, out.Verdict)
+		}
+		if !out.AllCorrect {
+			t.Fatalf("n=%d: incorrect halting configuration: %+v", n, out.Witness)
+		}
+		eb := b
+		if eb > n-1 {
+			eb = n - 1
+		}
+		if want := int64(2*n - 1 - eb); !out.DepthBounded || out.MaxDepth != want {
+			t.Fatalf("n=%d: depth = bounded=%v max=%d, want bounded max=%d",
+				n, out.DepthBounded, out.MaxDepth, want)
+		}
+	}
+}
+
+// TestUpperBoundCheckWHPBoundary pins down what "w.h.p." hides: at
+// n > 2b a reachable halting configuration violates r0 >= n/2 (the
+// leader can meet the b head-start q1 agents first and halt at r0 = b),
+// so AllCorrect must fail exactly there, with an incorrect-halt witness.
+func TestUpperBoundCheckWHPBoundary(t *testing.T) {
+	const b = 5
+	e := NewUpperBoundCheckExplorer(11, b, 0, nil)
+	e.Run()
+	out := UpperBoundCheckOutcomeOf(b, e)
+	if !out.Complete || !out.Halts {
+		t.Fatalf("verdict %+v, want complete+halts", out.Verdict)
+	}
+	if out.AllCorrect {
+		t.Fatalf("n=11, b=5: all halting configurations correct, want the r0=b=5 < n/2 violation")
+	}
+	if out.Witness == nil || out.Witness.Kind != check.WitnessIncorrectHalt {
+		t.Fatalf("witness = %+v, want incorrect-halt", out.Witness)
+	}
+}
+
+// TestUpperBoundCheckStarvedPrefix is E16's finding as a theorem: with
+// the leader-containing 25% prefix starved at n=8, NO fair execution
+// halts (starved-starved pairs never fire in the fair limit, and the
+// leader plus one head-start q1 are both starved — the leader runs out of
+// servable meetings before r1 catches r0). The witness is a frozen
+// configuration. Starving the leader alone (starve_pct=1) vetoes nothing
+// the protocol needs, so halting returns — the veto, not the starvation
+// label, is what breaks Theorem 1.
+func TestUpperBoundCheckStarvedPrefix(t *testing.T) {
+	const n, b = 8, 5
+	e := NewUpperBoundCheckExplorer(n, b, 0, nil)
+	if err := e.ApplyProfile(sched.Profile{Scheduler: sched.KindAdversarialDelay, StarvePct: 25}); err != nil {
+		t.Fatalf("ApplyProfile: %v", err)
+	}
+	res := e.Run()
+	if res.Reason != check.ReasonExplored {
+		t.Fatalf("reason = %v, want explored", res.Reason)
+	}
+	out := UpperBoundCheckOutcomeOf(b, e)
+	if !out.Complete {
+		t.Fatalf("exploration incomplete: %+v", out.Verdict)
+	}
+	if out.Halts {
+		t.Fatalf("starved n=8 verdict halts; E16's non-halting should be exact here")
+	}
+	w := out.Witness
+	if w == nil || w.Kind != check.WitnessFrozen {
+		t.Fatalf("witness = %+v, want a frozen configuration", w)
+	}
+	if len(w.Config) == 0 {
+		t.Fatalf("witness carries no configuration")
+	}
+
+	// Leader-only starvation: the adversary can only veto leader-leader
+	// pairs, which do not exist; every fair execution still halts.
+	e = NewUpperBoundCheckExplorer(n, b, 0, nil)
+	if err := e.ApplyProfile(sched.Profile{Scheduler: sched.KindAdversarialDelay, StarvePct: 1}); err != nil {
+		t.Fatalf("ApplyProfile: %v", err)
+	}
+	e.Run()
+	if out := UpperBoundCheckOutcomeOf(b, e); !out.Complete || !out.Halts {
+		t.Fatalf("leader-only starvation verdict %+v, want halts", out.Verdict)
+	}
+}
+
+// TestUpperBoundCheckDepthBoundsPop: the exact worst case bounds every
+// observed execution — pop's effective interaction count never exceeds
+// MaxDepth.
+func TestUpperBoundCheckDepthBoundsPop(t *testing.T) {
+	const b = 5
+	for n := 3; n <= 6; n++ {
+		e := NewUpperBoundCheckExplorer(n, b, 0, nil)
+		e.Run()
+		out := UpperBoundCheckOutcomeOf(b, e)
+		if !out.DepthBounded {
+			t.Fatalf("n=%d: depth unbounded", n)
+		}
+		for seed := int64(1); seed <= 50; seed++ {
+			w := NewUpperBoundWorld(n, b, seed, 1_000_000, nil)
+			res := w.RunContext(context.Background())
+			if res.Reason != pop.ReasonHalted {
+				t.Fatalf("n=%d seed=%d: pop run did not halt: %v", n, seed, res.Reason)
+			}
+			if res.Effective > out.MaxDepth {
+				t.Fatalf("n=%d seed=%d: pop used %d effective interactions, exact bound is %d",
+					n, seed, res.Effective, out.MaxDepth)
+			}
+		}
+	}
+}

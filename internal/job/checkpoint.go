@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"shapesol/internal/check"
 	"shapesol/internal/pop"
 	"shapesol/internal/pop/urn"
 	"shapesol/internal/sim"
@@ -127,6 +128,42 @@ func urnRunner[S comparable](
 		}
 		res := w.RunContext(ctx)
 		return read(ctx, j, w, res)
+	}
+}
+
+// checkRunner is popRunner for the exhaustive verification engine: the
+// world is an Explorer and the memento a partially-explored frontier, but
+// the build/profile/restore/run/read shape — and the byte-identical
+// resume guarantee — are the same.
+func checkRunner[S comparable](
+	build func(j Job, progress func(int64)) (*check.Explorer[S], error),
+	read func(ctx context.Context, j Job, e *check.Explorer[S], res check.Result) (Outcome, error),
+) func(context.Context, Job) (Outcome, error) {
+	return func(ctx context.Context, j Job) (Outcome, error) {
+		var e *check.Explorer[S]
+		capture := func(steps int64) (*snap.Snapshot, error) {
+			return encodeSnapshot(j, e.Memento(), steps)
+		}
+		e, err := build(j, progressFn(j, capture))
+		if err != nil {
+			return Outcome{}, err
+		}
+		if j.Params.Fault != nil {
+			if err := e.ApplyProfile(*j.Params.Fault); err != nil {
+				return Outcome{}, err
+			}
+		}
+		if j.Restore != nil {
+			var m check.Memento[S]
+			if err := snap.DecodeState(j.Restore.State, &m); err != nil {
+				return Outcome{}, err
+			}
+			if err := e.RestoreMemento(m); err != nil {
+				return Outcome{}, err
+			}
+		}
+		res := e.RunContext(ctx)
+		return read(ctx, j, e, res)
 	}
 }
 

@@ -1,0 +1,111 @@
+package job
+
+import (
+	"context"
+	"testing"
+
+	"shapesol/internal/counting"
+	"shapesol/internal/sched"
+)
+
+// Cross-engine agreement: the check engine's exact verdicts and the
+// statistical engines' sampled executions must tell one story. An exact
+// "every fair execution halts" means every seeded run on every other
+// engine halts; an exact "no fair execution halts" means no seeded run
+// ever does — each such run being an engine-reproducible trace of the
+// non-halting the witness describes.
+
+// TestCheckAgreesWithStatisticalEngines: for every protocol that supports
+// the check engine, at every n <= 6, the exact halting verdict must cover
+// 200-seed sweeps on each statistical engine the spec supports.
+func TestCheckAgreesWithStatisticalEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed sweep")
+	}
+	ctx := context.Background()
+	checked := 0
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		if !spec.Supports(EngineCheck) {
+			continue
+		}
+		checked++
+		for n := 2; n <= 6; n++ {
+			res, err := Run(ctx, Job{Protocol: name, Engine: EngineCheck, Params: Params{N: n}})
+			if err != nil {
+				t.Fatalf("%s check n=%d: %v", name, n, err)
+			}
+			if res.Reason != "explored" {
+				t.Fatalf("%s check n=%d: reason %q, want explored", name, n, res.Reason)
+			}
+			if !res.Halted {
+				t.Fatalf("%s check n=%d: exact verdict is non-halting; statistical sweep would be vacuous", name, n)
+			}
+			for _, eng := range spec.Engines {
+				if eng == EngineCheck {
+					continue
+				}
+				for seed := int64(1); seed <= 200; seed++ {
+					r, err := Run(ctx, Job{Protocol: name, Engine: eng, Params: Params{N: n}, Seed: seed})
+					if err != nil {
+						t.Fatalf("%s %s n=%d seed=%d: %v", name, eng, n, seed, err)
+					}
+					if !r.Halted {
+						t.Fatalf("%s %s n=%d seed=%d: run did not halt (%s), but check proved every fair execution halts",
+							name, eng, n, seed, r.Reason)
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("no registered protocol supports the check engine")
+	}
+}
+
+// TestCheckStarvedNonHaltMatchesPop is the other direction at n = 8: the
+// check engine proves that NO fair execution of Counting-Upper-Bound
+// halts when the leader-containing 25% prefix is starved (E16's finding,
+// exactly), so a 200-seed pop sweep under the same profile must show 200
+// non-halting executions — each one a reproducible trace of the verdict.
+func TestCheckStarvedNonHaltMatchesPop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed sweep")
+	}
+	ctx := context.Background()
+	fault := sched.Profile{Scheduler: sched.KindAdversarialDelay, StarvePct: 25, FairnessBound: 256}
+
+	res, err := Run(ctx, Job{
+		Protocol: "counting-upper-bound", Engine: EngineCheck,
+		Params: Params{N: 8, Fault: &fault},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatalf("check claims the starved instance halts")
+	}
+	out, ok := res.Payload.(counting.UpperBoundCheckOutcome)
+	if !ok {
+		t.Fatalf("payload is %T, want UpperBoundCheckOutcome", res.Payload)
+	}
+	if !out.Complete || out.Halts {
+		t.Fatalf("verdict %+v, want complete non-halting", out.Verdict)
+	}
+	if out.Witness == nil {
+		t.Fatalf("non-halting verdict without a witness")
+	}
+
+	for seed := int64(1); seed <= 200; seed++ {
+		r, err := Run(ctx, Job{
+			Protocol: "counting-upper-bound", Engine: EnginePop,
+			Params: Params{N: 8, Fault: &fault}, Seed: seed, MaxSteps: 50_000,
+		})
+		if err != nil {
+			t.Fatalf("pop seed=%d: %v", seed, err)
+		}
+		if r.Halted {
+			t.Fatalf("pop seed=%d halted under the starved profile, but check proved no fair execution does", seed)
+		}
+	}
+}

@@ -25,6 +25,9 @@ var goldenJobs = []struct {
 }{
 	{"counting-upper-bound.pop", Job{Protocol: "counting-upper-bound", Params: Params{N: 60, B: 4}, Seed: 1}},
 	{"counting-upper-bound.urn", Job{Protocol: "counting-upper-bound", Engine: EngineUrn, Params: Params{N: 1000}, Seed: 1}},
+	// The acceptance instance of the exhaustive engine: Theorem 1's
+	// halting claim verified over every fair execution at n = 8.
+	{"counting-upper-bound.check", Job{Protocol: "counting-upper-bound", Engine: EngineCheck, Params: Params{N: 8}, Seed: 1}},
 	{"simple-uid", Job{Protocol: "simple-uid", Params: Params{N: 6}, Seed: 1}},
 	{"uid", Job{Protocol: "uid", Params: Params{N: 30}, Seed: 1}},
 	{"leaderless", Job{Protocol: "leaderless", Params: Params{N: 20}, Seed: 1, MaxSteps: 1000}},

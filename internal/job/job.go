@@ -46,9 +46,11 @@ import (
 // Engine selects the execution engine of a Job.
 type Engine string
 
-// The three engines. Not every protocol supports every engine: geometric
+// The four engines. Not every protocol supports every engine: geometric
 // constructions need sim, the counting protocols of Section 5 run on pop
-// (and, for value-state protocols, on urn).
+// (and, for value-state protocols, on urn), and check is feasible only
+// where the symmetry-reduced configuration space is enumerable at the
+// submitted n.
 const (
 	// EngineSim is the geometric simulation engine (internal/sim).
 	EngineSim Engine = "sim"
@@ -57,6 +59,14 @@ const (
 	// EngineUrn is the urn-compressed scheduler with ineffective-step
 	// skipping (internal/pop/urn).
 	EngineUrn Engine = "urn"
+	// EngineCheck is the exhaustive verification engine (internal/check):
+	// instead of sampling one fair execution per seed it explores every
+	// reachable configuration and returns an exact verdict — halts in
+	// every fair execution, all halting configurations correct, worst-case
+	// depth — with a counterexample witness trace on failure. Its MaxSteps
+	// budget bounds discovered configurations, not scheduler steps, and
+	// Seed is ignored (there is nothing to sample).
+	EngineCheck Engine = "check"
 )
 
 // ReasonCanceled is the Result.Reason reported when the Job's context was

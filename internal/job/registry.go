@@ -56,8 +56,30 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Engines returns the union of every registered spec's supported
+// engines, sorted — the registry-derived answer to "what can -engine
+// be", so CLI flag validation and usage strings stop hard-coding the
+// engine list.
+func (r *Registry) Engines() []Engine {
+	seen := make(map[Engine]bool)
+	for _, s := range r.specs {
+		for _, e := range s.Engines {
+			seen[e] = true
+		}
+	}
+	out := make([]Engine, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Names returns the Default registry's protocol names in sorted order.
 func Names() []string { return Default.Names() }
+
+// Engines returns the Default registry's supported-engine union.
+func Engines() []Engine { return Default.Engines() }
 
 // Get returns a spec from the Default registry.
 func Get(name string) (*Spec, bool) { return Default.Get(name) }

@@ -20,6 +20,10 @@ var snapshotJobs = []struct {
 }{
 	{"counting-upper-bound.pop", Job{Protocol: "counting-upper-bound", Params: Params{N: 60, B: 4}, Seed: 1}},
 	{"counting-upper-bound.urn", Job{Protocol: "counting-upper-bound", Engine: EngineUrn, Params: Params{N: 1000}, Seed: 1}},
+	// n = 60 puts ~1900 configurations in the check engine's space, so
+	// the 256-expansion progress cadence ticks strictly mid-exploration
+	// (the n = 8 acceptance instance finishes before the first tick).
+	{"counting-upper-bound.check", Job{Protocol: "counting-upper-bound", Engine: EngineCheck, Params: Params{N: 60}, Seed: 1}},
 	{"simple-uid", Job{Protocol: "simple-uid", Params: Params{N: 40}, Seed: 1}},
 	{"uid", Job{Protocol: "uid", Params: Params{N: 30}, Seed: 1}},
 	{"leaderless", Job{Protocol: "leaderless", Params: Params{N: 50}, Seed: 6, MaxSteps: 5000}},

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"shapesol/internal/check"
 	"shapesol/internal/core"
 	"shapesol/internal/counting"
 	"shapesol/internal/pop"
@@ -76,23 +77,44 @@ func init() {
 			out := counting.UpperBoundUrnOutcomeOf(j.Params.B, w, res)
 			return popOutcome(out, out.Steps, res.Reason), nil
 		})
+	runUpperBoundCheck := checkRunner(
+		func(j Job, progress func(int64)) (*check.Explorer[counting.UBState], error) {
+			return counting.NewUpperBoundCheckExplorer(j.Params.N, j.Params.B, j.MaxSteps, progress), nil
+		},
+		func(_ context.Context, j Job, e *check.Explorer[counting.UBState], res check.Result) (Outcome, error) {
+			out := counting.UpperBoundCheckOutcomeOf(j.Params.B, e)
+			// Halted is the verified claim, not an observation: true exactly
+			// when the exploration completed and every fair execution halts.
+			return Outcome{
+				Steps:   res.Expanded,
+				Halted:  out.Complete && out.Halts,
+				Reason:  res.Reason.String(),
+				Payload: out,
+			}, nil
+		})
 	Default.Register(Spec{
 		Name:    "counting-upper-bound",
 		Title:   "Counting-Upper-Bound: terminating counting with a halting leader",
 		Paper:   "Theorem 1",
-		Engines: []Engine{EnginePop, EngineUrn},
+		Engines: []Engine{EnginePop, EngineUrn, EngineCheck},
 		Budget:  100_000_000,
-		Budgets: map[Engine]int64{EngineUrn: 1 << 62},
+		// The check budget bounds discovered configurations, not steps; the
+		// CUB space is O(n^2), so 2^20 configurations covers n ~ 1000.
+		Budgets: map[Engine]int64{EngineUrn: 1 << 62, EngineCheck: 1 << 20},
 		Params: []Field{
 			{Name: "n", Usage: "population size", Required: true, Min: 2},
 			{Name: "b", Usage: "leader head start", Default: 5, Min: 1},
 			faultField,
 		},
 		Run: func(ctx context.Context, j Job) (Outcome, error) {
-			if j.Engine == EngineUrn {
+			switch j.Engine {
+			case EngineUrn:
 				return runUpperBoundUrn(ctx, j)
+			case EngineCheck:
+				return runUpperBoundCheck(ctx, j)
+			default:
+				return runUpperBoundPop(ctx, j)
 			}
-			return runUpperBoundPop(ctx, j)
 		},
 	})
 

@@ -34,8 +34,11 @@
 // need ids — are rejected at validation. The geometric engine
 // (internal/sim) draws pairs from geometry, so AdversarialDelay becomes a
 // veto model, Clustered scales the inter-component category weight, and
-// Weighted is rejected. Validate enforces the matrix with field-level
-// errors.
+// Weighted is rejected. The exhaustive engine (internal/check) reasons
+// about every fair execution at once, so only policies with a fair-limit
+// reading apply: Uniform is a no-op and AdversarialDelay a transition
+// veto; probabilistic policies and all fault clocks are rejected.
+// Validate enforces the matrix with field-level errors.
 package sched
 
 import (
@@ -48,9 +51,10 @@ import (
 // Engine names, mirroring the job layer's engine identifiers (the two
 // packages cannot import each other; the strings are the contract).
 const (
-	EnginePop = "pop"
-	EngineUrn = "urn"
-	EngineSim = "sim"
+	EnginePop   = "pop"
+	EngineUrn   = "urn"
+	EngineSim   = "sim"
+	EngineCheck = "check"
 )
 
 // Scheduler kinds, the values of Profile.Scheduler.
@@ -170,10 +174,10 @@ const (
 // schedulerEngines is the support matrix: which engines express which
 // pair-selection policies. Fault clocks are supported on every engine.
 var schedulerEngines = map[string][]string{
-	KindUniform:          {EnginePop, EngineUrn, EngineSim},
+	KindUniform:          {EnginePop, EngineUrn, EngineSim, EngineCheck},
 	KindWeighted:         {EnginePop, EngineUrn},
 	KindClustered:        {EnginePop, EngineSim},
-	KindAdversarialDelay: {EnginePop, EngineSim},
+	KindAdversarialDelay: {EnginePop, EngineSim, EngineCheck},
 }
 
 // Normalize fills the profile's defaults and validates it for a run on
@@ -273,7 +277,9 @@ func (p Profile) Normalize(engine string, n int) (Profile, error) {
 		}
 	}
 
-	// Fault clocks.
+	// Fault clocks. The check engine reasons about all executions at
+	// once; fault clocks are probabilistic timelines on one execution and
+	// have no fair-limit reading, so each enabled clock is an error there.
 	for _, f := range []struct {
 		name string
 		v    int64
@@ -284,6 +290,8 @@ func (p Profile) Normalize(engine string, n int) (Profile, error) {
 	} {
 		if f.v < 0 {
 			fail(f.name, "%d must be >= 0", f.v)
+		} else if f.v > 0 && engine == EngineCheck {
+			fail(f.name, "fault clocks are not supported on the check engine")
 		}
 	}
 	if p.RecoverEvery > 0 && p.CrashEvery <= 0 {

@@ -52,6 +52,10 @@ func TestNormalizeEngineMatrix(t *testing.T) {
 		{KindAdversarialDelay, EnginePop, true},
 		{KindAdversarialDelay, EngineSim, true},
 		{KindAdversarialDelay, EngineUrn, false},
+		{KindUniform, EngineCheck, true},
+		{KindAdversarialDelay, EngineCheck, true},
+		{KindWeighted, EngineCheck, false},
+		{KindClustered, EngineCheck, false},
 	}
 	for _, c := range cases {
 		p := Profile{Scheduler: c.sched}
@@ -70,6 +74,33 @@ func TestNormalizeEngineMatrix(t *testing.T) {
 				t.Errorf("%s on %s: field = %q, want scheduler", c.sched, c.engine, verr.Fields[0].Field)
 			}
 		}
+	}
+}
+
+func TestNormalizeCheckEngineRejectsFaultClocks(t *testing.T) {
+	// The check engine reasons about all executions at once; every enabled
+	// fault clock must be rejected with its own field-level error.
+	p := Profile{CrashEvery: 10, FreezeEvery: 5, ArriveEvery: 3}
+	_, err := p.Normalize(EngineCheck, 100)
+	if err == nil {
+		t.Fatalf("fault clocks accepted on the check engine")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is %T, want *ValidationError", err)
+	}
+	got := make(map[string]bool)
+	for _, f := range verr.Fields {
+		got[f.Field] = true
+	}
+	for _, want := range []string{"arrive_every", "crash_every", "freeze_every"} {
+		if !got[want] {
+			t.Errorf("no field-level error for %s: %v", want, verr.Fields)
+		}
+	}
+	// The same clocks are fine on the statistical engines.
+	if _, err := p.Normalize(EnginePop, 100); err != nil {
+		t.Fatalf("fault clocks rejected on pop: %v", err)
 	}
 }
 

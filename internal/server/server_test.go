@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -546,5 +547,19 @@ func TestListAndHealth(t *testing.T) {
 	}
 	if len(infos) != len(job.Names()) {
 		t.Fatalf("protocols = %d entries, want %d", len(infos), len(job.Names()))
+	}
+	// The per-spec engine matrix is the discovery path for engine support
+	// (no more submit-and-read-the-400): counting-upper-bound must list
+	// all three of its engines, check included.
+	for _, info := range infos {
+		if len(info.Engines) == 0 {
+			t.Errorf("protocol %q reports no engines", info.Name)
+		}
+		if info.Name == "counting-upper-bound" {
+			want := []job.Engine{job.EnginePop, job.EngineUrn, job.EngineCheck}
+			if !reflect.DeepEqual(info.Engines, want) {
+				t.Errorf("counting-upper-bound engines = %v, want %v", info.Engines, want)
+			}
+		}
 	}
 }

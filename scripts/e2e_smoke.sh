@@ -7,7 +7,9 @@
 # stream to completion, diff the served Result envelope byte-for-byte
 # against the checked-in golden file (wall_ns zeroed — the one
 # non-deterministic field), check that the identical resubmission is
-# answered from the result cache, drive a fault-profile submission
+# answered from the result cache, run the exhaustive check-engine job
+# (counting-upper-bound, n=8) and diff its exact verdict against its
+# golden file the same way, drive a fault-profile submission
 # (crash-stop until halting is impossible — the Result must truthfully
 # report halted=false/max-steps, and an invalid profile must be a
 # field-level 400), and drain the daemon with SIGTERM.
@@ -71,6 +73,17 @@ echo "$second" | grep -q '"cached": true' \
 echo "$second" | grep -q '"state": "done"' \
   || { echo "FAIL: cached resubmit did not come back complete: $second"; exit 1; }
 echo "identical resubmission answered from the cache"
+
+# Check-engine submission (E18's acceptance instance): exhaustively verify
+# Counting-Upper-Bound at n=8 and diff the served verdict byte-for-byte
+# against its golden envelope — halts, all_correct and max_depth are exact
+# claims, so any drift is a real regression.
+checked="$(ctl submit -id-only -protocol counting-upper-bound -engine check -n 8 -seed 1)"
+ctl watch "$checked"
+ctl result -zero-wall "$checked" \
+  | diff -u internal/job/testdata/counting-upper-bound.check.golden.json - \
+  || { echo "FAIL: served check verdict drifted from the golden envelope"; exit 1; }
+echo "check engine verdict is byte-identical to the golden envelope"
 
 # Fault-profile submission: crash an agent every step until 49 of 50 are
 # gone. The counting leader can never finish its census, so the run must
