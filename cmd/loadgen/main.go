@@ -1,0 +1,245 @@
+// Command loadgen drives sustained load against a shapesold daemon (or
+// coordinator — same API) and reports throughput and latency, so the
+// serving path joins the repo's perf trajectory alongside the engine
+// benchmarks.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8080] [-duration 10s] [-concurrency 8]
+//	        [-protocol counting-upper-bound] [-engine urn] [-n 1000]
+//	        [-mode cached|unique] [-o BENCH_serving_baseline.json]
+//
+// Each worker goroutine loops: submit one job, poll its status until
+// terminal, record the submit→terminal latency. -mode cached submits
+// the same job every time (after the first completion the daemon's
+// result cache answers, so this measures the HTTP + cache path); -mode
+// unique varies the seed per request (every submission simulates, so
+// this measures end-to-end job turnaround under load).
+//
+// The report is one JSON object per scenario: requests, errors,
+// sustained RPS, and p50/p90/p99/max latency in milliseconds.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shapesol/internal/buildinfo"
+	"shapesol/internal/job"
+)
+
+// report is the emitted measurement for one loadgen run.
+type report struct {
+	Target      string  `json:"target"`
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	Protocol    string  `json:"protocol"`
+	Engine      string  `json:"engine"`
+	N           int     `json:"n"`
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	RPS         float64 `json:"rps"`
+	Latency     latency `json:"latency_ms"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "daemon or coordinator base URL")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to sustain load")
+		concurrency = flag.Int("concurrency", 8, "concurrent request loops")
+		protocol    = flag.String("protocol", "counting-upper-bound", "protocol to submit")
+		engine      = flag.String("engine", "urn", "engine to request")
+		n           = flag.Int("n", 1000, "population size per job")
+		mode        = flag.String("mode", "cached", "cached (identical submissions, cache-served after the first) or unique (fresh seed per request, every job simulates)")
+		out         = flag.String("o", "", "append the report JSON to this file (default stdout)")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("loadgen", buildinfo.Version())
+		return 0
+	}
+	if *mode != "cached" && *mode != "unique" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -mode %q (want cached or unique)\n", *mode)
+		return 2
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		requests  int
+		errCount  int
+		seedSeq   atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				seed := int64(1)
+				if *mode == "unique" {
+					seed = seedSeq.Add(1)
+				}
+				t0 := time.Now()
+				err := oneRequest(client, *addr, *protocol, *engine, *n, seed)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				requests++
+				if err != nil {
+					errCount++
+				} else {
+					latencies = append(latencies, ms)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(latencies)
+	rep := report{
+		Target:      *addr,
+		DurationS:   round2(elapsed),
+		Concurrency: *concurrency,
+		Protocol:    *protocol,
+		Engine:      *engine,
+		N:           *n,
+		Mode:        *mode,
+		Requests:    requests,
+		Errors:      errCount,
+		RPS:         round2(float64(requests-errCount) / elapsed),
+		Latency: latency{
+			P50: percentile(latencies, 50),
+			P90: percentile(latencies, 90),
+			P99: percentile(latencies, 99),
+			Max: percentile(latencies, 100),
+		},
+	}
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	if *out == "" {
+		fmt.Println(string(enc))
+		return 0
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, string(enc)); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %s mode: %d requests, %.1f rps, p50 %.2fms p99 %.2fms -> %s\n",
+		*mode, requests, rep.RPS, rep.Latency.P50, rep.Latency.P99, *out)
+	return 0
+}
+
+// oneRequest submits one job and polls its status until terminal.
+func oneRequest(client *http.Client, addr, protocol, engine string, n int, seed int64) error {
+	j := job.Job{
+		Protocol: protocol,
+		Engine:   job.Engine(engine),
+		Seed:     seed,
+		Params:   job.Params{N: n},
+	}
+	body, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	for !terminal(st.State) {
+		resp, err := client.Get(addr + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return err
+		}
+		if !terminal(st.State) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s finished %q", st.ID, st.State)
+	}
+	return nil
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank); 0 on
+// an empty sample.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return round2(sorted[i])
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

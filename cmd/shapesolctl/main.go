@@ -1,7 +1,8 @@
 // Command shapesolctl is the client of the shapesold job service daemon:
 // submit a registry job, poll its status, fetch the golden-pinned Result
 // envelope, stream progress, download a running job's snapshot, resume a
-// snapshot, or cancel.
+// snapshot, cancel, or inspect a cluster's workers. -addr works
+// unchanged against a coordinator: it serves the same /v1 API.
 //
 // Usage:
 //
@@ -18,6 +19,11 @@
 //	shapesolctl cancel j1
 //	shapesolctl list
 //	shapesolctl protocols
+//	shapesolctl cluster nodes
+//
+// The command table below is the single source of the command surface:
+// dispatch and the usage text are both generated from it (and a test
+// pins the usage against it), so the help cannot drift from the code.
 //
 // submit prints the created job's Status JSON (-id-only prints just the
 // id, for scripts); watch streams the NDJSON frames through to stdout
@@ -86,37 +92,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	c := &client{base: strings.TrimRight(*addr, "/"), out: stdout, errW: stderr}
 	cmd, rest := rest[0], rest[1:]
-	switch cmd {
-	case "submit":
-		return c.submit(rest)
-	case "status":
-		return c.oneID(rest, func(id string) (int, []byte, error) {
-			return c.get("/v1/jobs/" + id)
-		})
-	case "result":
-		return c.result(rest)
-	case "watch":
-		return c.watch(rest)
-	case "snapshot":
-		return c.snapshot(rest)
-	case "resume":
-		return c.resume(rest)
-	case "cancel":
-		return c.oneID(rest, func(id string) (int, []byte, error) {
-			return c.do("DELETE", "/v1/jobs/"+id, nil, "")
-		})
-	case "list":
-		return c.plain("/v1/jobs")
-	case "protocols":
-		return c.plain("/v1/protocols")
-	default:
-		return usage(c.errW)
+	for _, cm := range commands {
+		if cm.name == cmd {
+			return cm.run(c, rest)
+		}
+	}
+	return usage(c.errW)
+}
+
+// command is one row of the ctl's command surface. The table drives
+// dispatch and the usage text alike, so neither can drift from the
+// other; TestUsagePinned additionally pins the rendered usage and the
+// README command list against this table.
+type command struct {
+	name    string
+	summary string
+	run     func(c *client, args []string) int
+}
+
+// commands is filled by init: a var initializer would form an
+// initialization cycle (command funcs -> usage -> usageText -> commands).
+var commands []command
+
+func init() {
+	commands = []command{
+		{"submit", "submit a job (-protocol + param flags, or -job JSON; -fault profile; -id-only)", (*client).submit},
+		{"status", "print a job's Status envelope", (*client).status},
+		{"result", "print the bare Result envelope (-zero-wall for golden diffs)", (*client).result},
+		{"watch", "stream NDJSON progress frames; exit 0 only on state done", (*client).watch},
+		{"snapshot", "download the job's latest checkpoint (-o FILE, default stdout)", (*client).snapshot},
+		{"resume", "upload a snapshot (-f FILE, - = stdin) and continue it as a new job", (*client).resume},
+		{"cancel", "cancel a queued or running job", (*client).cancel},
+		{"list", "list every retained job's Status", (*client).list},
+		{"protocols", "list registered protocols, engines, params, fault schema", (*client).protocols},
+		{"cluster", "cluster introspection against a coordinator: cluster nodes", (*client).cluster},
 	}
 }
 
+// commandNames renders the pipe-separated command list for the usage
+// header.
+func commandNames() string {
+	names := make([]string, len(commands))
+	for i, cm := range commands {
+		names[i] = cm.name
+	}
+	return strings.Join(names, "|")
+}
+
+// usageText renders the full help from the command table.
+func usageText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "usage: shapesolctl [-addr URL] %s [flags] [id]\n", commandNames())
+	for _, cm := range commands {
+		fmt.Fprintf(&b, "  %-10s %s\n", cm.name, cm.summary)
+	}
+	b.WriteString("run a command with -h for its flags\n")
+	return b.String()
+}
+
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr,
-		"usage: shapesolctl [-addr URL] submit|status|result|watch|snapshot|resume|cancel|list|protocols [flags] [id]")
+	io.WriteString(stderr, usageText()) //nolint:errcheck // best-effort help output
 	return 2
 }
 
@@ -185,6 +220,41 @@ func (c *client) oneID(args []string, fn func(id string) (int, []byte, error)) i
 	}
 	code, body, err := fn(args[0])
 	return c.report(code, body, err)
+}
+
+func (c *client) status(args []string) int {
+	return c.oneID(args, func(id string) (int, []byte, error) {
+		return c.get("/v1/jobs/" + id)
+	})
+}
+
+func (c *client) cancel(args []string) int {
+	return c.oneID(args, func(id string) (int, []byte, error) {
+		return c.do("DELETE", "/v1/jobs/"+id, nil, "")
+	})
+}
+
+func (c *client) list(args []string) int {
+	if len(args) != 0 {
+		return usage(c.errW)
+	}
+	return c.plain("/v1/jobs")
+}
+
+func (c *client) protocols(args []string) int {
+	if len(args) != 0 {
+		return usage(c.errW)
+	}
+	return c.plain("/v1/protocols")
+}
+
+// cluster groups coordinator introspection; "cluster nodes" prints the
+// registered workers with liveness and assigned jobs.
+func (c *client) cluster(args []string) int {
+	if len(args) != 1 || args[0] != "nodes" {
+		return usage(c.errW)
+	}
+	return c.plain("/v1/cluster/nodes")
 }
 
 func (c *client) submit(args []string) int {

@@ -273,3 +273,52 @@ func TestSubmitFaultFlag(t *testing.T) {
 		t.Fatalf("protocols lists no fault schema: code %d, out %q", code, out)
 	}
 }
+
+// TestUsagePinned pins the help surface to the command table: the usage
+// text must list exactly the table's commands (so a new command cannot
+// ship without its help line), and the README must mention every
+// command (so the operator docs cannot silently drift).
+func TestUsagePinned(t *testing.T) {
+	text := usageText()
+	if !strings.HasPrefix(text, "usage: shapesolctl [-addr URL] "+commandNames()+" ") {
+		t.Fatalf("usage header does not list the command table:\n%s", text)
+	}
+	var listed []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "  ") {
+			if f := strings.Fields(line); len(f) > 1 {
+				listed = append(listed, f[0])
+			}
+		}
+	}
+	var want []string
+	for _, cm := range commands {
+		want = append(want, cm.name)
+	}
+	if strings.Join(listed, " ") != strings.Join(want, " ") {
+		t.Fatalf("usage lines list %v, command table has %v", listed, want)
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cm := range commands {
+		if !strings.Contains(string(readme), "shapesolctl "+cm.name) &&
+			!strings.Contains(string(readme), "shapesolctl "+cm.name+"\n") {
+			t.Errorf("README.md does not mention command %q", cm.name)
+		}
+	}
+}
+
+// TestClusterNodesCommand checks the cluster subcommand's argument
+// handling; the end-to-end path against a live coordinator is covered
+// in internal/cluster.
+func TestClusterNodesCommand(t *testing.T) {
+	if code, _, errOut := ctl(t, "cluster"); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("bare cluster: code %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := ctl(t, "cluster", "frobnicate"); code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("unknown cluster subcommand: code %d, stderr %q", code, errOut)
+	}
+}

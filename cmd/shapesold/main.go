@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	shapesold [-addr :8080] [-workers 0] [-queue 64] [-cache 256]
+//	shapesold [-role standalone|worker|coordinator] [-addr :8080]
+//	          [-workers 0] [-queue 64] [-cache 256]
 //	          [-data-dir /var/lib/shapesold] [-checkpoint-every 2s]
+//	          [-coordinator URL] [-advertise URL] [-node-name NAME]
 //
 // -workers 0 means one worker per core. SIGINT/SIGTERM drain
 // gracefully: new and queued submissions are rejected, in-flight jobs
@@ -18,6 +20,13 @@
 // running jobs are checkpointed on their progress cadence — after a
 // crash (even kill -9) or a drain, interrupted jobs are re-enqueued at
 // boot and resume from their latest checkpoint instead of restarting.
+//
+// The -role flag picks the process's place in a cluster (see
+// internal/cluster): "standalone" (default) is the single-node daemon
+// above; "worker" is the same daemon plus a registration agent that
+// joins the coordinator at -coordinator and heartbeats; "coordinator"
+// serves the same /v1 API but routes submissions by cache key over the
+// registered workers and fails jobs over when a worker dies.
 package main
 
 import (
@@ -29,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"shapesol/internal/buildinfo"
+	"shapesol/internal/cluster"
 	"shapesol/internal/job"
 	"shapesol/internal/server"
 )
@@ -43,6 +54,7 @@ func main() {
 
 func run() int {
 	var (
+		role    = flag.String("role", "standalone", "process role: standalone, worker (register with -coordinator), or coordinator (route jobs over registered workers)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "worker pool size (0 = one per core)")
 		queue   = flag.Int("queue", 64, "max queued jobs before submissions get 503")
@@ -51,12 +63,41 @@ func run() int {
 		timeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
 		dataDir = flag.String("data-dir", "", "durability directory: journal of settled results + running-job checkpoints; interrupted jobs resume at boot (empty = in-memory only)")
 		cpEvery = flag.Duration("checkpoint-every", 2*time.Second, "min interval between running-job checkpoint writes (needs -data-dir)")
+
+		coordinator = flag.String("coordinator", "", "coordinator base URL a -role worker registers with")
+		advertise   = flag.String("advertise", "", "base URL the coordinator reaches this worker at (default derived from -addr on 127.0.0.1)")
+		nodeName    = flag.String("node-name", "", "stable worker name in the cluster (default: the advertise address)")
+		hbEvery     = flag.Duration("heartbeat-every", 2*time.Second, "coordinator: heartbeat cadence dictated to workers")
+		missBudget  = flag.Int("miss-budget", 3, "coordinator: consecutive missed heartbeats before a worker is declared dead")
+		pullEvery   = flag.Duration("pull-every", time.Second, "coordinator: cadence of the status/checkpoint mirror and death sweep")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("shapesold", buildinfo.Version())
 		return 0
+	}
+
+	switch *role {
+	case "standalone", "worker", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "shapesold: unknown -role %q (want standalone, worker, or coordinator)\n", *role)
+		return 2
+	}
+
+	if *role == "coordinator" {
+		coord := cluster.New(cluster.Config{
+			HeartbeatEvery: *hbEvery,
+			MissBudget:     *missBudget,
+			PullEvery:      *pullEvery,
+			CacheSize:      *cache,
+			MaxJobs:        *maxJobs,
+		})
+		return serve(coord, *addr, "coordinator", *timeout, func(context.Context) error {
+			coord.Shutdown()
+			return nil
+		})
 	}
 
 	svc, err := server.New(server.Config{
@@ -71,11 +112,61 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "shapesold:", err)
 		return 1
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	var stopAgent context.CancelFunc
+	if *role == "worker" {
+		if *coordinator == "" {
+			fmt.Fprintln(os.Stderr, "shapesold: -role worker needs -coordinator")
+			return 2
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = deriveAdvertise(*addr)
+		}
+		name := *nodeName
+		if name == "" {
+			name = adv
+		}
+		agent := &cluster.Agent{
+			Coordinator: strings.TrimRight(*coordinator, "/"),
+			Name:        name,
+			Advertise:   adv,
+		}
+		var actx context.Context
+		actx, stopAgent = context.WithCancel(context.Background())
+		go agent.Run(actx)
+	}
+
+	return serve(svc, *addr, *role, *timeout, func(ctx context.Context) error {
+		if stopAgent != nil {
+			stopAgent()
+		}
+		return svc.Shutdown(ctx)
+	})
+}
+
+// deriveAdvertise turns a listen address into a loopback base URL:
+// ":8080" and "0.0.0.0:8080" become "http://127.0.0.1:8080". Multi-host
+// clusters pass -advertise explicitly.
+func deriveAdvertise(addr string) string {
+	host, port := "127.0.0.1", addr
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		if h := addr[:i]; h != "" && h != "0.0.0.0" && h != "[::]" && h != "::" {
+			host = h
+		}
+		port = addr[i+1:]
+	}
+	return "http://" + host + ":" + port
+}
+
+// serve runs handler on addr until SIGINT/SIGTERM, then drains via
+// settle (the role-specific shutdown) before closing the listener.
+func serve(handler http.Handler, addr, role string, timeout time.Duration, settle func(context.Context) error) int {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("shapesold: serving %d protocols on %s", len(job.Names()), *addr)
+		log.Printf("shapesold: %s serving %d protocols on %s", role, len(job.Names()), addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -89,12 +180,12 @@ func run() int {
 		log.Printf("shapesold: %v, draining", sig)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	// Settle the jobs first: draining flips immediately (new submissions
 	// get 503), in-flight jobs cancel and their event streams close —
 	// which is what lets the HTTP server then drain its connections.
-	if err := svc.Shutdown(ctx); err != nil {
+	if err := settle(ctx); err != nil {
 		log.Printf("shapesold: drain: %v", err)
 		return 1
 	}

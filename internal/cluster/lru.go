@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"bufio"
+	"container/list"
+	"io"
+	"sync"
+
+	"shapesol/internal/job"
+)
+
+// resultCache is the coordinator-side LRU fronting the workers' own
+// result caches, keyed like them by job.Job.CacheKey. It differs from
+// server.Cache in one essential way: it keeps the owner's raw /result
+// bytes next to the decoded envelope. The result endpoint's bytes are
+// golden-pinned, and a Result decoded from JSON carries its payload as
+// a map whose re-encoding reorders keys — so a coordinator cache hit
+// must replay the original bytes, never a re-marshal.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type resultItem struct {
+	key string
+	res job.Result
+	raw []byte
+}
+
+// newResultCache returns an LRU holding up to capacity results. A
+// capacity < 1 returns a disabled cache: Get always misses, Put is a
+// no-op.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		return &resultCache{}
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached envelope and raw bytes under key, marking it
+// most recently used. raw may be nil if the entry was stored before the
+// owner's bytes were mirrored.
+func (c *resultCache) Get(key string) (job.Result, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		c.misses++
+		return job.Result{}, nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return job.Result{}, nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	it := el.Value.(*resultItem)
+	return it.res, it.raw, true
+}
+
+// Put stores res (and the owner's raw result bytes, which may be nil)
+// under key. Re-putting an existing key refreshes recency and fills in
+// raw bytes the first Put lacked.
+func (c *resultCache) Put(key string, res job.Result, raw []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.items == nil {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		it := el.Value.(*resultItem)
+		if it.raw == nil && raw != nil {
+			it.raw = raw
+		}
+		return
+	}
+	c.items[key] = c.ll.PushFront(&resultItem{key: key, res: res, raw: raw})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*resultItem).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *resultCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// newLineScanner wraps an NDJSON stream with a scanner whose buffer can
+// hold a full result frame (payloads for large runs exceed bufio's 64K
+// default).
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return sc
+}

@@ -1,0 +1,124 @@
+// Package cluster is the multi-node layer of the job service: a
+// coordinator that fronts a fleet of shapesold workers behind the same
+// /v1 API a single daemon serves, and the worker-side agent that
+// registers with it and heartbeats.
+//
+// The shard key is job.Job.CacheKey — the canonical identity of a
+// normalized job. Routing by it over a consistent-hash ring means two
+// identical deterministic submissions land on the node that already
+// holds the cached Result (the worker's own LRU answers the repeat
+// without re-simulation), and the coordinator's own LRU fronting the
+// fleet answers repeats without even a network hop. Node failure is
+// detected by heartbeat misses; the coordinator mirrors running jobs'
+// checkpoints (the snapshot layer of PR 5) and re-enqueues a dead
+// worker's in-flight jobs on survivors via POST /v1/jobs/resume, so a
+// failed-over run finishes with a Result byte-identical to an
+// uninterrupted one.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping cache keys to node names.
+// Each node is projected onto the ring at vnodes pseudo-random points
+// (its virtual nodes), so membership changes only remap the keys the
+// departing/arriving node owned — every other key keeps its owner,
+// which is what keeps the fleet's result caches warm across churn.
+//
+// The zero value is not usable; construct with NewRing. Ring is not
+// safe for concurrent use; the Coordinator serializes access under its
+// own lock.
+type Ring struct {
+	vnodes int
+	// points is kept sorted by hash; ties cannot occur in practice but
+	// would resolve deterministically by the sort's name tiebreak.
+	points []ringPoint
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (values < 1 mean 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(fmt.Sprintf("%s#%d", node, i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove deletes a node and its virtual points (idempotent).
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Members returns the node names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the node owning key: the first virtual point at or
+// clockwise after the key's hash. Empty string on an empty ring.
+// Ownership is a pure function of (membership, key), so the same key
+// routes to the same node for as long as membership is stable.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

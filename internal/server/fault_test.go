@@ -25,7 +25,7 @@ func TestSubmitFaultProfileValidation(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("code = %d (%s), want 400", code, body)
 	}
-	var eb errorBody
+	var eb ErrorBody
 	if err := json.Unmarshal([]byte(body), &eb); err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestProtocolsListFaultSchema(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
 	}
-	var infos []protocolInfo
+	var infos []ProtocolInfo
 	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
 		t.Fatal(err)
 	}

@@ -136,16 +136,9 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("POST /v1/jobs/resume", s.handleResume)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for _, rt := range s.routes() {
+		s.mux.HandleFunc(rt.pattern, rt.handler)
+	}
 	if cfg.DataDir != "" {
 		p, err := openPersister(cfg.DataDir)
 		if err != nil {
@@ -160,6 +153,42 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// route pairs one mux pattern with its handler. routes below is the
+// single source of the service's HTTP surface: New registers from it,
+// and Routes exposes the patterns so the API reference (API.md) can be
+// pinned against the mux by test.
+type route struct {
+	pattern string
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/jobs", s.handleSubmit},
+		{"POST /v1/jobs/resume", s.handleResume},
+		{"GET /v1/jobs", s.handleList},
+		{"GET /v1/jobs/{id}", s.handleStatus},
+		{"GET /v1/jobs/{id}/result", s.handleResult},
+		{"GET /v1/jobs/{id}/snapshot", s.handleSnapshot},
+		{"DELETE /v1/jobs/{id}", s.handleCancel},
+		{"GET /v1/jobs/{id}/events", s.handleEvents},
+		{"GET /v1/protocols", s.handleProtocols},
+		{"GET /healthz", s.handleHealth},
+	}
+}
+
+// Routes returns the mux patterns of every endpoint a Server registers,
+// in registration order.
+func Routes() []string {
+	var s *Server // handlers are method values, never invoked here
+	rts := s.routes()
+	out := make([]string, len(rts))
+	for i, rt := range rts {
+		out[i] = rt.pattern
+	}
+	return out
 }
 
 // recover replays the journal into the store and cache and re-enqueues
@@ -254,15 +283,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// errorBody is the JSON shape of every non-2xx response. Fields carries
+// ErrorBody is the JSON shape of every non-2xx response. Fields carries
 // the per-field breakdown when the failure is a fault-profile validation
 // error, so clients can pinpoint every offending profile field at once.
-type errorBody struct {
+// Exported because the cluster coordinator speaks the same error dialect.
+type ErrorBody struct {
 	Error  string             `json:"error"`
 	Fields []sched.FieldError `json:"fields,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as the service's canonical JSON response form:
+// two-space indented, Content-Type application/json.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -270,20 +302,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // nothing to do about a failed response write
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+// WriteError writes an ErrorBody with the given message.
+func WriteError(w http.ResponseWriter, code int, msg string) {
+	WriteJSON(w, code, ErrorBody{Error: msg})
 }
 
-// writeValidationError is writeError for admission failures: when the
+// WriteValidationError is WriteError for admission failures: when the
 // cause is a *sched.ValidationError (an invalid fault profile), the 400
 // body carries its field-level entries alongside the message.
-func writeValidationError(w http.ResponseWriter, err error) {
+func WriteValidationError(w http.ResponseWriter, err error) {
 	var ve *sched.ValidationError
 	if errors.As(err, &ve) {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Fields: ve.Fields})
+		WriteJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Fields: ve.Fields})
 		return
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
+	WriteError(w, http.StatusBadRequest, err.Error())
 }
 
 // handleSubmit validates and enqueues one Job. Validation failures
@@ -293,19 +326,19 @@ func writeValidationError(w http.ResponseWriter, err error) {
 // without touching the pool.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		WriteError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	var j job.Job
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&j); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job JSON: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "bad job JSON: "+err.Error())
 		return
 	}
 	nj, spec, err := s.reg.Normalize(j)
 	if err != nil {
-		writeValidationError(w, err)
+		WriteValidationError(w, err)
 		return
 	}
 	s.admit(w, nj, spec, false, nil)
@@ -326,7 +359,7 @@ func (s *Server) admit(w http.ResponseWriter, nj job.Job, spec *job.Spec, resume
 		e.setCached(&res)
 		s.journalSubmit(e)
 		s.journalResult(e.id, StateDone, "", &res)
-		writeJSON(w, http.StatusOK, e.status())
+		WriteJSON(w, http.StatusOK, e.status())
 		return
 	}
 	e := s.store.add(nj, spec, key, StateQueued)
@@ -353,14 +386,14 @@ func (s *Server) admit(w http.ResponseWriter, nj job.Job, spec *job.Spec, resume
 			s.persist.removeCheckpoint(e.id)
 		}
 		if errors.Is(err, runner.ErrQueueFull) {
-			writeError(w, http.StatusServiceUnavailable, "queue full")
+			WriteError(w, http.StatusServiceUnavailable, "queue full")
 			return
 		}
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		WriteError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	s.journalSubmit(e)
-	writeJSON(w, http.StatusAccepted, e.status())
+	WriteJSON(w, http.StatusAccepted, e.status())
 }
 
 // journalSubmit / journalResult append to the journal when the daemon is
@@ -470,14 +503,14 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 func (s *Server) entryFor(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	e, ok := s.store.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job "+r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "no such job "+r.PathValue("id"))
 		return nil, false
 	}
 	return e, true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.list())
+	WriteJSON(w, http.StatusOK, s.store.list())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -485,7 +518,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, e.status())
+	WriteJSON(w, http.StatusOK, e.status())
 }
 
 // handleResult serves the bare Result envelope of a finished job,
@@ -501,17 +534,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := e.status()
-	if !st.State.terminal() {
-		writeError(w, http.StatusConflict, "job "+st.ID+" not finished (state "+string(st.State)+")")
+	if !st.State.Terminal() {
+		WriteError(w, http.StatusConflict, "job "+st.ID+" not finished (state "+string(st.State)+")")
 		return
 	}
 	if st.Result == nil {
-		writeError(w, http.StatusNotFound, "job "+st.ID+" has no result: "+st.Error)
+		WriteError(w, http.StatusNotFound, "job "+st.ID+" has no result: "+st.Error)
 		return
 	}
 	body, err := json.MarshalIndent(st.Result, "", "  ")
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -537,10 +570,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	e.cancelRun()
 	st := e.status()
 	code := http.StatusOK
-	if !st.State.terminal() {
+	if !st.State.Terminal() {
 		code = http.StatusAccepted // mid-run: the engine will settle it shortly
 	}
-	writeJSON(w, code, st)
+	WriteJSON(w, code, st)
 }
 
 // handleSnapshot serves the job's latest persisted checkpoint — the
@@ -552,12 +585,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.persist == nil {
-		writeError(w, http.StatusNotFound, "daemon runs without -data-dir; snapshots are not persisted")
+		WriteError(w, http.StatusNotFound, "daemon runs without -data-dir; snapshots are not persisted")
 		return
 	}
 	data, err := s.persist.readCheckpoint(e.id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "job "+e.id+" has no checkpoint (none captured yet, or it already settled)")
+		WriteError(w, http.StatusNotFound, "job "+e.id+" has no checkpoint (none captured yet, or it already settled)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -573,22 +606,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // without re-simulation.
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		WriteError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "read snapshot: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "read snapshot: "+err.Error())
 		return
 	}
 	snapshot, err := snap.Decode(data)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	nj, spec, err := s.reg.ResumeJob(snapshot)
 	if err != nil {
-		writeValidationError(w, err)
+		WriteValidationError(w, err)
 		return
 	}
 	s.admit(w, nj, spec, true, data)
@@ -619,7 +652,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ch := e.subscribe()
 	// An initial snapshot frame, so a watcher sees the job's state
 	// without waiting out a long quiet stretch of the engine.
-	if st := e.status(); !st.State.terminal() {
+	if st := e.status(); !st.State.Terminal() {
 		if !emit(Frame{Type: "progress", ID: e.id, Steps: st.Steps, State: st.State}) {
 			e.unsubscribe(ch)
 			return
@@ -643,22 +676,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// protocolInfo is the wire projection of a registered Spec. Fault is the
+// ProtocolInfo is the wire projection of a registered Spec. Fault is the
 // full schema of the "fault" parameter's profile object (scheduler kinds,
 // rates, fault clocks, with per-field engine support), present on every
 // spec that takes one, so clients can construct valid profiles from the
 // listing alone.
-type protocolInfo struct {
+type ProtocolInfo struct {
 	Name    string            `json:"name"`
 	Title   string            `json:"title"`
 	Paper   string            `json:"paper"`
 	Engines []job.Engine      `json:"engines"`
 	Budget  int64             `json:"budget"`
-	Params  []paramInfo       `json:"params,omitempty"`
+	Params  []ParamInfo       `json:"params,omitempty"`
 	Fault   []sched.FieldSpec `json:"fault,omitempty"`
 }
 
-type paramInfo struct {
+// ParamInfo is one parameter row of a ProtocolInfo.
+type ParamInfo struct {
 	Name     string `json:"name"`
 	Usage    string `json:"usage"`
 	Required bool   `json:"required,omitempty"`
@@ -666,12 +700,15 @@ type paramInfo struct {
 	Min      int    `json:"min,omitempty"`
 }
 
-func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
-	names := s.reg.Names()
-	out := make([]protocolInfo, 0, len(names))
+// ProtocolsPayload renders the registry as the GET /v1/protocols body.
+// Shared with the cluster coordinator, which serves the same listing
+// locally instead of proxying it.
+func ProtocolsPayload(reg *job.Registry) []ProtocolInfo {
+	names := reg.Names()
+	out := make([]ProtocolInfo, 0, len(names))
 	for _, name := range names {
-		spec, _ := s.reg.Get(name)
-		info := protocolInfo{
+		spec, _ := reg.Get(name)
+		info := ProtocolInfo{
 			Name:    spec.Name,
 			Title:   spec.Title,
 			Paper:   spec.Paper,
@@ -679,7 +716,7 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 			Budget:  spec.Budget,
 		}
 		for _, f := range spec.Params {
-			p := paramInfo{Name: f.Name, Usage: f.Usage, Required: f.Required, Min: f.Min}
+			p := ParamInfo{Name: f.Name, Usage: f.Usage, Required: f.Required, Min: f.Min}
 			if f.DefaultStr != "" {
 				p.Default = f.DefaultStr
 			} else if f.Default != 0 {
@@ -692,7 +729,11 @@ func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, ProtocolsPayload(s.reg))
 }
 
 // health is the /healthz body.
@@ -708,7 +749,7 @@ type health struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
-	writeJSON(w, http.StatusOK, health{
+	WriteJSON(w, http.StatusOK, health{
 		Status:      "ok",
 		Draining:    s.draining.Load(),
 		Jobs:        s.store.len(),

@@ -67,7 +67,7 @@ func waitState(t *testing.T, s http.Handler, id string, want State) Status {
 		if st.State == want {
 			return st
 		}
-		if st.State.terminal() || time.Now().After(deadline) {
+		if st.State.Terminal() || time.Now().After(deadline) {
 			t.Fatalf("job %s settled at %+v, want state %q", id, st, want)
 		}
 		time.Sleep(time.Millisecond)
@@ -92,7 +92,7 @@ func TestSubmitBadRequests(t *testing.T) {
 			if code != http.StatusBadRequest {
 				t.Fatalf("code = %d (%s), want 400", code, body)
 			}
-			var eb errorBody
+			var eb ErrorBody
 			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
 				t.Fatalf("error body %q, want {\"error\": ...}", body)
 			}
@@ -541,7 +541,7 @@ func TestListAndHealth(t *testing.T) {
 
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/protocols", nil))
-	var infos []protocolInfo
+	var infos []ProtocolInfo
 	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
 		t.Fatal(err)
 	}

@@ -24,8 +24,8 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// terminal reports whether no further transitions can happen.
-func (s State) terminal() bool {
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
@@ -203,7 +203,7 @@ func (e *entry) subscribe() chan Frame {
 	ch := make(chan Frame, 16)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.state.terminal() {
+	if e.state.Terminal() {
 		close(ch)
 		return ch
 	}
@@ -246,7 +246,7 @@ func (e *entry) publish(f Frame) {
 func (e *entry) finish(state State, res *job.Result, errMsg string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.state.terminal() {
+	if e.state.Terminal() {
 		return
 	}
 	e.state = state
@@ -325,7 +325,7 @@ func (st *store) pruneLocked() {
 	kept := st.order[:0]
 	for i, id := range st.order {
 		e := st.entries[id]
-		if len(st.entries) > st.maxJobs && e.status().State.terminal() {
+		if len(st.entries) > st.maxJobs && e.status().State.Terminal() {
 			delete(st.entries, id)
 			continue
 		}

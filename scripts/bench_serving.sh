@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Records the serving-path performance baseline as BENCH_serving_baseline.json
+# at the repo root — the HTTP layer's point on the perf trajectory that
+# .github/workflows/bench.yml extends per main push (the engines' own
+# baselines are BENCH_urn_scaling / BENCH_snapshot_baseline).
+#
+# The harness is cmd/loadgen: concurrent submit→poll-to-terminal loops
+# against a freshly started standalone daemon, in two scenarios —
+# "cached" (identical submissions; after the first completion the LRU
+# answers, so this is the HTTP + cache hot path) and "unique" (fresh
+# seed per request; every job simulates n=1000 urn steps, so this is
+# end-to-end job turnaround under load). The output file is NDJSON, one
+# report object per scenario, each with sustained RPS and
+# p50/p90/p99/max latency in milliseconds.
+#
+# Usage: scripts/bench_serving.sh [out.json] [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_serving_baseline.json}"
+port="${2:-18461}"
+addr="127.0.0.1:$port"
+base="http://$addr"
+bin="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+
+go build -o "$bin/shapesold" ./cmd/shapesold
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+"$bin/shapesold" -addr "$addr" &
+daemon_pid=$!
+ok=""
+for _ in $(seq 1 200); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: daemon never came up on $addr"; exit 1; }
+
+: > "$out"
+"$bin/loadgen" -addr "$base" -duration 10s -concurrency 8 -n 1000 -mode cached -o "$out"
+"$bin/loadgen" -addr "$base" -duration 10s -concurrency 8 -n 1000 -mode unique -o "$out"
+
+kill "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "wrote $out:"
+cat "$out"

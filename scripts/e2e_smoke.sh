@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# End-to-end smoke of the job service daemon, in two phases.
+# End-to-end smoke of the job service daemon, in three phases.
 #
 # Phase 1 (submit/stream/cache/drain): build shapesold and shapesolctl,
 # start the daemon with a -data-dir, submit the golden Theorem 1 job
@@ -24,6 +24,15 @@
 # still be served — journal survival — and the recovered job's identical
 # resubmission must be answered from the rebuilt cache).
 #
+# Phase 3 (cluster failover): start a coordinator and two durable
+# workers, verify the golden job served through the coordinator is
+# byte-identical to the golden file and that the identical resubmission
+# is cache-served, then submit the n = 10^6 urn run through the
+# coordinator, kill -9 the worker that owns it the moment the
+# coordinator holds a mirrored checkpoint, and assert the job fails over
+# to the survivor, finishes resumed, and its Result is byte-identical
+# (wall zeroed) to an uninterrupted single-node run of the same job.
+#
 # Run from anywhere: scripts/e2e_smoke.sh [port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,7 +43,10 @@ base="http://$addr"
 bin="$(mktemp -d)"
 data="$bin/data"
 daemon_pid=""
-trap '[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null; rm -rf "$bin"' EXIT
+cluster_pids=""
+trap '[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null;
+      for p in $cluster_pids; do kill -9 "$p" 2>/dev/null; done
+      rm -rf "$bin"' EXIT
 
 go build -o "$bin/shapesold" ./cmd/shapesold
 go build -o "$bin/shapesolctl" ./cmd/shapesolctl
@@ -168,4 +180,115 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=""
 echo "daemon drained cleanly"
+
+# ---------- Phase 3: cluster failover with byte-identical result ----------
+# The uninterrupted reference: a fresh seed (9) the phase 1/2 daemon has
+# never run, on a plain standalone daemon. (Not a cluster survivor — its
+# cache would answer the comparison run instead of re-simulating.)
+start_daemon
+base_big="$(ctl submit -id-only -protocol counting-upper-bound -engine urn -n 1000000 -seed 9)"
+ctl watch "$base_big" > /dev/null
+ctl result -zero-wall "$base_big" > "$bin/baseline.json"
+kill -TERM "$daemon_pid"; wait "$daemon_pid"; daemon_pid=""
+echo "uninterrupted n=10^6 baseline recorded"
+
+caddr="127.0.0.1:$((port + 2))"
+cbase="http://$caddr"
+cctl() { "$bin/shapesolctl" -addr "$cbase" "$@"; }
+
+"$bin/shapesold" -role coordinator -addr "$caddr" \
+  -heartbeat-every 200ms -miss-budget 3 -pull-every 100ms &
+coord_pid=$!
+cluster_pids="$coord_pid"
+
+# Sets worker_pid; no command substitution — the backgrounded daemon
+# would inherit the capture pipe and block `$(...)` forever.
+start_worker() { # name port
+  "$bin/shapesold" -role worker -addr "127.0.0.1:$2" -coordinator "$cbase" \
+    -node-name "$1" -data-dir "$bin/data-$1" -checkpoint-every 50ms &
+  worker_pid=$!
+  cluster_pids="$cluster_pids $worker_pid"
+}
+start_worker w1 $((port + 3)); w1_pid=$worker_pid
+start_worker w2 $((port + 4)); w2_pid=$worker_pid
+
+ok=""
+for _ in $(seq 1 200); do
+  if [ "$(cctl cluster nodes 2>/dev/null | grep -c '"alive": true')" = "2" ]; then ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$ok" ] || { echo "FAIL: cluster never reached 2 alive workers"; exit 1; }
+echo "coordinator up with 2 registered workers"
+
+# The golden job served through the coordinator: same bytes, then the
+# identical resubmission answered from a cache without re-simulation.
+gid="$(cctl submit -id-only -protocol counting-upper-bound -engine urn -n 1000 -seed 1)"
+cctl watch "$gid" > /dev/null
+cctl result -zero-wall "$gid" \
+  | diff -u internal/job/testdata/counting-upper-bound.urn.golden.json - \
+  || { echo "FAIL: coordinator-served result drifted from the golden envelope"; exit 1; }
+crepeat="$(cctl submit -protocol counting-upper-bound -engine urn -n 1000 -seed 1)"
+echo "$crepeat" | grep -q '"cached": true' \
+  || { echo "FAIL: identical resubmit through the coordinator not cache-served: $crepeat"; exit 1; }
+echo "golden job through the coordinator: byte-identical and cache-affine"
+
+# The failover run: wait until the coordinator mirrors a checkpoint of
+# the running job, then kill -9 its owner.
+cid="$(cctl submit -id-only -protocol counting-upper-bound -engine urn -n 1000000 -seed 9)"
+echo "submitted $cid (n=10^6) through the coordinator"
+
+owner=""
+for _ in $(seq 1 300); do
+  owner="$(cctl cluster nodes | awk -v want="\"$cid\"," '
+    /"name":/  { name = $2; gsub(/[",]/, "", name) }
+    /"id":/    { cur = ($2 == want) }
+    cur && /"snapshot": true/ { print name; exit }')"
+  [ -n "$owner" ] && break
+  if cctl status "$cid" | grep -q '"state": "done"'; then break; fi
+  sleep 0.05
+done
+[ -n "$owner" ] || { echo "FAIL: no mirrored checkpoint of $cid before it finished"; exit 1; }
+
+case "$owner" in
+  w1) victim="$w1_pid" ;;
+  w2) victim="$w2_pid" ;;
+  *) echo "FAIL: unknown owner $owner"; exit 1 ;;
+esac
+kill -9 "$victim"
+wait "$victim" 2>/dev/null || true
+echo "killed owner $owner (pid $victim) with SIGKILL mid-run"
+
+deadline=$((SECONDS + 120))
+cstatus=""
+while [ $SECONDS -lt $deadline ]; do
+  cstatus="$(cctl status "$cid")"
+  case "$cstatus" in
+    *'"state": "done"'*) break ;;
+    *'"state": "failed"'*|*'"state": "canceled"'*)
+      echo "FAIL: failed-over job settled badly: $cstatus"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+echo "$cstatus" | grep -q '"state": "done"' \
+  || { echo "FAIL: failed-over job never finished: $cstatus"; exit 1; }
+echo "$cstatus" | grep -q '"resumed": true' \
+  || { echo "FAIL: failed-over job did not resume from the mirrored checkpoint: $cstatus"; exit 1; }
+echo "job failed over to a survivor and resumed from its checkpoint"
+
+cctl result -zero-wall "$cid" \
+  | diff -u "$bin/baseline.json" - \
+  || { echo "FAIL: failed-over result differs from the uninterrupted run"; exit 1; }
+echo "failed-over result is byte-identical to the uninterrupted run"
+
+cctl cluster nodes | grep -q '"alive": false' \
+  || { echo "FAIL: killed worker not reported dead"; exit 1; }
+echo "killed worker reported dead in cluster nodes"
+
+for p in $cluster_pids; do
+  [ "$p" = "$victim" ] && continue
+  kill -TERM "$p" 2>/dev/null || true
+done
+for p in $cluster_pids; do wait "$p" 2>/dev/null || true; done
+cluster_pids=""
+echo "cluster drained cleanly"
 echo "e2e smoke OK"
