@@ -189,6 +189,7 @@ func run() int {
 		figures    = flag.Bool("figures", false, "render figure configurations instead")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		debugAddr  = flag.String("debug-addr", "", "opt-in net/http/pprof listener (e.g. 127.0.0.1:6060); empty disables")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -197,6 +198,15 @@ func run() int {
 		return 0
 	}
 
+	if *debugAddr != "" {
+		bound, closeDebug, err := profiling.DebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: debug server:", err)
+			return 1
+		}
+		defer closeDebug() //nolint:errcheck // process is exiting
+		fmt.Fprintln(os.Stderr, "experiments: pprof debug server on "+bound)
+	}
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -17,7 +17,10 @@
 // this measures end-to-end job turnaround under load).
 //
 // The report is one JSON object per scenario: requests, errors,
-// sustained RPS, and p50/p90/p99/max latency in milliseconds.
+// sustained RPS, p50/p90/p99/max latency in milliseconds, and the full
+// latency histogram (cumulative Prometheus-style buckets), so a
+// baseline comparison can see distribution shifts the percentile
+// summary hides.
 package main
 
 import (
@@ -35,21 +38,23 @@ import (
 
 	"shapesol/internal/buildinfo"
 	"shapesol/internal/job"
+	"shapesol/internal/obs"
 )
 
 // report is the emitted measurement for one loadgen run.
 type report struct {
-	Target      string  `json:"target"`
-	DurationS   float64 `json:"duration_s"`
-	Concurrency int     `json:"concurrency"`
-	Protocol    string  `json:"protocol"`
-	Engine      string  `json:"engine"`
-	N           int     `json:"n"`
-	Mode        string  `json:"mode"`
-	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"`
-	RPS         float64 `json:"rps"`
-	Latency     latency `json:"latency_ms"`
+	Target      string   `json:"target"`
+	DurationS   float64  `json:"duration_s"`
+	Concurrency int      `json:"concurrency"`
+	Protocol    string   `json:"protocol"`
+	Engine      string   `json:"engine"`
+	N           int      `json:"n"`
+	Mode        string   `json:"mode"`
+	Requests    int      `json:"requests"`
+	Errors      int      `json:"errors"`
+	RPS         float64  `json:"rps"`
+	Latency     latency  `json:"latency_ms"`
+	Histogram   []bucket `json:"latency_histogram_ms"`
 }
 
 type latency struct {
@@ -58,6 +63,17 @@ type latency struct {
 	P99 float64 `json:"p99"`
 	Max float64 `json:"max"`
 }
+
+// bucket is one cumulative histogram row: Count requests finished in
+// <= LE milliseconds. The implicit +Inf bucket is requests - errors.
+type bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// latencyBuckets are the histogram's upper bounds in milliseconds,
+// spanning a cache hit (sub-ms) through a multi-second simulation.
+var latencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
 func main() {
 	os.Exit(run())
@@ -96,6 +112,8 @@ func run() int {
 		errCount  int
 		seedSeq   atomic.Int64
 	)
+	hist := obs.NewRegistry().Histogram("loadgen_latency_ms",
+		"submit-to-terminal latency in milliseconds", latencyBuckets)
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -115,6 +133,7 @@ func run() int {
 					errCount++
 				} else {
 					latencies = append(latencies, ms)
+					hist.Observe(ms)
 				}
 				mu.Unlock()
 			}
@@ -141,6 +160,7 @@ func run() int {
 			P99: percentile(latencies, 99),
 			Max: percentile(latencies, 100),
 		},
+		Histogram: histBuckets(hist),
 	}
 	enc, err := json.Marshal(rep)
 	if err != nil {
@@ -242,4 +262,14 @@ func percentile(sorted []float64, p int) float64 {
 
 func round2(v float64) float64 {
 	return float64(int(v*100+0.5)) / 100
+}
+
+// histBuckets renders the histogram's cumulative rows for the report.
+func histBuckets(h *obs.Histogram) []bucket {
+	bounds, counts := h.Buckets()
+	out := make([]bucket, len(bounds))
+	for i := range bounds {
+		out[i] = bucket{LE: bounds[i], Count: counts[i]}
+	}
+	return out
 }

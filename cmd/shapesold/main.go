@@ -9,6 +9,8 @@
 //	          [-workers 0] [-queue 64] [-cache 256]
 //	          [-data-dir /var/lib/shapesold] [-checkpoint-every 2s]
 //	          [-coordinator URL] [-advertise URL] [-node-name NAME]
+//	          [-log-level info] [-log-format text|json]
+//	          [-debug-addr 127.0.0.1:6060]
 //
 // -workers 0 means one worker per core. SIGINT/SIGTERM drain
 // gracefully: new and queued submissions are rejected, in-flight jobs
@@ -45,6 +47,8 @@ import (
 	"shapesol/internal/buildinfo"
 	"shapesol/internal/cluster"
 	"shapesol/internal/job"
+	"shapesol/internal/obs"
+	"shapesol/internal/profiling"
 	"shapesol/internal/server"
 )
 
@@ -71,12 +75,30 @@ func run() int {
 		missBudget  = flag.Int("miss-budget", 3, "coordinator: consecutive missed heartbeats before a worker is declared dead")
 		pullEvery   = flag.Duration("pull-every", time.Second, "coordinator: cadence of the status/checkpoint mirror and death sweep")
 
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		logFormat = flag.String("log-format", "text", "log encoding: text or json (structured, one object per line)")
+		debugAddr = flag.String("debug-addr", "", "opt-in net/http/pprof listener (e.g. 127.0.0.1:6060); empty disables")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("shapesold", buildinfo.Version())
 		return 0
+	}
+
+	if err := obs.SetupDefaultLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "shapesold:", err)
+		return 2
+	}
+	if *debugAddr != "" {
+		bound, closeDebug, err := profiling.DebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shapesold: debug server:", err)
+			return 1
+		}
+		defer closeDebug() //nolint:errcheck // process is exiting
+		log.Printf("shapesold: pprof debug server on %s", bound)
 	}
 
 	switch *role {

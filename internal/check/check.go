@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"sort"
 
+	"shapesol/internal/obs"
 	"shapesol/internal/sched"
 )
 
@@ -177,6 +178,14 @@ type Explorer[S comparable] struct {
 	// the frontier (BFS discovery order is queue order, so the queue is
 	// implicit).
 	head int32
+
+	// metrics, when non-nil, receives counter deltas on the CheckEvery
+	// cadence. pubExpanded/pubDiscovered are the published baselines;
+	// pubFrontier is this run's current contribution to the shared
+	// frontier gauge, withdrawn when the run returns.
+	metrics                    *obs.EngineMetrics
+	pubExpanded, pubDiscovered int64
+	pubFrontier                int64
 }
 
 // New builds an explorer over the protocol's reachable configuration
@@ -423,6 +432,37 @@ func (e *Explorer[S]) expand(idx int32) {
 	})
 }
 
+// SetMetrics attaches a fleet-wide metrics sink. Call it after any
+// snapshot restore: the current BFS totals become the published
+// baseline, so a resumed exploration only publishes its own work.
+func (e *Explorer[S]) SetMetrics(m *obs.EngineMetrics) {
+	e.metrics = m
+	e.pubExpanded, e.pubDiscovered = int64(e.head), int64(len(e.nodes))
+	e.pubFrontier = 0
+	if m != nil {
+		m.Runs.Inc()
+	}
+}
+
+// publishMetrics flushes BFS counter deltas and moves the frontier
+// gauge to this run's current frontier size. final withdraws the run's
+// frontier contribution so an idle daemon's gauge returns to zero.
+func (e *Explorer[S]) publishMetrics(final bool) {
+	if e.metrics == nil {
+		return
+	}
+	expanded, discovered := int64(e.head), int64(len(e.nodes))
+	e.metrics.Expanded.Add(expanded - e.pubExpanded)
+	e.metrics.Discovered.Add(discovered - e.pubDiscovered)
+	e.pubExpanded, e.pubDiscovered = expanded, discovered
+	frontier := discovered - expanded
+	if final {
+		frontier = 0
+	}
+	e.metrics.Frontier.Add(float64(frontier - e.pubFrontier))
+	e.pubFrontier = frontier
+}
+
 // Run explores with a background context.
 func (e *Explorer[S]) Run() Result { return e.RunContext(context.Background()) }
 
@@ -444,6 +484,7 @@ func (e *Explorer[S]) RunContext(ctx context.Context) Result {
 			if ctx.Err() != nil {
 				return e.result(ReasonCanceled)
 			}
+			e.publishMetrics(false)
 			if e.opts.Progress != nil {
 				e.opts.Progress(int64(e.head))
 			}
@@ -453,6 +494,7 @@ func (e *Explorer[S]) RunContext(ctx context.Context) Result {
 }
 
 func (e *Explorer[S]) result(reason StopReason) Result {
+	e.publishMetrics(true)
 	return Result{Expanded: int64(e.head), Configs: int64(len(e.nodes)), Reason: reason}
 }
 

@@ -338,6 +338,26 @@ func TestFailoverByteIdenticalResult(t *testing.T) {
 			t.Fatalf("killed worker %s still reported alive", owner)
 		}
 	}
+
+	// The death and resume are visible in the fleet metrics and in the
+	// record's lifecycle trace.
+	mb := scrapeMetrics(t, tc.ts.URL)
+	for _, sample := range []string{
+		"shapesol_cluster_node_failures_total",
+		"shapesol_cluster_jobs_failed_over_total",
+		"shapesol_cluster_jobs_reassigned_total",
+		"shapesol_cluster_failover_resumes_total",
+	} {
+		if got := metricValue(t, mb, sample); got < 1 {
+			t.Errorf("%s = %v, want >= 1 after a failover", sample, got)
+		}
+	}
+	trace := jobTrace(t, tc.ts.URL, st.ID)
+	for _, want := range []string{TraceRouted, TraceFailover, server.TraceSettled} {
+		if !hasEvent(trace, want) {
+			t.Errorf("failover trace %v missing %q", trace, want)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -118,9 +118,12 @@ type record struct {
 	userCanceled bool
 	steps        int64
 	errMsg       string
-	result       *job.Result
-	resultRaw    []byte // the owner's raw /result bytes (golden-pinned form)
-	snapshot     []byte // latest mirrored checkpoint, or the uploaded resume snapshot
+	// trace is the job's coordinator-side lifecycle span events, in
+	// recording order (see trace.go).
+	trace     []server.TraceEvent
+	result    *job.Result
+	resultRaw []byte // the owner's raw /result bytes (golden-pinned form)
+	snapshot  []byte // latest mirrored checkpoint, or the uploaded resume snapshot
 }
 
 func (rec *record) status() server.Status {
@@ -149,12 +152,14 @@ func (rec *record) statusLocked() server.Status {
 }
 
 // applyStatus folds a Status fetched from the owning worker into the
-// record (the id is the worker's; the record keeps its own).
-func (rec *record) applyStatus(st server.Status) {
+// record (the id is the worker's; the record keeps its own). It reports
+// whether this call settled the record, so the caller can trace the
+// settlement exactly once.
+func (rec *record) applyStatus(st server.Status) (settled bool) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	if rec.state.Terminal() {
-		return
+		return false
 	}
 	rec.state = st.State
 	rec.steps = st.Steps
@@ -167,7 +172,9 @@ func (rec *record) applyStatus(st server.Status) {
 	if st.State.Terminal() {
 		rec.result = st.Result
 		rec.errMsg = st.Error
+		return true
 	}
+	return false
 }
 
 // Coordinator fronts a fleet of shapesold workers behind the standalone
@@ -177,12 +184,17 @@ func (rec *record) applyStatus(st server.Status) {
 // re-enqueues the lost jobs on survivors from their latest checkpoint.
 // Create with New, serve via ServeHTTP, stop with Shutdown.
 type Coordinator struct {
-	cfg    Config
-	reg    *job.Registry
-	mux    *http.ServeMux
-	client *http.Client
-	stream *http.Client
-	cache  *resultCache
+	cfg     Config
+	reg     *job.Registry
+	mux     *http.ServeMux
+	client  *http.Client
+	stream  *http.Client
+	cache   *resultCache
+	metrics *clusterMetrics
+
+	// lastMirror is the UnixNano stamp of the last completed mirror
+	// pass, read by the shapesol_cluster_mirror_lag_seconds gauge.
+	lastMirror atomic.Int64
 
 	mu    sync.Mutex // guards nodes, ring, jobs, order, seq
 	nodes map[string]*node
@@ -212,8 +224,9 @@ func New(cfg Config) *Coordinator {
 		jobs:   make(map[string]*record),
 		done:   make(chan struct{}),
 	}
+	c.metrics = newClusterMetrics(c)
 	for _, rt := range c.routes() {
-		c.mux.HandleFunc(rt.pattern, rt.handler)
+		c.mux.HandleFunc(rt.pattern, c.metrics.instrument(rt.pattern, rt.handler))
 	}
 	c.wg.Add(1)
 	go c.maintain()
@@ -240,8 +253,10 @@ func (c *Coordinator) routes() []route {
 		{"GET /v1/jobs/{id}/snapshot", c.handleSnapshot},
 		{"DELETE /v1/jobs/{id}", c.handleCancel},
 		{"GET /v1/jobs/{id}/events", c.handleEvents},
+		{"GET /v1/jobs/{id}/trace", c.handleTrace},
 		{"GET /v1/protocols", c.handleProtocols},
 		{"GET /healthz", c.handleHealth},
+		{"GET /metrics", c.handleMetrics},
 	}
 }
 
@@ -448,6 +463,8 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rec.result = &res
 		rec.resultRaw = raw
 		rec.mu.Unlock()
+		c.traceEvent(rec, server.TraceCacheHit, "coordinator cache", 0)
+		c.traceEvent(rec, server.TraceSettled, string(server.StateDone), res.Steps)
 		server.WriteJSON(w, http.StatusOK, rec.status())
 		return
 	}
@@ -495,6 +512,8 @@ func (c *Coordinator) handleResume(w http.ResponseWriter, r *http.Request) {
 		rec.result = &res
 		rec.resultRaw = raw
 		rec.mu.Unlock()
+		c.traceEvent(rec, server.TraceCacheHit, "coordinator cache", 0)
+		c.traceEvent(rec, server.TraceSettled, string(server.StateDone), res.Steps)
 		server.WriteJSON(w, http.StatusOK, rec.status())
 		return
 	}
@@ -514,7 +533,6 @@ func (c *Coordinator) handleResume(w http.ResponseWriter, r *http.Request) {
 // newRecord registers a fresh record under the next coordinator id.
 func (c *Coordinator) newRecord(nj job.Job, key string, body []byte) *record {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.seq++
 	rec := &record{
 		id:       fmt.Sprintf("c%d", c.seq),
@@ -528,6 +546,8 @@ func (c *Coordinator) newRecord(nj job.Job, key string, body []byte) *record {
 	c.jobs[rec.id] = rec
 	c.order = append(c.order, rec.id)
 	c.pruneLocked()
+	c.mu.Unlock()
+	c.traceEvent(rec, server.TraceSubmitted, string(nj.Engine)+" "+nj.Protocol, 0)
 	return rec
 }
 
@@ -660,7 +680,10 @@ func (c *Coordinator) place(rec *record, resumeData []byte) (int, []byte, error)
 		rec.remoteID = st.ID
 		rec.pending = false
 		rec.mu.Unlock()
-		rec.applyStatus(st)
+		c.traceEvent(rec, TraceRouted, owner, 0)
+		if rec.applyStatus(st) {
+			c.traceEvent(rec, server.TraceSettled, string(st.State), st.Steps)
+		}
 		if st.State == server.StateDone && st.Result != nil {
 			// A cache hit on the worker: remember it coordinator-side too
 			// (raw bytes arrive with the first /result proxy).
@@ -728,7 +751,9 @@ func (c *Coordinator) refresh(rec *record) {
 	if err := json.Unmarshal(body, &st); err != nil {
 		return
 	}
-	rec.applyStatus(st)
+	if rec.applyStatus(st) {
+		c.traceEvent(rec, server.TraceSettled, string(st.State), st.Steps)
+	}
 	if st.State == server.StateDone {
 		c.mirrorResult(rec, url, remoteID)
 	}
@@ -884,8 +909,8 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 			resp.Body.Close()
 			if rerr == nil && resp.StatusCode < 300 {
 				var st server.Status
-				if json.Unmarshal(body, &st) == nil {
-					rec.applyStatus(st)
+				if json.Unmarshal(body, &st) == nil && rec.applyStatus(st) {
+					c.traceEvent(rec, server.TraceSettled, string(st.State), st.Steps)
 				}
 				server.WriteJSON(w, resp.StatusCode, rec.status())
 				return
@@ -895,11 +920,15 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	// No reachable owner: settle locally; the pending-reassignment path
 	// skips user-canceled records.
 	rec.mu.Lock()
-	if !rec.state.Terminal() {
+	settled := !rec.state.Terminal()
+	if settled {
 		rec.state = server.StateCanceled
 		rec.errMsg = "canceled"
 	}
 	rec.mu.Unlock()
+	if settled {
+		c.traceEvent(rec, server.TraceSettled, string(server.StateCanceled), 0)
+	}
 	server.WriteJSON(w, http.StatusOK, rec.status())
 }
 
@@ -1005,13 +1034,15 @@ func (c *Coordinator) pumpFrames(body io.Reader, rec *record, emit func(server.F
 			continue
 		}
 		if f.Type == "result" {
-			rec.applyStatus(server.Status{
+			if rec.applyStatus(server.Status{
 				State:  f.State,
 				Cached: f.Cached,
 				Steps:  f.Steps,
 				Error:  f.Error,
 				Result: f.Result,
-			})
+			}) {
+				c.traceEvent(rec, server.TraceSettled, string(f.State), f.Steps)
+			}
 			emit(f)
 			return true
 		}
@@ -1127,8 +1158,11 @@ func (c *Coordinator) failNode(name, why string) {
 		rec.mu.Unlock()
 	}
 	c.mu.Unlock()
+	c.metrics.nodeFailures.Inc()
 	c.cfg.Logf("cluster: worker %s dead (%s); %d in-flight jobs to fail over", name, why, len(orphans))
 	for _, rec := range orphans {
+		c.metrics.jobsOrphaned.Inc()
+		c.traceEvent(rec, TraceFailover, "worker "+name+" "+why, 0)
 		c.reassign(rec)
 	}
 }
@@ -1160,6 +1194,7 @@ func (c *Coordinator) reassign(rec *record) {
 		rec.errMsg = "canceled"
 		rec.pending = false
 		rec.mu.Unlock()
+		c.traceEvent(rec, server.TraceSettled, string(server.StateCanceled), 0)
 		return
 	}
 	snapshot := rec.snapshot
@@ -1187,6 +1222,10 @@ func (c *Coordinator) reassign(rec *record) {
 		}
 		owner := rec.node
 		rec.mu.Unlock()
+		c.metrics.jobsRehomed.Inc()
+		if snapshot != nil {
+			c.metrics.jobsResumed.Inc()
+		}
 		c.cfg.Logf("cluster: job %s failed over to %s from %s", rec.id, owner, from)
 	}
 }
@@ -1223,5 +1262,7 @@ func (c *Coordinator) mirror() {
 		rec.mu.Lock()
 		rec.snapshot = body
 		rec.mu.Unlock()
+		c.metrics.mirrorPulls.Inc()
 	}
+	c.lastMirror.Store(time.Now().UnixNano())
 }

@@ -93,6 +93,9 @@ func popRunner[S any](
 				return Outcome{}, err
 			}
 		}
+		// Metrics attach after restore so the published baseline is the
+		// restored totals: a resumed run reports only its own work.
+		w.SetMetrics(j.Metrics)
 		res := w.RunContext(ctx)
 		return read(ctx, j, w, res)
 	}
@@ -126,6 +129,7 @@ func urnRunner[S comparable](
 				return Outcome{}, err
 			}
 		}
+		w.SetMetrics(j.Metrics)
 		res := w.RunContext(ctx)
 		return read(ctx, j, w, res)
 	}
@@ -162,6 +166,7 @@ func checkRunner[S comparable](
 				return Outcome{}, err
 			}
 		}
+		e.SetMetrics(j.Metrics)
 		res := e.RunContext(ctx)
 		return read(ctx, j, e, res)
 	}
@@ -195,6 +200,7 @@ func simRunner[S any](
 				return Outcome{}, err
 			}
 		}
+		w.SetMetrics(j.Metrics)
 		res := w.RunContext(ctx)
 		return read(ctx, j, w, res)
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/obs"
 	"shapesol/internal/sched"
 	"shapesol/internal/snap"
 )
@@ -265,6 +266,12 @@ type Job struct {
 	// of the protocol's initial configuration; the run then continues the
 	// frozen trajectory exactly. Normally set through Resume.
 	Restore *snap.Snapshot `json:"-"`
+	// Metrics, when non-nil, receives the engine's fleet-wide counter
+	// deltas (steps, effective interactions, skips, ...) on the same
+	// cadence as Progress. Like the other hooks it is not identity:
+	// excluded from the wire format and from CacheKey, and attaching it
+	// never perturbs the run.
+	Metrics *obs.EngineMetrics `json:"-"`
 }
 
 // Outcome is what a Spec's runner reports back to Run: the envelope

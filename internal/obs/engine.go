@@ -1,0 +1,68 @@
+package obs
+
+// EngineMetrics is the pre-resolved set of counters one engine
+// publishes into. The children are resolved once per engine label at
+// construction, so the engines' publish paths are pure atomic adds —
+// no map lookups, no allocations.
+//
+// Engines keep private running totals and flush *deltas* on their
+// existing CheckEvery/Progress/block cadence. Deltas (not absolute
+// stores) matter because several concurrent jobs on the same daemon
+// share one EngineMetrics per engine label: the shared counters are
+// fleet totals, not per-run values.
+type EngineMetrics struct {
+	// Steps counts simulated scheduler steps, including the
+	// ineffective ones the urn/sim engines skip geometrically.
+	Steps *Counter
+	// Effective counts state-changing interactions.
+	Effective *Counter
+	// Skipped counts geometrically-skipped ineffective steps
+	// (urn/sim engines; Steps - Effective for those engines).
+	Skipped *Counter
+	// AliasRebuilds counts full alias-table rebuilds in the urn
+	// engine's O(1) pair sampler.
+	AliasRebuilds *Counter
+	// BlockFlushes counts batched block flushes in the urn engine.
+	BlockFlushes *Counter
+	// FaultEvents counts fault-clock events applied (crashes,
+	// recoveries, freezes, churn) across all engines.
+	FaultEvents *Counter
+	// Discovered counts configurations discovered by the check
+	// engine's BFS; Expanded counts configurations expanded.
+	Discovered *Counter
+	Expanded   *Counter
+	// Frontier is the fleet-total BFS frontier size (discovered but
+	// not yet expanded). Runs add deltas and remove their
+	// contribution when they return, so an idle daemon reads 0.
+	Frontier *Gauge
+	// Runs counts engine runs started.
+	Runs *Counter
+}
+
+// NewEngineMetrics registers (idempotently) the engine metric families
+// on reg and returns the child set for the given engine label
+// ("pop", "urn", "sim", "check").
+func NewEngineMetrics(reg *Registry, engine string) *EngineMetrics {
+	return &EngineMetrics{
+		Steps: reg.CounterVec("shapesol_engine_steps_total",
+			"Simulated scheduler steps, including geometrically skipped ones.", "engine").With(engine),
+		Effective: reg.CounterVec("shapesol_engine_effective_total",
+			"State-changing interactions.", "engine").With(engine),
+		Skipped: reg.CounterVec("shapesol_engine_skipped_steps_total",
+			"Ineffective steps skipped geometrically without simulation.", "engine").With(engine),
+		AliasRebuilds: reg.CounterVec("shapesol_engine_alias_rebuilds_total",
+			"Full alias-table rebuilds in the urn pair sampler.", "engine").With(engine),
+		BlockFlushes: reg.CounterVec("shapesol_engine_block_flushes_total",
+			"Batched block flushes in the urn engine.", "engine").With(engine),
+		FaultEvents: reg.CounterVec("shapesol_engine_fault_events_total",
+			"Fault-clock events applied (crash, recovery, freeze, churn).", "engine").With(engine),
+		Discovered: reg.CounterVec("shapesol_engine_bfs_discovered_total",
+			"Configurations discovered by the check engine BFS.", "engine").With(engine),
+		Expanded: reg.CounterVec("shapesol_engine_bfs_expanded_total",
+			"Configurations expanded by the check engine BFS.", "engine").With(engine),
+		Frontier: reg.GaugeVec("shapesol_engine_bfs_frontier",
+			"Live BFS frontier size summed over running check explorations.", "engine").With(engine),
+		Runs: reg.CounterVec("shapesol_engine_runs_total",
+			"Engine runs started.", "engine").With(engine),
+	}
+}

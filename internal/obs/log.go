@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. format is "text" or
+// "json"; level is "debug", "info", "warn", or "error".
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// SetupDefaultLogger installs a logger built by NewLogger as the
+// process default. The standard library log package is bridged through
+// it by slog.SetDefault, so existing log.Printf call sites emit
+// structured records without churn.
+func SetupDefaultLogger(w io.Writer, level, format string) error {
+	l, err := NewLogger(w, level, format)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(l)
+	return nil
+}

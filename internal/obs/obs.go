@@ -1,0 +1,467 @@
+// Package obs is the repo's dependency-free observability core: atomic
+// counters, gauges, and fixed-bucket histograms collected in a Registry
+// that renders the Prometheus text exposition format, plus a small
+// slog-based structured-logging setup (log.go).
+//
+// Design constraints, in priority order:
+//
+//  1. Zero allocations on the hot path. Engines resolve their metric
+//     children once (at SetMetrics time) and then only issue atomic
+//     adds on the CheckEvery/Progress cadence; nothing in Counter.Add,
+//     Gauge.Set, or Histogram.Observe allocates.
+//  2. No third-party dependencies. The exposition writer implements
+//     just the subset of the Prometheus text format the repo needs:
+//     # HELP / # TYPE comments, label children, and cumulative `le`
+//     histogram buckets with _sum and _count.
+//  3. Deterministic output. Families render in registration order and
+//     children in sorted-label order, so scrapes diff cleanly and
+//     tests can assert on substrings without flake.
+//
+// Scrape-time values (queue depth, heartbeat staleness) are supplied by
+// GaugeFunc/CounterFunc or by OnCollect hooks that run before every
+// WriteText.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the Prometheus family type.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Counter is a monotonically increasing counter. The zero value is not
+// usable; obtain one from Registry.Counter or CounterVec.With.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas are
+// ignored so a buggy caller cannot make a counter go backwards).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; contention on gauges is scrape-cadence, not
+// step-cadence, so this is never hot).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Buckets are cumulative at
+// exposition time but stored per-bucket so Observe is one atomic add.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	sum    Gauge // float64 accumulator (Add via CAS)
+	count  atomic.Int64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~16) and the scan is
+	// branch-predictable; binary search would not pay for itself.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Buckets snapshots the histogram in cumulative (Prometheus `le`)
+// form: counts[i] is the number of observations <= bounds[i]. The
+// implicit +Inf bucket is omitted — its count is Count().
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	bounds = append([]float64(nil), h.bounds...)
+	counts = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1) from
+// the bucket counts: the upper bound of the bucket the quantile falls
+// in, or +Inf when it lands past the last bound. Good enough for
+// operator-facing summaries; not for precision work.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for i, b := range h.bounds {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// DefBuckets are the default latency buckets, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// child is one labeled instance of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// funcMetric is a scrape-time metric backed by a callback.
+type funcMetric struct {
+	labelValues []string
+	fn          func() float64
+}
+
+// family is one named metric with its children.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	funcs    []funcMetric
+}
+
+func (f *family) child(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case typeCounter:
+		c.counter = &Counter{}
+	case typeGauge:
+		c.gauge = &Gauge{}
+	case typeHistogram:
+		c.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds))}
+	}
+	f.children[key] = c
+	return c
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family registers (or returns the existing) family. Registering the
+// same name with a different type or label set panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) family(name, help string, typ metricType, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different type or labels", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   bounds,
+		children: make(map[string]*child),
+	}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (idempotently) and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, typeCounter, nil, nil).child(nil).counter
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, typeGauge, nil, nil).child(nil).gauge
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// upper bounds (ascending; +Inf implicit). Nil bounds = DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.family(name, help, typeHistogram, nil, bounds).child(nil).hist
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, typeCounter, labels, nil)}
+}
+
+// With returns the child for the given label values, creating it on
+// first use. Resolve once and cache the result on hot paths.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues).gauge
+}
+
+// Reset drops all children. Used by collect hooks that repopulate a
+// vec from live state (e.g. per-worker staleness: dead workers' label
+// sets must not linger forever).
+func (v *GaugeVec) Reset() {
+	v.f.mu.Lock()
+	v.f.children = make(map[string]*child)
+	v.f.mu.Unlock()
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers and returns a labeled histogram family. Nil
+// bounds = DefBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, typeHistogram, labels, bounds)}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues).hist
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeGauge, nil, nil)
+	f.mu.Lock()
+	f.funcs = append(f.funcs, funcMetric{fn: fn})
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter read from fn at scrape time (for
+// wrapping pre-existing monotonic counters like cache hit totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeCounter, nil, nil)
+	f.mu.Lock()
+	f.funcs = append(f.funcs, funcMetric{fn: fn})
+	f.mu.Unlock()
+}
+
+// OnCollect registers fn to run before every exposition. Hooks update
+// scrape-time gauges that need multi-value or labeled state.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// WriteText renders the registry in Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	order := append([]string{}, r.order...)
+	fams := make([]*family, 0, len(order))
+	for _, name := range order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	for _, h := range hooks {
+		h()
+	}
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	funcs := append([]funcMetric{}, f.funcs...)
+	f.mu.Unlock()
+	if len(children) == 0 && len(funcs) == 0 {
+		return
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].labelValues, "\xff") < strings.Join(children[j].labelValues, "\xff")
+	})
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, c := range children {
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, c.labelValues, ""), c.counter.Value())
+		case typeGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, c.labelValues, ""), formatFloat(c.gauge.Value()))
+		case typeHistogram:
+			var cum int64
+			for i, bound := range c.hist.bounds {
+				cum += c.hist.counts[i].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelValues, formatFloat(bound)), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelValues, "+Inf"), c.hist.Count())
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, c.labelValues, ""), formatFloat(c.hist.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, c.labelValues, ""), c.hist.Count())
+		}
+	}
+	for _, fm := range funcs {
+		fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, fm.labelValues, ""), formatFloat(fm.fn()))
+	}
+}
+
+// labelString renders {a="x",b="y"} (plus le when non-empty), or "".
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// integral values without a trailing ".0", +Inf as "+Inf".
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as text/plain
+// (the Prometheus text exposition content type).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

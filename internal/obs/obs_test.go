@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Idempotent re-registration returns the same instance.
+	if r.Counter("c_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1 (upper bound of bucket)", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 = %v, want +Inf", q)
+	}
+
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		"h_seconds_sum 56.05",
+		"h_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabelsAndExpositionOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("steps_total", "steps", "engine")
+	v.With("urn").Add(10)
+	v.With("pop").Add(3)
+	if v.With("urn").Value() != 10 {
+		t.Fatal("vec child not stable across With calls")
+	}
+
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	iPop := strings.Index(out, `steps_total{engine="pop"} 3`)
+	iUrn := strings.Index(out, `steps_total{engine="urn"} 10`)
+	if iPop < 0 || iUrn < 0 || iPop > iUrn {
+		t.Fatalf("children missing or unsorted:\n%s", out)
+	}
+}
+
+func TestGaugeVecReset(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("stale_seconds", "staleness", "worker")
+	v.With("w1").Set(1)
+	v.Reset()
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "w1") {
+		t.Fatalf("reset vec still renders old child:\n%s", b.String())
+	}
+}
+
+func TestFuncMetricsAndCollectHooks(t *testing.T) {
+	r := NewRegistry()
+	depth := 7.0
+	r.GaugeFunc("queue_depth", "queue depth", func() float64 { return depth })
+	hookRan := false
+	v := r.GaugeVec("hb_stale", "staleness", "worker")
+	r.OnCollect(func() {
+		hookRan = true
+		v.Reset()
+		v.With("w2").Set(0.25)
+	})
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !hookRan {
+		t.Fatal("collect hook did not run")
+	}
+	if !strings.Contains(out, "queue_depth 7") {
+		t.Errorf("missing func gauge:\n%s", out)
+	}
+	if !strings.Contains(out, `hb_stale{worker="w2"} 0.25`) {
+		t.Errorf("missing hook-populated child:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c_total", "c", "path").With(`a"b\c`).Inc()
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestEngineMetricsRegistersAllFamilies(t *testing.T) {
+	r := NewRegistry()
+	em := NewEngineMetrics(r, "urn")
+	em2 := NewEngineMetrics(r, "urn")
+	if em.Steps != em2.Steps {
+		t.Fatal("same engine label should resolve to the same children")
+	}
+	em.Steps.Add(100)
+	em.Frontier.Add(5)
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`shapesol_engine_steps_total{engine="urn"} 100`,
+		`shapesol_engine_bfs_frontier{engine="urn"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h", "h", []float64{1, 2})
+	v := r.CounterVec("v_total", "v", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 3))
+				v.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	// Concurrent scrapes must be safe too.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b bytes.Buffer
+			_ = r.WriteText(&b)
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if v.With("a").Value()+v.With("b").Value() != 8000 {
+		t.Fatal("vec children lost increments")
+	}
+}
+
+func TestCounterAddZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("c_total", "c", "engine").With("urn")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", []float64{1, 2, 4})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(1)
+		h.Observe(1.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path publish allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var b bytes.Buffer
+	l, err := NewLogger(&b, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", 1)
+	if !strings.Contains(b.String(), `"msg":"hello"`) {
+		t.Fatalf("json log missing msg: %s", b.String())
+	}
+	if _, err := NewLogger(&b, "nope", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "nope"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Inc()
+	var b bytes.Buffer
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c_total 1") {
+		t.Fatalf("missing counter:\n%s", b.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 
+	"shapesol/internal/obs"
 	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
@@ -138,6 +139,13 @@ type World[S any] struct {
 	steps, effective int64
 	haltedCount      int
 	firstHalted      int
+
+	// metrics, when non-nil, receives fleet-wide counter deltas on the
+	// CheckEvery cadence. The pub* fields track what has already been
+	// published so restored step counts are never re-counted.
+	metrics                          *obs.EngineMetrics
+	faultEvents                      int64
+	pubSteps, pubEffective, pubFault int64
 }
 
 // New builds a population of n agents in their initial states. n must be at
@@ -292,6 +300,32 @@ func (w *World[S]) stepScheduled() bool {
 	return true
 }
 
+// SetMetrics attaches a fleet-wide metrics sink. Call it after any
+// snapshot restore: the current totals become the published baseline,
+// so a resumed run only ever publishes steps it simulated itself.
+// Publishing happens on the CheckEvery cadence and at run exit; the
+// per-step hot path is untouched.
+func (w *World[S]) SetMetrics(m *obs.EngineMetrics) {
+	w.metrics = m
+	w.pubSteps, w.pubEffective, w.pubFault = w.steps, w.effective, w.faultEvents
+	if m != nil {
+		m.Runs.Inc()
+	}
+}
+
+// publishMetrics flushes counter deltas accumulated since the last
+// publish. Deltas, not absolute stores: concurrent runs on one daemon
+// share the per-engine counters.
+func (w *World[S]) publishMetrics() {
+	if w.metrics == nil {
+		return
+	}
+	w.metrics.Steps.Add(w.steps - w.pubSteps)
+	w.metrics.Effective.Add(w.effective - w.pubEffective)
+	w.metrics.FaultEvents.Add(w.faultEvents - w.pubFault)
+	w.pubSteps, w.pubEffective, w.pubFault = w.steps, w.effective, w.faultEvents
+}
+
 // applyFaults drains every fault event due at the current step. It runs
 // on the CheckEvery cadence (and after fast-forwards), so fault times are
 // quantized to the check boundary; the event *order* and count are exact.
@@ -304,6 +338,7 @@ func (w *World[S]) applyFaults() {
 		if !ok {
 			return
 		}
+		w.faultEvents++
 		switch ev {
 		case sched.EvCrash:
 			w.agents.CrashOne()
@@ -404,11 +439,13 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 				reason = ReasonCanceled
 				break
 			}
+			w.publishMetrics()
 			if w.opts.Progress != nil {
 				w.opts.Progress(w.steps)
 			}
 		}
 	}
+	w.publishMetrics()
 	return Result{
 		Steps:       w.steps,
 		Effective:   w.effective,

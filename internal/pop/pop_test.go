@@ -3,6 +3,8 @@ package pop
 import (
 	"math"
 	"testing"
+
+	"shapesol/internal/obs"
 )
 
 // pairCounter is an always-effective protocol over plain int states.
@@ -189,5 +191,24 @@ func TestStepZeroAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(1_000, func() { w.Step() }); allocs != 0 {
 		t.Fatalf("Step allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestStepZeroAllocsWithMetrics proves the observability layer keeps
+// the hot loop alloc-free: with a fleet metrics sink attached, stepping
+// and even publishing the counter deltas every step touches only local
+// int64 fields and atomic adds.
+func TestStepZeroAllocsWithMetrics(t *testing.T) {
+	w := New(64, pairCounter{}, Options{Seed: 9})
+	w.SetMetrics(obs.NewEngineMetrics(obs.NewRegistry(), "pop"))
+	for i := 0; i < 1_000; i++ {
+		w.Step()
+	}
+	allocs := testing.AllocsPerRun(1_000, func() {
+		w.Step()
+		w.publishMetrics()
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Step allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -61,6 +61,7 @@ import (
 	"fmt"
 	"math"
 
+	"shapesol/internal/obs"
 	"shapesol/internal/pop"
 	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
@@ -167,6 +168,17 @@ type World[S comparable] struct {
 
 	steps, effective int64
 	haltedCount      int64
+
+	// metrics, when non-nil, receives fleet-wide counter deltas at the
+	// CheckEvery boundary and at run exit. The pub* fields are the
+	// already-published baselines (set at SetMetrics time, so restored
+	// runs never re-publish their snapshot's counts).
+	metrics                *obs.EngineMetrics
+	faultEvents            int64
+	blockFlushes           int64
+	pubSteps, pubEffective int64
+	pubFault, pubFlush     int64
+	pubRebuilds            int64
 }
 
 // newSampler builds the weighted sampler selected by kind.
@@ -892,6 +904,54 @@ func (w *World[S]) stepBlock(limit int64) (halted, exhausted bool) {
 	return false, false
 }
 
+// samplerRebuilds sums alias-table rebuilds across the two samplers
+// (zero for Fenwick, which has no tables to rebuild).
+func (w *World[S]) samplerRebuilds() int64 {
+	var total int64
+	if r, ok := w.countF.(interface{ Rebuilds() int64 }); ok {
+		total += r.Rebuilds()
+	}
+	if r, ok := w.pairF.(interface{ Rebuilds() int64 }); ok {
+		total += r.Rebuilds()
+	}
+	return total
+}
+
+// SetMetrics attaches a fleet-wide metrics sink. Call it after any
+// snapshot restore: current totals become the published baseline, so a
+// resumed run only publishes steps it simulated itself. Publishing
+// happens on the CheckEvery cadence and at run exit; the sampling hot
+// path and block loop are untouched.
+func (w *World[S]) SetMetrics(m *obs.EngineMetrics) {
+	w.metrics = m
+	w.pubSteps, w.pubEffective = w.steps, w.effective
+	w.pubFault, w.pubFlush = w.faultEvents, w.blockFlushes
+	w.pubRebuilds = w.samplerRebuilds()
+	if m != nil {
+		m.Runs.Inc()
+	}
+}
+
+// publishMetrics flushes counter deltas accumulated since the last
+// publish. Deltas, not absolute stores: concurrent runs on one daemon
+// share the per-engine counters.
+func (w *World[S]) publishMetrics() {
+	if w.metrics == nil {
+		return
+	}
+	stepsD, effD := w.steps-w.pubSteps, w.effective-w.pubEffective
+	w.metrics.Steps.Add(stepsD)
+	w.metrics.Effective.Add(effD)
+	w.metrics.Skipped.Add(stepsD - effD)
+	w.metrics.FaultEvents.Add(w.faultEvents - w.pubFault)
+	w.metrics.BlockFlushes.Add(w.blockFlushes - w.pubFlush)
+	rb := w.samplerRebuilds()
+	w.metrics.AliasRebuilds.Add(rb - w.pubRebuilds)
+	w.pubSteps, w.pubEffective = w.steps, w.effective
+	w.pubFault, w.pubFlush = w.faultEvents, w.blockFlushes
+	w.pubRebuilds = rb
+}
+
 // Run executes the compressed scheduler until a stop condition fires. Stop
 // conditions already true at entry return immediately without stepping.
 // Skipped steps are all ineffective and cannot change any agent's halting
@@ -935,6 +995,7 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 		}
 		halted, exhausted := w.stepBlock(limit)
 		w.flushCounts()
+		w.blockFlushes++
 		if halted {
 			return w.result(pop.ReasonHalted)
 		}
@@ -945,6 +1006,7 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 			if ctx.Err() != nil {
 				return w.result(pop.ReasonCanceled)
 			}
+			w.publishMetrics()
 			if w.opts.Progress != nil {
 				w.opts.Progress(w.steps)
 			}
@@ -964,6 +1026,7 @@ func (w *World[S]) applyFaults() {
 		if !ok {
 			return
 		}
+		w.faultEvents++
 		switch ev {
 		case sched.EvCrash:
 			w.poolOne(&w.crashed)
@@ -1086,6 +1149,7 @@ func (w *World[S]) runReference(ctx context.Context) Result {
 			if ctx.Err() != nil {
 				return w.result(pop.ReasonCanceled)
 			}
+			w.publishMetrics()
 			if w.opts.Progress != nil {
 				w.opts.Progress(w.steps)
 			}
@@ -1095,6 +1159,7 @@ func (w *World[S]) runReference(ctx context.Context) Result {
 }
 
 func (w *World[S]) result(reason pop.StopReason) Result {
+	w.publishMetrics()
 	return Result{
 		Steps:     w.steps,
 		Effective: w.effective,

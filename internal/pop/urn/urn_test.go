@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"shapesol/internal/obs"
 	"shapesol/internal/pop"
 )
 
@@ -314,5 +315,28 @@ func TestTokenChurnRecyclesSlots(t *testing.T) {
 	}
 	if cap(w.states) > 4*(p.k+1) {
 		t.Fatalf("slot table grew to %d for %d live states: recycling broken", cap(w.states), w.Distinct())
+	}
+}
+
+// TestStepEffectiveZeroAllocsWithMetrics proves instrumentation never
+// costs the urn hot loop an allocation: with a metrics sink attached,
+// the skip-and-apply unit plus a per-event delta publish stays off the
+// heap (counters are local int64s, the publish is atomic adds).
+func TestStepEffectiveZeroAllocsWithMetrics(t *testing.T) {
+	w := New(1000, tokenProto{k: 6, cycle: 40}, pop.Options{Seed: 1, MaxSteps: 1 << 60})
+	w.SetMetrics(obs.NewEngineMetrics(obs.NewRegistry(), "urn"))
+	for i := 0; i < 500; i++ {
+		if !w.StepEffective() {
+			t.Fatal("token world froze during warm-up")
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if !w.StepEffective() {
+			t.Fatal("token world froze")
+		}
+		w.publishMetrics()
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented StepEffective allocates %v per event, want 0", allocs)
 	}
 }

@@ -1,0 +1,37 @@
+package profiling
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves the live pprof surfaces (goroutine, heap, CPU,
+// trace, …) on addr — the long-running complement to Start's
+// file-writing profiles: a daemon opts in with -debug-addr and an
+// operator pulls profiles from the running process with `go tool pprof
+// http://host:port/debug/pprof/profile`. The listener is bound
+// synchronously (so a bad address fails fast, at startup) and the
+// server runs until close, the returned stop function, is called.
+//
+// The debug mux is deliberately a separate listener from the service
+// API: pprof exposes stacks and memory contents, so it stays on an
+// operator-chosen (typically loopback) address instead of riding the
+// public port. bound is the resolved listen address (useful with a
+// ":0" port).
+func DebugServer(addr string) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil on Close
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,8 +1,11 @@
 package profiling
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,5 +46,31 @@ func TestStartDisabledIsNoOp(t *testing.T) {
 func TestStartRejectsUnwritableCPUPath(t *testing.T) {
 	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
 		t.Fatal("expected error for unwritable cpu profile path")
+	}
+}
+
+func TestDebugServerServesPprofIndex(t *testing.T) {
+	addr, stop, err := DebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index = %d: %.200s", resp.StatusCode, body)
+	}
+}
+
+func TestDebugServerRejectsBadAddress(t *testing.T) {
+	if _, _, err := DebugServer("256.0.0.1:99999"); err == nil {
+		t.Fatal("expected error for an unbindable debug address")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"shapesol/internal/job"
 	"shapesol/internal/stats"
@@ -54,8 +55,10 @@ var (
 // completion order is up to the scheduler, so tasks that need ordered
 // results must write into per-task slots the way Map does.
 type Pool struct {
-	tasks chan func()
-	wg    sync.WaitGroup
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+	busy    atomic.Int64
 
 	// mu guards closed and fences submissions against close(tasks):
 	// submitters hold it shared (a blocked Submit parks on the channel
@@ -73,18 +76,34 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan func(), queue)}
+	p := &Pool{tasks: make(chan func(), queue), workers: workers}
 	p.wg.Add(workers)
 	for g := 0; g < workers; g++ {
 		go func() {
 			defer p.wg.Done()
 			for task := range p.tasks {
+				p.busy.Add(1)
 				task()
+				p.busy.Add(-1)
 			}
 		}()
 	}
 	return p
 }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueDepth returns the number of queued (not yet started) tasks.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCap returns the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Busy returns the number of workers currently executing a task. With
+// QueueDepth it is the service's saturation signal: Busy == Workers and
+// a full queue is the state TrySubmit answers with ErrQueueFull.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
 
 // TrySubmit enqueues task without blocking. It returns ErrQueueFull when
 // the queue is at capacity and every worker is busy, and ErrPoolClosed

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, s http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	return rec.Body.String()
+}
+
+// metricValue extracts the value of one exposition line (exact name +
+// label match), failing the test when the sample is absent.
+func metricValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric sample %q not in exposition:\n%s", sample, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric sample %q has non-numeric value %q", sample, m[1])
+	}
+	return v
+}
+
+func TestMetricsEndToEnd(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
+	defer s.Shutdown(context.Background())
+
+	// Before any traffic: queue/pool gauges present, engine counters zero.
+	body := scrape(t, s)
+	if got := metricValue(t, body, "shapesol_pool_workers"); got != 1 {
+		t.Fatalf("pool_workers = %v, want 1", got)
+	}
+	if got := metricValue(t, body, `shapesol_engine_steps_total{engine="urn"}`); got != 0 {
+		t.Fatalf("urn steps before any run = %v, want 0", got)
+	}
+
+	// Run one urn job; its steps must land in the engine counter.
+	code, st, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":64}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, raw)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+
+	body = scrape(t, s)
+	steps := metricValue(t, body, `shapesol_engine_steps_total{engine="urn"}`)
+	if steps <= 0 {
+		t.Fatalf("urn steps after a run = %v, want > 0", steps)
+	}
+	if steps != float64(done.Result.Steps) {
+		t.Fatalf("urn steps counter = %v, want the run's %d", steps, done.Result.Steps)
+	}
+	if eff := metricValue(t, body, `shapesol_engine_effective_total{engine="urn"}`); eff <= 0 || eff > steps {
+		t.Fatalf("urn effective = %v, want in (0, %v]", eff, steps)
+	}
+	if runs := metricValue(t, body, `shapesol_engine_runs_total{engine="urn"}`); runs != 1 {
+		t.Fatalf("urn runs = %v, want 1", runs)
+	}
+
+	// Route latency histograms: the submit and status routes were hit.
+	for _, want := range []string{
+		`shapesol_http_request_duration_seconds_count{route="POST /v1/jobs"} 1`,
+		`shapesol_http_request_duration_seconds_bucket{route="POST /v1/jobs",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Cache counters: a resubmission is a hit.
+	if code, _, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":64}}`); code != http.StatusOK {
+		t.Fatalf("cached resubmit = %d: %s", code, raw)
+	}
+	body = scrape(t, s)
+	if hits := metricValue(t, body, "shapesol_cache_hits_total"); hits != 1 {
+		t.Fatalf("cache hits = %v, want 1", hits)
+	}
+	if got := metricValue(t, body, `shapesol_jobs{state="done"}`); got != 2 {
+		t.Fatalf("jobs{done} = %v, want 2", got)
+	}
+}
+
+func TestMetricsCheckEngineBFS(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
+	defer s.Shutdown(context.Background())
+	code, st, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"check","params":{"n":6}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, raw)
+	}
+	waitState(t, s, st.ID, StateDone)
+	body := scrape(t, s)
+	if d := metricValue(t, body, `shapesol_engine_bfs_discovered_total{engine="check"}`); d <= 0 {
+		t.Fatalf("bfs discovered = %v, want > 0", d)
+	}
+	if f := metricValue(t, body, `shapesol_engine_bfs_frontier{engine="check"}`); f != 0 {
+		t.Fatalf("bfs frontier after the run settled = %v, want 0", f)
+	}
+}
+
+func TestMetricsDurableTimersAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1, DataDir: dir, CheckpointEvery: -1})
+	// Large enough that the run crosses at least one Progress boundary,
+	// so the every-callback checkpoint cadence fires before settlement.
+	code, st, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":20000}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, raw)
+	}
+	waitState(t, s, st.ID, StateDone)
+	// Drain before scraping: the status flips to done before the worker
+	// journals the result, so only a drained server has both fsyncs in.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	body := scrape(t, s)
+	if n := metricValue(t, body, "shapesol_journal_fsync_duration_seconds_count"); n < 2 {
+		t.Fatalf("fsync observations = %v, want >= 2 (submit + result)", n)
+	}
+	if n := metricValue(t, body, "shapesol_checkpoint_write_duration_seconds_count"); n < 1 {
+		t.Fatalf("checkpoint observations = %v, want >= 1", n)
+	}
+	if n := metricValue(t, body, "shapesol_trace_events_total"); n < 4 {
+		t.Fatalf("trace events = %v, want >= 4", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"shapesol/internal/job"
 )
@@ -35,11 +36,18 @@ type persister struct {
 
 	mu      sync.Mutex
 	journal *os.File
+
+	// observeFsync/observeCheckpoint, when set, time the durability
+	// syscalls for the metrics registry (see metrics.go).
+	observeFsync      func(seconds float64)
+	observeCheckpoint func(seconds float64)
 }
 
-// journalRecord is one line of journal.ndjson. Type is "submit" or
-// "result"; submit records carry Job, result records carry the terminal
-// fields.
+// journalRecord is one line of journal.ndjson. Type is "submit",
+// "result", or "event"; submit records carry Job, result records the
+// terminal fields, event records a lifecycle trace event (replay of an
+// older journal ignores them, and older builds ignore event lines —
+// the replay switch drops unknown types).
 type journalRecord struct {
 	Type  string          `json:"type"`
 	ID    string          `json:"id"`
@@ -47,6 +55,7 @@ type journalRecord struct {
 	State State           `json:"state,omitempty"`
 	Error string          `json:"error,omitempty"`
 	Res   json.RawMessage `json:"result,omitempty"`
+	Event *TraceEvent     `json:"event,omitempty"`
 }
 
 func openPersister(dir string) (*persister, error) {
@@ -83,12 +92,37 @@ func (p *persister) append(rec journalRecord) error {
 	if _, err := p.journal.Write(data); err != nil {
 		return err
 	}
-	return p.journal.Sync()
+	t0 := time.Now()
+	err = p.journal.Sync()
+	if p.observeFsync != nil {
+		p.observeFsync(time.Since(t0).Seconds())
+	}
+	return err
+}
+
+// appendNoSync writes one journal line without fsyncing — for trace
+// events, which ride the journal's ordering but must not add fsyncs to
+// the serving path. The next synced append (or the OS) flushes them.
+func (p *persister) appendNoSync(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err = p.journal.Write(data)
+	return err
+}
+
+// appendEvent journals one lifecycle trace event.
+func (p *persister) appendEvent(id string, ev TraceEvent) error {
+	return p.appendNoSync(journalRecord{Type: "event", ID: id, Event: &ev})
 }
 
 func (p *persister) appendSubmit(id string, j job.Job) error {
 	jj := j // strip the non-serializable hooks from the journaled form
-	jj.Progress, jj.Checkpoint, jj.Restore = nil, nil, nil
+	jj.Progress, jj.Checkpoint, jj.Restore, jj.Metrics = nil, nil, nil, nil
 	return p.append(journalRecord{Type: "submit", ID: id, Job: &jj})
 }
 
@@ -111,12 +145,17 @@ func (p *persister) checkpointPath(id string) string {
 
 // writeCheckpoint atomically replaces the job's snapshot file.
 func (p *persister) writeCheckpoint(id string, data []byte) error {
+	t0 := time.Now()
 	path := p.checkpointPath(id)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	err := os.Rename(tmp, path)
+	if err == nil && p.observeCheckpoint != nil {
+		p.observeCheckpoint(time.Since(t0).Seconds())
+	}
+	return err
 }
 
 // readCheckpoint returns the job's snapshot bytes; fs.ErrNotExist when it
@@ -139,6 +178,7 @@ type replayedJob struct {
 	state    State
 	errMsg   string
 	result   *job.Result
+	events   []TraceEvent
 }
 
 // replay folds the journal into per-id job records, in admission order.
@@ -153,7 +193,8 @@ func (p *persister) replay() ([]replayedJob, int64, error) {
 		return nil, 0, err
 	}
 	byID := make(map[string]*replayedJob)
-	early := make(map[string]journalRecord) // results seen before their submit
+	early := make(map[string]journalRecord)      // results seen before their submit
+	earlyEvents := make(map[string][]TraceEvent) // trace events seen before their submit
 	var order []string
 	var maxSeq int64
 	applyResult := func(r *replayedJob, rec journalRecord) error {
@@ -196,11 +237,24 @@ func (p *persister) replay() ([]replayedJob, int64, error) {
 			r := &replayedJob{id: rec.ID, job: *rec.Job}
 			byID[rec.ID] = r
 			order = append(order, rec.ID)
+			if evs, ok := earlyEvents[rec.ID]; ok {
+				delete(earlyEvents, rec.ID)
+				r.events = append(r.events, evs...)
+			}
 			if rec, ok := early[rec.ID]; ok {
 				delete(early, rec.ID)
 				if err := applyResult(r, rec); err != nil {
 					return nil, 0, err
 				}
+			}
+		case "event":
+			if rec.Event == nil {
+				continue
+			}
+			if r, ok := byID[rec.ID]; ok {
+				r.events = append(r.events, *rec.Event)
+			} else {
+				earlyEvents[rec.ID] = append(earlyEvents[rec.ID], *rec.Event)
 			}
 		case "result":
 			r, ok := byID[rec.ID]

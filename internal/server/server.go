@@ -113,7 +113,8 @@ type Server struct {
 	store   *store
 	cache   *Cache
 	mux     *http.ServeMux
-	persist *persister // nil without a DataDir
+	persist *persister     // nil without a DataDir
+	metrics *serverMetrics // always non-nil after New
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -136,8 +137,9 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.metrics = newServerMetrics(s)
 	for _, rt := range s.routes() {
-		s.mux.HandleFunc(rt.pattern, rt.handler)
+		s.mux.HandleFunc(rt.pattern, s.metrics.instrument(rt.pattern, rt.handler))
 	}
 	if cfg.DataDir != "" {
 		p, err := openPersister(cfg.DataDir)
@@ -145,6 +147,8 @@ func New(cfg Config) (*Server, error) {
 			s.pool.Close()
 			return nil, err
 		}
+		p.observeFsync = s.metrics.fsync.Observe
+		p.observeCheckpoint = s.metrics.checkpoint.Observe
 		s.persist = p
 		if err := s.recover(); err != nil {
 			s.pool.Close()
@@ -174,8 +178,10 @@ func (s *Server) routes() []route {
 		{"GET /v1/jobs/{id}/snapshot", s.handleSnapshot},
 		{"DELETE /v1/jobs/{id}", s.handleCancel},
 		{"GET /v1/jobs/{id}/events", s.handleEvents},
+		{"GET /v1/jobs/{id}/trace", s.handleTrace},
 		{"GET /v1/protocols", s.handleProtocols},
 		{"GET /healthz", s.handleHealth},
+		{"GET /metrics", s.handleMetrics},
 	}
 }
 
@@ -209,6 +215,7 @@ func (s *Server) recover() error {
 			e := s.store.addWithID(r.id, r.job, nil, "", StateFailed)
 			e.mu.Lock()
 			e.errMsg = "recovery: " + err.Error()
+			e.trace = r.events
 			e.mu.Unlock()
 			s.persist.removeCheckpoint(r.id)
 			continue
@@ -219,6 +226,7 @@ func (s *Server) recover() error {
 			e.mu.Lock()
 			e.errMsg = r.errMsg
 			e.result = r.result
+			e.trace = r.events
 			e.mu.Unlock()
 			if r.state == StateDone && r.result != nil {
 				s.cache.Put(key, *r.result)
@@ -229,6 +237,9 @@ func (s *Server) recover() error {
 		// Interrupted: re-enqueue, resuming from the checkpoint if there is
 		// a valid one.
 		e := s.store.addWithID(r.id, nj, spec, key, StateQueued)
+		e.mu.Lock()
+		e.trace = r.events
+		e.mu.Unlock()
 		if data, err := s.persist.readCheckpoint(r.id); err == nil {
 			if snapshot, err := snap.Decode(data); err != nil {
 				log.Printf("server: job %s checkpoint unusable (%v), restarting from scratch", r.id, err)
@@ -242,6 +253,7 @@ func (s *Server) recover() error {
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			log.Printf("server: job %s checkpoint unreadable (%v), restarting from scratch", r.id, err)
 		}
+		s.traceEvent(e, TraceRecovered, "re-enqueued at boot", e.steps.Load())
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		e.setCancel(cancel)
 		if err := s.pool.TrySubmit(func() { s.execute(ctx, e) }); err != nil {
@@ -358,6 +370,9 @@ func (s *Server) admit(w http.ResponseWriter, nj job.Job, spec *job.Spec, resume
 		}
 		e.setCached(&res)
 		s.journalSubmit(e)
+		s.traceEvent(e, TraceSubmitted, nj.Protocol+"/"+string(nj.Engine), 0)
+		s.traceEvent(e, TraceCacheHit, "", res.Steps)
+		s.traceEvent(e, TraceSettled, string(StateDone), res.Steps)
 		s.journalResult(e.id, StateDone, "", &res)
 		WriteJSON(w, http.StatusOK, e.status())
 		return
@@ -393,6 +408,11 @@ func (s *Server) admit(w http.ResponseWriter, nj job.Job, spec *job.Spec, resume
 		return
 	}
 	s.journalSubmit(e)
+	s.traceEvent(e, TraceSubmitted, nj.Protocol+"/"+string(nj.Engine), 0)
+	if resumed {
+		s.traceEvent(e, TraceResumed, "from snapshot", nj.Restore.Steps)
+	}
+	s.traceEvent(e, TraceQueued, "", 0)
 	WriteJSON(w, http.StatusAccepted, e.status())
 }
 
@@ -439,7 +459,11 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 	if !e.tryStart() {
 		return // canceled while queued
 	}
+	s.traceEvent(e, TraceRunning, "", e.steps.Load())
 	jj := e.job
+	// Attach the per-engine fleet counters; like Progress, Metrics is
+	// observation-only and invisible to CacheKey and the goldens.
+	jj.Metrics = s.metrics.engine(jj.Engine)
 	var lastFrame time.Time
 	jj.Progress = func(steps int64) {
 		e.steps.Store(steps)
@@ -473,13 +497,16 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 			}
 			if err != nil {
 				log.Printf("server: checkpoint %s at step %d: %v", e.id, steps, err)
+				return
 			}
+			s.traceEvent(e, TraceCheckpointed, "", steps)
 		}
 	}
 	res, err := job.RunNormalized(ctx, jj, e.spec)
 	switch {
 	case err != nil:
 		e.finish(StateFailed, nil, err.Error())
+		s.traceEvent(e, TraceSettled, string(StateFailed)+": "+err.Error(), 0)
 		s.journalResult(e.id, StateFailed, err.Error(), nil)
 	case res.Reason == job.ReasonCanceled:
 		e.finish(StateCanceled, &res, "")
@@ -488,6 +515,7 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 		// keeps the admission open and the checkpoint in place, so the
 		// next boot re-enqueues the job from where it stopped.
 		if e.userCanceled.Load() {
+			s.traceEvent(e, TraceSettled, string(StateCanceled), res.Steps)
 			s.journalResult(e.id, StateCanceled, "", &res)
 		}
 	default:
@@ -496,6 +524,7 @@ func (s *Server) execute(ctx context.Context, e *entry) {
 		// frame cannot race past the cache into a re-simulation.
 		s.cache.Put(e.key, res)
 		e.finish(StateDone, &res, "")
+		s.traceEvent(e, TraceSettled, string(StateDone), res.Steps)
 		s.journalResult(e.id, StateDone, "", &res)
 	}
 }
@@ -565,6 +594,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	e.userCanceled.Store(true)
 	wasQueued := e.cancelQueued("canceled")
 	if wasQueued {
+		s.traceEvent(e, TraceSettled, string(StateCanceled)+" while queued", 0)
 		s.journalResult(e.id, StateCanceled, "canceled", nil)
 	}
 	e.cancelRun()

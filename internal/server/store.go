@@ -78,6 +78,9 @@ type entry struct {
 	mu     sync.Mutex
 	state  State
 	cached bool
+	// trace is the job's lifecycle span events, in recording order
+	// (see trace.go; replayed from the journal on a durable boot).
+	trace []TraceEvent
 	// resumed marks an execution continued from a snapshot.
 	resumed bool
 	errMsg  string

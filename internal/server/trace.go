@@ -1,0 +1,79 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// TraceEvent is one span event in a job's lifecycle trace: the
+// submitted → queued → running → checkpointed* → settled sequence (plus
+// resumed/recovered markers), replayable after a crash because durable
+// daemons journal each event. Traces answer the question metrics can't:
+// what happened to *this* job, and when.
+type TraceEvent struct {
+	TS     time.Time `json:"ts"`
+	Event  string    `json:"event"`
+	Detail string    `json:"detail,omitempty"`
+	Steps  int64     `json:"steps,omitempty"`
+}
+
+// Trace event names. Traces are append-only observations, not a state
+// machine: a consumer must tolerate unknown events (the cluster
+// coordinator adds its own routing/failover vocabulary).
+const (
+	TraceSubmitted    = "submitted"
+	TraceQueued       = "queued"
+	TraceCacheHit     = "cache-hit"
+	TraceRunning      = "running"
+	TraceCheckpointed = "checkpointed"
+	TraceResumed      = "resumed"
+	TraceRecovered    = "recovered"
+	TraceSettled      = "settled"
+)
+
+// traceBody is the GET /v1/jobs/{id}/trace response.
+type traceBody struct {
+	ID     string       `json:"id"`
+	Events []TraceEvent `json:"events"`
+}
+
+// addTrace appends one event to the entry's in-memory trace.
+func (e *entry) addTrace(ev TraceEvent) {
+	e.mu.Lock()
+	e.trace = append(e.trace, ev)
+	e.mu.Unlock()
+}
+
+// traceEvents snapshots the trace.
+func (e *entry) traceEvents() []TraceEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]TraceEvent(nil), e.trace...)
+}
+
+// traceEvent records one lifecycle event: in memory always, and in the
+// durable journal when there is one — as an un-fsynced append, so
+// traces ride the journal's ordering without adding fsyncs to the
+// serving path (losing the trace tail on kill -9 is acceptable; losing
+// admissions or results is not).
+func (s *Server) traceEvent(e *entry, event, detail string, steps int64) {
+	ev := TraceEvent{TS: time.Now().UTC(), Event: event, Detail: detail, Steps: steps}
+	e.addTrace(ev)
+	s.metrics.traces.Inc()
+	if s.persist != nil {
+		if err := s.persist.appendEvent(e.id, ev); err != nil {
+			// Log-worthy but never fatal: the in-memory trace still serves.
+			log.Printf("server: journal trace %s: %v", e.id, err)
+		}
+	}
+}
+
+// handleTrace serves a job's lifecycle trace in recording order.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entryFor(w, r)
+	if !ok {
+		return
+	}
+	WriteJSON(w, http.StatusOK, traceBody{ID: e.id, Events: e.traceEvents()})
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getTrace fetches a job's lifecycle trace.
+func getTrace(t *testing.T, s http.Handler, id string) []TraceEvent {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/"+id+"/trace", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s/trace = %d: %s", id, rec.Code, rec.Body.String())
+	}
+	var body traceBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ID != id {
+		t.Fatalf("trace id = %q, want %q", body.ID, id)
+	}
+	return body.Events
+}
+
+// eventNames projects a trace to its event sequence.
+func eventNames(evs []TraceEvent) []string {
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Event
+	}
+	return out
+}
+
+// assertSubsequence checks that want appears in order within got.
+func assertSubsequence(t *testing.T, got, want []string) {
+	t.Helper()
+	i := 0
+	for _, g := range got {
+		if i < len(want) && g == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("trace %v does not contain the sequence %v", got, want)
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, FrameInterval: -1})
+	defer s.Shutdown(context.Background())
+	code, st, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":64}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, raw)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+
+	evs := getTrace(t, s, st.ID)
+	assertSubsequence(t, eventNames(evs),
+		[]string{TraceSubmitted, TraceQueued, TraceRunning, TraceSettled})
+	last := evs[len(evs)-1]
+	if last.Event != TraceSettled || last.Detail != string(StateDone) {
+		t.Fatalf("last event = %+v, want settled/done", last)
+	}
+	if last.Steps != done.Result.Steps {
+		t.Fatalf("settled steps = %d, want %d", last.Steps, done.Result.Steps)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS.Before(evs[i-1].TS) {
+			t.Fatalf("trace timestamps go backwards at %d: %v", i, eventNames(evs))
+		}
+	}
+
+	// A cache-served resubmission gets its own trace with the hit marked.
+	code, st2, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":64}}`)
+	if code != http.StatusOK {
+		t.Fatalf("cached resubmit = %d: %s", code, raw)
+	}
+	assertSubsequence(t, eventNames(getTrace(t, s, st2.ID)),
+		[]string{TraceSubmitted, TraceCacheHit, TraceSettled})
+}
+
+func TestTraceUnknownJob(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j999/trace", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("trace of unknown job = %d, want 404", rec.Code)
+	}
+}
+
+// TestTraceSurvivesRestart proves the trace is replayed from the journal:
+// a durable daemon settles a job, restarts, and the new incarnation still
+// serves the full lifecycle of the old one.
+func TestTraceSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, FrameInterval: -1, DataDir: dir, CheckpointEvery: -1}
+	s := mustNew(t, cfg)
+	code, st, raw := postJob(t, s, `{"protocol":"counting-upper-bound","engine":"urn","params":{"n":64}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, raw)
+	}
+	waitState(t, s, st.ID, StateDone)
+	before := eventNames(getTrace(t, s, st.ID))
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, cfg)
+	defer s2.Shutdown(context.Background())
+	after := eventNames(getTrace(t, s2, st.ID))
+	assertSubsequence(t, after,
+		[]string{TraceSubmitted, TraceQueued, TraceRunning, TraceSettled})
+	if len(after) != len(before) {
+		t.Fatalf("replayed trace has %d events %v, original had %d %v",
+			len(after), after, len(before), before)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"shapesol/internal/grid"
+	"shapesol/internal/obs"
 	"shapesol/internal/sched"
 	"shapesol/internal/wrand"
 )
@@ -165,6 +166,14 @@ type World[S any] struct {
 	ineffectiveRun                   int64
 	haltedCount                      int
 
+	// metrics, when non-nil, receives fleet-wide counter deltas on the
+	// CheckEvery cadence; the pub* fields are the already-published
+	// baselines (snapshotted by SetMetrics, so restored step counts are
+	// never re-counted).
+	metrics                          *obs.EngineMetrics
+	faultEvents                      int64
+	pubSteps, pubEffective, pubFault int64
+
 	// agents is the scheduler/fault layer (see internal/sched); nil without
 	// a profile, in which case every code path below is byte-identical to
 	// the historical engine.
@@ -261,6 +270,31 @@ func (w *World[S]) presentNode(id int) bool {
 	return w.agents == nil || w.agents.IsPresent(id)
 }
 
+// SetMetrics attaches a fleet-wide metrics sink. Call it after any
+// snapshot restore: the current totals become the published baseline,
+// so a resumed run only publishes steps it simulated itself.
+func (w *World[S]) SetMetrics(m *obs.EngineMetrics) {
+	w.metrics = m
+	w.pubSteps, w.pubEffective, w.pubFault = w.steps, w.effective, w.faultEvents
+	if m != nil {
+		m.Runs.Inc()
+	}
+}
+
+// publishMetrics flushes counter deltas accumulated since the last
+// publish (deltas: concurrent runs share the per-engine counters).
+func (w *World[S]) publishMetrics() {
+	if w.metrics == nil {
+		return
+	}
+	// No Skipped here: the grid engine simulates its ineffective steps
+	// (steps - effective is real work, not a geometric fast-forward).
+	w.metrics.Steps.Add(w.steps - w.pubSteps)
+	w.metrics.Effective.Add(w.effective - w.pubEffective)
+	w.metrics.FaultEvents.Add(w.faultEvents - w.pubFault)
+	w.pubSteps, w.pubEffective, w.pubFault = w.steps, w.effective, w.faultEvents
+}
+
 // applyFaults drains every fault event due at the current step. It runs
 // on the CheckEvery cadence (and when the scheduler runs dry), with the
 // world quiescent.
@@ -273,6 +307,7 @@ func (w *World[S]) applyFaults() {
 		if !ok {
 			return
 		}
+		w.faultEvents++
 		switch ev {
 		case sched.EvCrash:
 			w.agents.CrashOne()
@@ -637,6 +672,7 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 				reason = ReasonCanceled
 				break
 			}
+			w.publishMetrics()
 			if w.opts.Progress != nil {
 				w.opts.Progress(w.steps)
 			}
@@ -646,6 +682,7 @@ func (w *World[S]) RunContext(ctx context.Context) Result {
 			}
 		}
 	}
+	w.publishMetrics()
 	return Result{
 		Steps:     w.steps,
 		Effective: w.effective,

@@ -69,6 +69,13 @@ type Alias struct {
 
 	scaled       []int64 // rebuild scratch
 	small, large []int32
+
+	// rebuilds counts table rebuilds for observability. It is NOT part
+	// of State/SetState: the rebuild *policy* (stale) is a pure function
+	// of the sampling state, so a restored run rebuilds at the same
+	// points without this counter, and including it would change the
+	// snapshot wire format.
+	rebuilds int64
 }
 
 // NewAlias returns an alias sampler with n zero-weight slots.
@@ -97,6 +104,10 @@ func (a *Alias) resize(n int) {
 
 // Len returns the number of slots.
 func (a *Alias) Len() int { return len(a.weights) }
+
+// Rebuilds returns the number of table rebuilds since construction.
+// Observability only — not part of the snapshot state.
+func (a *Alias) Rebuilds() int64 { return a.rebuilds }
 
 // Grow extends the sampler to at least n slots, preserving weights.
 func (a *Alias) Grow(n int) {
@@ -180,6 +191,7 @@ func (a *Alias) stale() bool {
 // construction is deterministic (stable stack order), so two samplers
 // with equal live weights build identical tables.
 func (a *Alias) rebuild() {
+	a.rebuilds++
 	n := len(a.weights)
 	copy(a.tableW, a.weights)
 	a.tableTotal = a.total

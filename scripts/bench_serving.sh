@@ -10,8 +10,11 @@
 # answers, so this is the HTTP + cache hot path) and "unique" (fresh
 # seed per request; every job simulates n=1000 urn steps, so this is
 # end-to-end job turnaround under load). The output file is NDJSON, one
-# report object per scenario, each with sustained RPS and
-# p50/p90/p99/max latency in milliseconds.
+# report object per scenario, each with sustained RPS, p50/p90/p99/max
+# latency in milliseconds, and the full latency histogram. A /metrics
+# snapshot of the loaded daemon lands beside the report (<out>.metrics)
+# so the server-side view — route latency histograms, engine step
+# counters, cache hit rates — is captured with the client-side one.
 #
 # Usage: scripts/bench_serving.sh [out.json] [port]
 set -euo pipefail
@@ -41,7 +44,13 @@ done
 "$bin/loadgen" -addr "$base" -duration 10s -concurrency 8 -n 1000 -mode cached -o "$out"
 "$bin/loadgen" -addr "$base" -duration 10s -concurrency 8 -n 1000 -mode unique -o "$out"
 
+# The server's own view of the same load: scrape the metric registry
+# while the daemon still holds the run's counters.
+curl -fsS "$base/metrics" > "$out.metrics"
+grep -q 'shapesol_engine_steps_total{engine="urn"}' "$out.metrics" \
+  || { echo "FAIL: /metrics snapshot has no urn engine counters"; exit 1; }
+
 kill "$daemon_pid" 2>/dev/null && wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=""
-echo "wrote $out:"
+echo "wrote $out (+ $out.metrics):"
 cat "$out"

@@ -15,14 +15,17 @@
 # field-level 400), and drain the daemon with SIGTERM.
 #
 # Phase 2 (kill -9 and resume): restart the daemon on the same -data-dir,
-# submit the n = 10^6 urn run, kill -9 the daemon the moment a checkpoint
-# of it is on disk, start a fresh daemon on the same -data-dir, and
-# verify durability end to end: the interrupted job resumes from its
-# checkpoint (same id, resumed=true) and settles; its result matches an
-# uninterrupted run of the same job byte-for-byte (computed via a second
-# cache-bypassing seed comparison below: the golden job from phase 1 must
-# still be served — journal survival — and the recovered job's identical
-# resubmission must be answered from the rebuilt cache).
+# submit the n = 10^6 urn run, scrape /metrics mid-run (the urn engine's
+# step counter must already be visible — the observability layer
+# publishes while jobs run, not after), kill -9 the daemon the moment a
+# checkpoint of it is on disk, start a fresh daemon on the same
+# -data-dir, and verify durability end to end: the interrupted job
+# resumes from its checkpoint (same id, resumed=true) and settles; its
+# result matches an uninterrupted run of the same job byte-for-byte
+# (computed via a second cache-bypassing seed comparison below: the
+# golden job from phase 1 must still be served — journal survival — and
+# the recovered job's identical resubmission must be answered from the
+# rebuilt cache).
 #
 # Phase 3 (cluster failover): start a coordinator and two durable
 # workers, verify the golden job served through the coordinator is
@@ -32,6 +35,8 @@
 # coordinator holds a mirrored checkpoint, and assert the job fails over
 # to the survivor, finishes resumed, and its Result is byte-identical
 # (wall zeroed) to an uninterrupted single-node run of the same job.
+# The coordinator's trace endpoint must replay the whole story — the
+# routing decision, the failover event, and the settlement.
 #
 # Run from anywhere: scripts/e2e_smoke.sh [port]
 set -euo pipefail
@@ -137,6 +142,15 @@ for _ in $(seq 1 300); do
   sleep 0.05
 done
 [ -n "$found" ] || { echo "FAIL: no checkpoint of $big appeared"; exit 1; }
+
+# Mid-run observability: with the n=10^6 job still simulating, /metrics
+# must already show urn engine work — the engines publish deltas at
+# their progress boundaries, not at settlement.
+steps="$(curl -fsS "$base/metrics" | grep '^shapesol_engine_steps_total{engine="urn"}' | awk '{print $2}')"
+[ -n "$steps" ] && [ "$steps" != "0" ] \
+  || { echo "FAIL: mid-run /metrics scrape shows no urn engine steps: '$steps'"; exit 1; }
+echo "mid-run /metrics scrape shows $steps urn engine steps"
+
 echo "checkpoint of $big on disk; killing the daemon with SIGKILL"
 
 kill -9 "$daemon_pid"
@@ -279,6 +293,15 @@ cctl result -zero-wall "$cid" \
   | diff -u "$bin/baseline.json" - \
   || { echo "FAIL: failed-over result differs from the uninterrupted run"; exit 1; }
 echo "failed-over result is byte-identical to the uninterrupted run"
+
+# The trace endpoint must replay the job's whole story: routed to the
+# dead worker, orphaned by the failover, settled on the survivor.
+ctrace="$(curl -fsS "$cbase/v1/jobs/$cid/trace")"
+for ev in routed failover settled; do
+  echo "$ctrace" | grep -q "\"event\": \"$ev\"" \
+    || { echo "FAIL: coordinator trace missing $ev event: $ctrace"; exit 1; }
+done
+echo "coordinator trace replays the routing, failover, and settlement"
 
 cctl cluster nodes | grep -q '"alive": false' \
   || { echo "FAIL: killed worker not reported dead"; exit 1; }
